@@ -1,0 +1,93 @@
+// E3 — Figure 3: x-dependency chains along hoops.
+//
+// Regenerates the canonical chain pattern for growing hoop lengths and
+// shows the detector finding it under the causal relation while the PRAM
+// relation never chains (Theorem 2's mechanism).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "history/canned.h"
+#include "sharegraph/dependency_chain.h"
+
+namespace {
+
+using namespace pardsm;
+using namespace pardsm::graph;
+namespace bu = pardsm::benchutil;
+
+Distribution to_dist(const hist::paper::Example& ex) {
+  return Distribution{ex.name, ex.history.var_count(), ex.distribution};
+}
+
+void print_table() {
+  bu::banner("E3: x-dependency chain detection along the Fig-3 hoop");
+  bu::row({"hoop length k", "causal chain", "chain ops", "PRAM chain",
+           "detect-ms"});
+  for (std::size_t k : {2u, 3u, 4u, 6u, 8u}) {
+    const auto ex = hist::paper::fig3_dependency_chain(k);
+    const ShareGraph sg(to_dist(ex));
+    ChainWitness causal;
+    const double ms = bu::time_ms([&] {
+      causal = find_chain(ex.history, sg, ex.focus_var,
+                          ChainRelation::kCausal);
+    });
+    const auto pram =
+        find_chain(ex.history, sg, ex.focus_var, ChainRelation::kPram);
+    bu::row({bu::num(static_cast<std::uint64_t>(k)),
+             bu::yesno(causal.found),
+             bu::num(static_cast<std::uint64_t>(causal.ops.size())),
+             pram.found ? "YES(!)" : "no  (thm 2)", bu::num(ms, 3)});
+  }
+
+  bu::banner("Fig 3 witness (k = 3)");
+  const auto ex = hist::paper::fig3_dependency_chain(3);
+  const ShareGraph sg(to_dist(ex));
+  const auto w =
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kCausal);
+  std::cout << "  ";
+  for (hist::OpIndex op : w.ops) {
+    std::cout << ex.history.op(op).to_string() << "  ";
+  }
+  std::cout << "\n  (paper: w_a(x)v 7->co o_b(x) through every hoop "
+               "process)\n";
+}
+
+void BM_FindChainCausal(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto ex = hist::paper::fig3_dependency_chain(k);
+  const ShareGraph sg(to_dist(ex));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        find_chain(ex.history, sg, ex.focus_var, ChainRelation::kCausal));
+  }
+}
+BENCHMARK(BM_FindChainCausal)->DenseRange(2, 10, 2);
+
+void BM_FindChainLazySemiCausal(benchmark::State& state) {
+  const auto ex = hist::paper::fig6_not_lazy_semi_causal();
+  const ShareGraph sg(to_dist(ex));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_chain(ex.history, sg, ex.focus_var,
+                                        ChainRelation::kLazySemiCausal));
+  }
+}
+BENCHMARK(BM_FindChainLazySemiCausal);
+
+void BM_GeneratingEdges(benchmark::State& state) {
+  const auto ex = hist::paper::fig3_dependency_chain(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generating_edges(ex.history, ChainRelation::kCausal));
+  }
+}
+BENCHMARK(BM_GeneratingEdges);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E7/E8/E9 — Figures 7-9: distributed Bellman-Ford on the Figure 8
+// network, across protocols.
+//
+// Rows: per protocol — correctness vs centralized reference, message and
+// control-byte cost, convergence time.  Expected shape: every protocol
+// computes {0,2,1,4,4}; PRAM does it with the fewest control bytes (the
+// paper's argument for weakening consistency under partial replication).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "apps/bellman_ford.h"
+
+namespace {
+
+using namespace pardsm;
+using namespace pardsm::apps;
+namespace bu = pardsm::benchutil;
+
+void print_fig8_table() {
+  bu::banner("E8: Figure 8 network, Figure 7 algorithm, per protocol");
+  bu::row({"protocol", "distances ok", "msgs", "ctrl-bytes", "payload",
+           "sim-ms", "polls"});
+  for (auto kind : mcs::all_protocols()) {
+    BellmanFordOptions options;
+    options.protocol = kind;
+    const auto r = run_bellman_ford(WeightedGraph::fig8(), options);
+    bu::row({mcs::to_string(kind), bu::yesno(r.matches_reference),
+             bu::num(r.total_traffic.msgs_sent),
+             bu::num(r.total_traffic.control_bytes_sent),
+             bu::num(r.total_traffic.payload_bytes_sent),
+             bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1),
+             bu::num(r.barrier_polls)});
+  }
+  std::cout << "(expected: all correct; pram-partial minimizes control "
+               "bytes — §5/§6)\n";
+
+  bu::banner("E9: Figure 9 — step-by-step operation pattern (PRAM run)");
+  const auto r = run_bellman_ford(WeightedGraph::fig8());
+  std::cout << format_fig9_table(r, 5, /*max_steps=*/2)
+            << "  (per paper: each step ends with w(x_i) then w(k_i); "
+               "readers see predecessors' writes in program order)\n";
+}
+
+void print_scaling_table() {
+  bu::banner("E7 scaling: random networks, PRAM vs causal-partial-naive");
+  bu::row({"n", "protocol", "ok", "msgs", "ctrl-bytes", "sim-ms"});
+  for (std::size_t n : {6u, 10u, 14u}) {
+    const auto g = WeightedGraph::random_network(n, n, 9, 42);
+    for (auto kind : {mcs::ProtocolKind::kPramPartial,
+                      mcs::ProtocolKind::kCausalPartialNaive}) {
+      BellmanFordOptions options;
+      options.protocol = kind;
+      const auto r = run_bellman_ford(g, options);
+      bu::row({bu::num(static_cast<std::uint64_t>(n)), mcs::to_string(kind),
+               bu::yesno(r.matches_reference),
+               bu::num(r.total_traffic.msgs_sent),
+               bu::num(r.total_traffic.control_bytes_sent),
+               bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
+    }
+  }
+  std::cout << "(expected: the causal/PRAM control-byte gap widens with "
+               "n)\n";
+}
+
+void BM_BellmanFordFig8(benchmark::State& state, mcs::ProtocolKind kind) {
+  for (auto _ : state) {
+    BellmanFordOptions options;
+    options.protocol = kind;
+    benchmark::DoNotOptimize(
+        run_bellman_ford(WeightedGraph::fig8(), options));
+  }
+}
+BENCHMARK_CAPTURE(BM_BellmanFordFig8, pram,
+                  mcs::ProtocolKind::kPramPartial);
+BENCHMARK_CAPTURE(BM_BellmanFordFig8, causal_naive,
+                  mcs::ProtocolKind::kCausalPartialNaive);
+BENCHMARK_CAPTURE(BM_BellmanFordFig8, causal_adhoc,
+                  mcs::ProtocolKind::kCausalPartialAdHoc);
+BENCHMARK_CAPTURE(BM_BellmanFordFig8, sequencer,
+                  mcs::ProtocolKind::kSequencerSC);
+
+void BM_BellmanFordRandom(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = WeightedGraph::random_network(n, n, 9, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_bellman_ford(g));
+  }
+}
+BENCHMARK(BM_BellmanFordRandom)->DenseRange(6, 18, 4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig8_table();
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints the rows/series of the paper artifact it
+// regenerates (EXPERIMENTS.md records them), then runs its
+// google-benchmark timings.
+#pragma once
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pardsm::benchutil {
+
+/// Section banner.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Fixed-width row printer: first column 28 chars, rest 14.
+inline void row(const std::vector<std::string>& cells) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << std::left << std::setw(i == 0 ? 28 : 14) << cells[i];
+  }
+  std::cout << os.str() << '\n';
+}
+
+/// Format helpers.
+inline std::string num(std::uint64_t v) { return std::to_string(v); }
+inline std::string num(double v, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+inline std::string yesno(bool b) { return b ? "yes" : "NO"; }
+
+/// Wall-clock of a closure in milliseconds.
+template <typename F>
+double time_ms(F&& fn) {
+  const auto begin = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace pardsm::benchutil

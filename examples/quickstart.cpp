@@ -1,0 +1,59 @@
+// Quickstart: build a partially replicated DSM, write and read, inspect
+// the recorded history and its consistency classification.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "core/analysis.h"
+#include "core/dsm.h"
+#include "history/checkers.h"
+#include "sharegraph/hoops.h"
+#include "sharegraph/topologies.h"
+
+int main() {
+  using namespace pardsm;
+
+  std::cout << version() << "\n\n";
+
+  // Four processes in a chain; variable x0 is shared by the two ends, so
+  // the chain is an x0-hoop (the paper's Figure 2 shape).
+  SystemConfig config;
+  config.protocol = mcs::ProtocolKind::kPramPartial;
+  config.distribution = graph::topo::chain_with_hoop(4);
+  config.latency_lo = millis(1);
+  config.latency_hi = millis(5);
+
+  std::cout << "share graph (" << config.distribution.name << "):\n"
+            << graph::ShareGraph(config.distribution).to_dot() << '\n';
+
+  System dsm(std::move(config));
+
+  // Process 0 writes x0; process 3 (the other end of the hoop) reads it
+  // once the update propagated.  Reads and writes are wait-free.
+  dsm.at(kTimeZero, [&] {
+    dsm.write(0, 0, 1727, [] { std::cout << "p0: wrote x0 = 1727\n"; });
+  });
+  dsm.after(millis(50), [&] {
+    dsm.read(3, 0, [](Value v) {
+      std::cout << "p3: read x0 = " << v << " (wait-free local read)\n";
+    });
+  });
+  dsm.run();
+
+  // The recorded history, with exact read-from provenance.
+  const auto history = dsm.history();
+  std::cout << "\nrecorded history:\n" << history.to_string();
+
+  // Which criteria admit it?
+  std::cout << "classification: "
+            << hist::classify(history).to_string() << "\n\n";
+
+  // Efficiency: did any process outside C(x) handle x-metadata?
+  const auto report = core::analyze_run(
+      dsm.distribution(), dsm.observed_relevance(), dsm.stats().total());
+  std::cout << report.to_table()
+            << "PRAM partial replication efficient: "
+            << (report.efficient() ? "yes" : "no") << '\n';
+  return 0;
+}

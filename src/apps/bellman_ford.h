@@ -1,0 +1,83 @@
+// Distributed Bellman-Ford over pardsm shared memory (paper Section 6,
+// Figures 7-9).
+//
+// Each network node is an application process ap_i cooperating through
+// shared variables:
+//   x_i (distance of node i from the source), written only by ap_i;
+//   k_i (iteration counter of ap_i),          written only by ap_i.
+// ap_i accesses x_h, k_h for h = i and every predecessor h ∈ Γ⁻¹(i) —
+// exactly the partial-replication distribution printed in the paper.
+//
+// The algorithm is Figure 7 verbatim, in event-driven form: the busy-wait
+// barrier of line 6 ("while exists h ∈ Γ⁻¹(i): k_h < k_i") becomes a
+// polling timer.  Since x_i and k_i are single-writer and ap_i writes x_i
+// *before* advancing k_i, PRAM consistency suffices: a reader that
+// observes k_h = r has, by pipelined per-writer order, already received
+// the round-r value of x_h.  (Slow memory does NOT suffice — the
+// cross-variable reorder of k_h ahead of x_h breaks the hand-off; see
+// tests and DESIGN.md.)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/weighted_graph.h"
+#include "mcs/driver.h"
+#include "sharegraph/share_graph.h"
+
+namespace pardsm::apps {
+
+/// Variable layout: x_i has id i, k_i has id n+i.
+[[nodiscard]] inline VarId x_var(int i) { return static_cast<VarId>(i); }
+[[nodiscard]] inline VarId k_var(std::size_t n, int i) {
+  return static_cast<VarId>(n + static_cast<std::size_t>(i));
+}
+
+/// The paper's Section 6 variable distribution for a network graph:
+/// X_i = {x_h, k_h : h = i or h ∈ Γ⁻¹(i)}.
+[[nodiscard]] graph::Distribution bellman_ford_distribution(
+    const WeightedGraph& g);
+
+/// Options for a distributed run.
+struct BellmanFordOptions {
+  int source = 0;
+  mcs::ProtocolKind protocol = mcs::ProtocolKind::kPramPartial;
+  std::uint64_t sim_seed = 1;
+  /// Poll interval of the line-6 barrier.
+  Duration poll = millis(2);
+  /// Network latency bounds (uniform).
+  Duration latency_lo = millis(1);
+  Duration latency_hi = millis(5);
+  /// Safety bound on barrier polls per process (0 = default).
+  std::uint64_t max_polls = 100000;
+};
+
+/// Result of a distributed run.
+struct BellmanFordResult {
+  std::vector<std::int64_t> distances;  ///< final x_i at each owner
+  std::vector<std::int64_t> rounds;     ///< final k_i
+  bool matches_reference = false;
+  std::vector<std::int64_t> reference;
+  /// Traffic summary of the underlying MCS.
+  ProcessTraffic total_traffic;
+  std::uint64_t barrier_polls = 0;  ///< total spin iterations (line 6)
+  /// Times a reader saw k_j without the preceding x_j (impossible under
+  /// PRAM; nonzero runs witness the slow-memory ablation).
+  std::uint64_t handoff_violations = 0;
+  TimePoint finished_at{};
+  hist::History history;  ///< recorded shared-memory operations
+};
+
+/// Run the Figure 7 algorithm on the given network and protocol.
+[[nodiscard]] BellmanFordResult run_bellman_ford(
+    const WeightedGraph& g, const BellmanFordOptions& options = {});
+
+/// Render the recorded history as the paper's Figure 9 step table: one
+/// row per process and iteration step, each step's operations in program
+/// order, ending with the step's w(x_i) and w(k_i) pair.  `max_steps`
+/// bounds the number of steps shown per process (0 = all).
+[[nodiscard]] std::string format_fig9_table(const BellmanFordResult& result,
+                                            std::size_t node_count,
+                                            std::size_t max_steps = 2);
+
+}  // namespace pardsm::apps

@@ -1,0 +1,90 @@
+#include "apps/weighted_graph.h"
+
+#include <algorithm>
+
+#include "simnet/check.h"
+#include "simnet/rng.h"
+
+namespace pardsm::apps {
+
+void WeightedGraph::add_edge(int from, int to, std::int64_t weight) {
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
+                   static_cast<std::size_t>(to) < n_,
+               "add_edge: node out of range");
+  PARDSM_CHECK(weight >= 0, "add_edge: negative weights unsupported");
+  edges_.push_back(Edge{from, to, weight});
+}
+
+std::vector<int> WeightedGraph::predecessors(int i) const {
+  std::vector<int> out;
+  for (const Edge& e : edges_) {
+    if (e.to == i) out.push_back(e.from);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::int64_t WeightedGraph::weight(int from, int to) const {
+  if (from == to) return 0;
+  std::int64_t best = kInfDistance;
+  for (const Edge& e : edges_) {
+    if (e.from == from && e.to == to) best = std::min(best, e.weight);
+  }
+  return best;
+}
+
+WeightedGraph WeightedGraph::fig8() {
+  WeightedGraph g(5);
+  // Paper node i == our node i-1.  Weight multiset {4,1,1,2,8,2,3,3}.
+  g.add_edge(0, 1, 4);  // 1 -> 2
+  g.add_edge(0, 2, 1);  // 1 -> 3
+  g.add_edge(1, 2, 2);  // 2 -> 3
+  g.add_edge(2, 1, 1);  // 3 -> 2
+  g.add_edge(1, 3, 2);  // 2 -> 4
+  g.add_edge(2, 3, 8);  // 3 -> 4
+  g.add_edge(2, 4, 3);  // 3 -> 5
+  g.add_edge(3, 4, 3);  // 4 -> 5
+  return g;
+}
+
+WeightedGraph WeightedGraph::random_network(std::size_t n, std::size_t extra,
+                                            std::int64_t max_weight,
+                                            std::uint64_t seed) {
+  PARDSM_CHECK(n >= 2, "random_network needs >= 2 nodes");
+  PARDSM_CHECK(max_weight >= 1, "random_network needs positive weights");
+  Rng rng(seed);
+  WeightedGraph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const int from = static_cast<int>(rng.below(i));
+    g.add_edge(from, static_cast<int>(i), rng.range(1, max_weight));
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const int a = static_cast<int>(rng.below(n));
+    const int b = static_cast<int>(rng.below(n));
+    if (a == b) continue;
+    g.add_edge(a, b, rng.range(1, max_weight));
+  }
+  return g;
+}
+
+std::vector<std::int64_t> bellman_ford_reference(const WeightedGraph& g,
+                                                 int source) {
+  std::vector<std::int64_t> dist(g.size(), kInfDistance);
+  dist[static_cast<std::size_t>(source)] = 0;
+  for (std::size_t round = 0; round + 1 < g.size(); ++round) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      const auto from = static_cast<std::size_t>(e.from);
+      const auto to = static_cast<std::size_t>(e.to);
+      if (dist[from] != kInfDistance && dist[from] + e.weight < dist[to]) {
+        dist[to] = dist[from] + e.weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace pardsm::apps

@@ -1,0 +1,70 @@
+// Weighted directed graphs for the routing case study (Section 6).
+//
+// A packet-switching network is a directed graph; routing = single-source
+// shortest paths.  This header provides the graph type, the paper's
+// Figure 8 example, random connected networks for sweeps, and the
+// centralized Bellman-Ford reference that distributed runs are verified
+// against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/ids.h"
+
+namespace pardsm::apps {
+
+/// Distance value for "unreachable" (safe against overflow when added to
+/// edge weights).
+inline constexpr std::int64_t kInfDistance = 1LL << 40;
+
+/// A weighted directed edge.
+struct Edge {
+  int from = 0;
+  int to = 0;
+  std::int64_t weight = 0;
+};
+
+/// Directed graph with non-negative weights, nodes 0..n-1.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(std::size_t n) : n_(n) {}
+
+  void add_edge(int from, int to, std::int64_t weight);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Predecessors of node i: all j with an edge j -> i (the paper's
+  /// Γ⁻¹(i)), sorted.
+  [[nodiscard]] std::vector<int> predecessors(int i) const;
+
+  /// Weight of edge j -> i; kInfDistance when absent; 0 when j == i.
+  [[nodiscard]] std::int64_t weight(int from, int to) const;
+
+  /// The paper's Figure 8 network: 5 nodes (1..5 in the paper, 0..4
+  /// here), 8 edges whose weights carry the figure's label multiset
+  /// {4,1,1,2,8,2,3,3}.  Predecessor sets match the variable distribution
+  /// printed in Section 6: Γ⁻¹(2)={1,3}, Γ⁻¹(3)={1,2}, Γ⁻¹(4)={2,3},
+  /// Γ⁻¹(5)={3,4}.
+  [[nodiscard]] static WeightedGraph fig8();
+
+  /// Random connected network: nodes 1..n-1 each get an incoming edge from
+  /// a lower-numbered node (source 0 reaches everyone), plus `extra`
+  /// additional random edges; weights uniform in [1, max_weight].
+  [[nodiscard]] static WeightedGraph random_network(std::size_t n,
+                                                    std::size_t extra,
+                                                    std::int64_t max_weight,
+                                                    std::uint64_t seed);
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+/// Centralized Bellman-Ford: distances from `source` (kInfDistance if
+/// unreachable).  The correctness oracle for the distributed runs.
+[[nodiscard]] std::vector<std::int64_t> bellman_ford_reference(
+    const WeightedGraph& g, int source);
+
+}  // namespace pardsm::apps

@@ -1,0 +1,74 @@
+// Efficiency analysis: the paper's claims reduced to numbers.
+//
+// Two halves:
+//
+//  * analyze_run — compare a run's *observed* per-variable metadata
+//    exposure against the Theorem 1 prediction (R(x) = C(x) ∪ hoop
+//    members) and against the efficient-partial-replication ideal (C(x)
+//    alone).  "Efficient" in the paper's sense = nobody outside C(x) ever
+//    handles x-information.
+//
+//  * predict — the analytic control-information model: expected messages
+//    and control bytes per write for each protocol on a given
+//    distribution, used by bench_control_overhead to cross-check measured
+//    traffic.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mcs/protocol.h"
+#include "sharegraph/hoops.h"
+
+namespace pardsm::core {
+
+/// Per-variable comparison of prediction vs observation.
+struct VariableReport {
+  VarId var = kNoVar;
+  std::set<ProcessId> clique;             ///< C(x)
+  std::set<ProcessId> theorem1_relevant;  ///< R(x)
+  std::set<ProcessId> observed;           ///< processes exposed to x
+
+  /// Exposure never left C(x): the efficient-partial-replication ideal.
+  [[nodiscard]] bool within_clique() const;
+  /// Exposure stayed inside the Theorem 1 set.
+  [[nodiscard]] bool within_relevant() const;
+};
+
+/// Whole-run report.
+struct EfficiencyReport {
+  std::vector<VariableReport> per_var;
+  std::size_t vars_leaking_past_clique = 0;
+  std::size_t vars_leaking_past_relevant = 0;
+  ProcessTraffic traffic;
+
+  /// True iff every variable's exposure stayed within C(x) — the paper's
+  /// "efficient partial replication implementation" criterion.
+  [[nodiscard]] bool efficient() const {
+    return vars_leaking_past_clique == 0;
+  }
+
+  /// Aligned text table (one row per variable), for benches and examples.
+  [[nodiscard]] std::string to_table() const;
+};
+
+/// Build the report for one run.
+[[nodiscard]] EfficiencyReport analyze_run(
+    const graph::Distribution& dist,
+    const std::vector<std::set<ProcessId>>& observed_relevance,
+    const ProcessTraffic& traffic);
+
+/// Analytic control-information model (per application write, averaged
+/// over variables assuming uniform write load).
+struct ControlModel {
+  double messages_per_write = 0;
+  double control_bytes_per_write = 0;
+  double recipients_outside_clique = 0;  ///< processes beyond C(x) touched
+};
+
+/// Expected cost per write for `kind` on `dist`.
+[[nodiscard]] ControlModel predict(mcs::ProtocolKind kind,
+                                   const graph::Distribution& dist);
+
+}  // namespace pardsm::core

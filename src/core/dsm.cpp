@@ -1,0 +1,89 @@
+#include "core/dsm.h"
+
+#include "mcs/factory.h"
+#include "simnet/check.h"
+
+namespace pardsm {
+
+System::System(SystemConfig config) : config_(std::move(config)) {
+  SimOptions sim_options;
+  sim_options.seed = config_.seed;
+  sim_options.channel = config_.channel;
+  sim_options.latency = std::make_unique<UniformLatency>(config_.latency_lo,
+                                                         config_.latency_hi);
+  sim_ = std::make_unique<Simulator>(std::move(sim_options));
+  recorder_ = std::make_unique<mcs::HistoryRecorder>(
+      config_.distribution.process_count(), config_.distribution.var_count);
+  processes_ =
+      mcs::make_processes(config_.protocol, config_.distribution, *recorder_);
+  for (auto& proc : processes_) {
+    const ProcessId assigned = sim_->add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(*sim_);
+  }
+}
+
+System::~System() = default;
+
+void System::read(ProcessId p, VarId x, mcs::ReadCallback done) {
+  process(p).read(x, std::move(done));
+}
+
+void System::write(ProcessId p, VarId x, Value v, mcs::WriteCallback done) {
+  process(p).write(x, v, std::move(done));
+}
+
+Value System::read_now(ProcessId p, VarId x) {
+  PARDSM_CHECK(process(p).wait_free(),
+               "read_now requires a wait-free protocol; use read()");
+  Value out = kBottom;
+  bool fired = false;
+  process(p).read(x, [&](Value v) {
+    out = v;
+    fired = true;
+  });
+  PARDSM_CHECK(fired, "wait-free read did not complete inline");
+  return out;
+}
+
+void System::at(TimePoint when, std::function<void()> fn) {
+  sim_->schedule_at(when, std::move(fn));
+}
+
+void System::after(Duration d, std::function<void()> fn) {
+  sim_->schedule_at(sim_->now() + d, std::move(fn));
+}
+
+void System::run() { sim_->run(); }
+
+bool System::run_until(TimePoint deadline) { return sim_->run_until(deadline); }
+
+TimePoint System::now() const { return sim_->now(); }
+
+hist::History System::history() const { return recorder_->history(); }
+
+const NetworkStats& System::stats() const { return sim_->stats(); }
+
+std::vector<std::set<ProcessId>> System::observed_relevance() const {
+  std::vector<std::set<ProcessId>> out(config_.distribution.var_count);
+  for (std::size_t x = 0; x < out.size(); ++x) {
+    out[x] = sim_->stats().processes_exposed_to(static_cast<VarId>(x));
+  }
+  return out;
+}
+
+mcs::McsProcess& System::process(ProcessId p) {
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < processes_.size(),
+               "System::process: bad id");
+  return *processes_[static_cast<std::size_t>(p)];
+}
+
+const graph::Distribution& System::distribution() const {
+  return config_.distribution;
+}
+
+std::size_t System::process_count() const { return processes_.size(); }
+
+const char* version() { return "pardsm 1.0.0 (PI-1727 reproduction)"; }
+
+}  // namespace pardsm

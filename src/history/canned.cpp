@@ -1,0 +1,144 @@
+#include "history/canned.h"
+
+#include "simnet/check.h"
+
+namespace pardsm::hist::paper {
+
+namespace {
+constexpr Value kA = 1, kB = 2, kC = 3, kD = 4, kE = 5;
+}
+
+Example fig3_dependency_chain(std::size_t k, ChainEnd end) {
+  PARDSM_CHECK(k >= 2, "a hoop has at least one intermediate process");
+  const std::size_t n = k + 1;   // processes p_0 .. p_k
+  const std::size_t m = k + 1;   // x plus x_1..x_k
+  Example ex;
+  ex.name = "fig3-chain-k" + std::to_string(k);
+  ex.focus_var = 0;
+
+  History h(n, m);
+  // p_0: w(x)v ; w(x_1)v_1
+  const Value v = 100;
+  h.push_write(0, /*x=*/0, v);
+  h.push_write(0, /*x_1=*/1, 101);
+  // p_h (1 <= h <= k-1): r(x_h)v_h ; w(x_{h+1})v_{h+1}
+  for (std::size_t p = 1; p <= k - 1; ++p) {
+    h.push_read(static_cast<ProcessId>(p), static_cast<VarId>(p),
+                static_cast<Value>(100 + p));
+    h.push_write(static_cast<ProcessId>(p), static_cast<VarId>(p + 1),
+                 static_cast<Value>(100 + p + 1));
+  }
+  // p_k: r(x_k)v_k ; o_b(x)
+  h.push_read(static_cast<ProcessId>(k), static_cast<VarId>(k),
+              static_cast<Value>(100 + k));
+  switch (end) {
+    case ChainEnd::kRead:
+      h.push_read(static_cast<ProcessId>(k), 0, v);
+      break;
+    case ChainEnd::kWrite:
+      h.push_write(static_cast<ProcessId>(k), 0, v + 1);
+      break;
+    case ChainEnd::kStaleRead:
+      h.push_read(static_cast<ProcessId>(k), 0, kBottom);
+      break;
+  }
+  ex.history = std::move(h);
+
+  // Distribution: X_0 = {x, x_1}; X_h = {x_h, x_{h+1}}; X_k = {x_k, x}.
+  ex.distribution.resize(n);
+  ex.distribution[0] = {0, 1};
+  for (std::size_t p = 1; p <= k - 1; ++p) {
+    ex.distribution[p] = {static_cast<VarId>(p), static_cast<VarId>(p + 1)};
+  }
+  ex.distribution[k] = {static_cast<VarId>(k), 0};
+  return ex;
+}
+
+Example fig4_lazy_causal_not_causal() {
+  Example ex;
+  ex.name = "fig4";
+  ex.focus_var = 0;  // x
+  constexpr VarId x = 0, y = 1;
+
+  History h(3, 2);
+  // p0: w(x)a ; r(x)a ; w(y)b   (r1(x)a drawn on p1's line in the figure;
+  // placing it between the writes matches the paper's serialization S1 =
+  // w1(x)a; r1(x)a; w1(y)b; w2(y)c verbatim).
+  h.push_write(0, x, kA);
+  h.push_read(0, x, kA);
+  h.push_write(0, y, kB);
+  // p1: r(y)b ; w(y)c
+  h.push_read(1, y, kB);
+  h.push_write(1, y, kC);
+  // p2: r(y)c ; r(x)⊥
+  h.push_read(2, y, kC);
+  h.push_read(2, x, kBottom);
+  ex.history = std::move(h);
+
+  ex.distribution = {{x, y}, {y}, {x, y}};
+  return ex;
+}
+
+Example fig5_not_lazy_causal() {
+  Example ex;
+  ex.name = "fig5";
+  ex.focus_var = 0;  // x
+  constexpr VarId x = 0, y = 1;
+
+  History h(4, 2);
+  // p0: w(x)a ; r(x)a ; w(y)b
+  h.push_write(0, x, kA);
+  h.push_read(0, x, kA);
+  h.push_write(0, y, kB);
+  // p1: r(y)b ; w(y)c
+  h.push_read(1, y, kB);
+  h.push_write(1, y, kC);
+  // p2: r(y)c ; w(x)d
+  h.push_read(2, y, kC);
+  h.push_write(2, x, kD);
+  // p3: r(x)d ; r(x)a
+  h.push_read(3, x, kD);
+  h.push_read(3, x, kA);
+  ex.history = std::move(h);
+
+  ex.distribution = {{x, y}, {y}, {x, y}, {x}};
+  return ex;
+}
+
+Example fig6_not_lazy_semi_causal() {
+  Example ex;
+  ex.name = "fig6";
+  ex.focus_var = 0;  // x
+  constexpr VarId x = 0, y = 1, z = 2;
+
+  History h(4, 3);
+  // p0: w(x)a ; r(x)a ; w(y)b
+  h.push_write(0, x, kA);
+  h.push_read(0, x, kA);
+  h.push_write(0, y, kB);
+  // p1: r(y)b ; w(y)e ; w(z)c
+  h.push_read(1, y, kB);
+  h.push_write(1, y, kE);
+  h.push_write(1, z, kC);
+  // p2: r(z)c ; w(x)d
+  h.push_read(2, z, kC);
+  h.push_write(2, x, kD);
+  // p3: r(x)d ; r(x)a
+  h.push_read(3, x, kD);
+  h.push_read(3, x, kA);
+  ex.history = std::move(h);
+
+  ex.distribution = {{x, y}, {y, z}, {x, z}, {x}};
+  return ex;
+}
+
+std::vector<Example> all_examples() {
+  std::vector<Example> out;
+  out.push_back(fig3_dependency_chain(2));
+  out.push_back(fig4_lazy_causal_not_causal());
+  out.push_back(fig5_not_lazy_causal());
+  out.push_back(fig6_not_lazy_semi_causal());
+  return out;
+}
+
+}  // namespace pardsm::hist::paper

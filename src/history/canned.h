@@ -1,0 +1,61 @@
+// The paper's example histories (Figures 3–6), encoded exactly.
+//
+// Each example bundles the history with the variable distribution {X_i}
+// printed in (or implied by) the figure, so share-graph analyses and
+// consistency checks can run on the same object the paper discusses.
+//
+// Expected classifications (asserted by tests/test_paper_histories.cpp):
+//
+//   Fig 3  (x-dependency chain along a hoop, non-violating variant):
+//          causal — it is the *pattern* that creates the chain.
+//   Fig 4  lazy-causal YES, causal NO  (paper: "lazy causal but not causal")
+//   Fig 5  lazy-causal NO, lazy-semi-causal YES, PRAM YES
+//   Fig 6  lazy-semi-causal NO, PRAM YES
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace pardsm::hist::paper {
+
+/// A paper example: history + variable distribution (X_i per process).
+struct Example {
+  std::string name;
+  History history;
+  /// distribution[i] = X_i, the variables process i replicates/accesses.
+  std::vector<std::vector<VarId>> distribution;
+  /// The variable the figure's dependency-chain discussion focuses on.
+  VarId focus_var = 0;
+};
+
+/// Final operation type for the generic Figure 3 pattern.
+enum class ChainEnd {
+  kRead,         ///< o_b(x) = r_b(x)v — reads the chain-initial write
+  kWrite,        ///< o_b(x) = w_b(x)v'
+  kStaleRead,    ///< o_b(x) = r_b(x)⊥ — *violates* causal consistency
+};
+
+/// Figure 3: a history including an x-dependency chain along the x-hoop
+/// [p_0, p_1, ..., p_k] (k+1 processes).  Variable 0 is x; variables
+/// 1..k are the hoop variables x_1..x_k.  C(x) = {p_0, p_k}.
+[[nodiscard]] Example fig3_dependency_chain(std::size_t hoop_length_k,
+                                            ChainEnd end = ChainEnd::kRead);
+
+/// Figure 4: history that is lazy causal but not causal.
+/// Processes p0..p2; x = var 0, y = var 1; a=1, b=2, c=3.
+[[nodiscard]] Example fig4_lazy_causal_not_causal();
+
+/// Figure 5: history that is not lazy causal (but is lazy semi-causal and
+/// PRAM).  Adds p3 reading d then a.  x=0, y=1; a=1,b=2,c=3,d=4.
+[[nodiscard]] Example fig5_not_lazy_causal();
+
+/// Figure 6: history that is not lazy semi-causal (but is PRAM).
+/// x=0, y=1, z=2; a=1,b=2,c=3,d=4,e=5.
+[[nodiscard]] Example fig6_not_lazy_semi_causal();
+
+/// All four examples (Fig 3 with k=2, read end), for sweep-style tests.
+[[nodiscard]] std::vector<Example> all_examples();
+
+}  // namespace pardsm::hist::paper

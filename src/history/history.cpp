@@ -1,0 +1,172 @@
+#include "history/history.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "simnet/check.h"
+
+namespace pardsm::hist {
+
+History::History(std::size_t process_count, std::size_t var_count)
+    : var_count_(var_count),
+      per_process_(process_count),
+      writes_by_proc_(process_count, 0) {}
+
+OpIndex History::push_write(ProcessId proc, VarId var, Value value,
+                            std::optional<WriteId> explicit_id) {
+  PARDSM_CHECK(proc >= 0 && static_cast<std::size_t>(proc) < process_count(),
+               "push_write: bad process");
+  PARDSM_CHECK(var >= 0 && static_cast<std::size_t>(var) < var_count_,
+               "push_write: bad variable");
+  Operation op;
+  op.kind = Operation::Kind::kWrite;
+  op.proc = proc;
+  op.var = var;
+  op.value = value;
+  op.proc_seq = static_cast<std::int32_t>(per_process_[proc].size());
+  op.write_id = explicit_id.value_or(
+      WriteId{proc, writes_by_proc_[static_cast<std::size_t>(proc)]});
+  ++writes_by_proc_[static_cast<std::size_t>(proc)];
+  const auto idx = static_cast<OpIndex>(ops_.size());
+  ops_.push_back(op);
+  per_process_[static_cast<std::size_t>(proc)].push_back(idx);
+  return idx;
+}
+
+OpIndex History::push_read(ProcessId proc, VarId var, Value value,
+                           std::optional<WriteId> source) {
+  PARDSM_CHECK(proc >= 0 && static_cast<std::size_t>(proc) < process_count(),
+               "push_read: bad process");
+  PARDSM_CHECK(var >= 0 && static_cast<std::size_t>(var) < var_count_,
+               "push_read: bad variable");
+  Operation op;
+  op.kind = Operation::Kind::kRead;
+  op.proc = proc;
+  op.var = var;
+  op.value = value;
+  op.proc_seq = static_cast<std::int32_t>(per_process_[proc].size());
+  if (source.has_value()) {
+    op.write_id = *source;
+  } else if (value == kBottom) {
+    op.write_id = kInitialWrite;
+  } else {
+    op.write_id = WriteId{kNoProcess, -2};  // "unresolved": match by value
+  }
+  const auto idx = static_cast<OpIndex>(ops_.size());
+  ops_.push_back(op);
+  per_process_[static_cast<std::size_t>(proc)].push_back(idx);
+  return idx;
+}
+
+void History::set_interval(OpIndex op, TimePoint invoked,
+                           TimePoint responded) {
+  PARDSM_CHECK(op >= 0 && static_cast<std::size_t>(op) < ops_.size(),
+               "set_interval: bad op");
+  ops_[static_cast<std::size_t>(op)].invoked = invoked;
+  ops_[static_cast<std::size_t>(op)].responded = responded;
+}
+
+const Operation& History::op(OpIndex i) const {
+  PARDSM_CHECK(i >= 0 && static_cast<std::size_t>(i) < ops_.size(),
+               "op: bad index");
+  return ops_[static_cast<std::size_t>(i)];
+}
+
+const std::vector<OpIndex>& History::ops_of(ProcessId p) const {
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < per_process_.size(),
+               "ops_of: bad process");
+  return per_process_[static_cast<std::size_t>(p)];
+}
+
+std::vector<OpIndex> History::writes() const {
+  std::vector<OpIndex> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].is_write()) out.push_back(static_cast<OpIndex>(i));
+  }
+  return out;
+}
+
+std::vector<OpIndex> History::writes_on(VarId x) const {
+  std::vector<OpIndex> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].is_write() && ops_[i].var == x) {
+      out.push_back(static_cast<OpIndex>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<OpIndex> History::projection_i_plus_w(ProcessId p) const {
+  std::vector<OpIndex> out;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].is_write() || ops_[i].proc == p) {
+      out.push_back(static_cast<OpIndex>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<OpIndex> History::resolve_read_from() const {
+  // Index writes by provenance and by (var, value).
+  std::map<WriteId, OpIndex> by_id;
+  std::map<std::pair<VarId, Value>, std::vector<OpIndex>> by_value;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    if (!op.is_write()) continue;
+    by_id[op.write_id] = static_cast<OpIndex>(i);
+    by_value[{op.var, op.value}].push_back(static_cast<OpIndex>(i));
+  }
+
+  std::vector<OpIndex> source(ops_.size(), kNoOp);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Operation& op = ops_[i];
+    if (!op.is_read()) continue;
+    if (op.write_id == kInitialWrite) continue;  // r(x)⊥
+    if (op.write_id.valid()) {
+      auto it = by_id.find(op.write_id);
+      if (it == by_id.end()) {
+        throw std::logic_error("resolve_read_from: read " + op.to_string() +
+                               " has provenance of an unknown write");
+      }
+      source[i] = it->second;
+      continue;
+    }
+    // Unresolved: match by unique (var, value).
+    auto it = by_value.find({op.var, op.value});
+    if (it == by_value.end() || it->second.empty()) {
+      throw std::logic_error("resolve_read_from: read " + op.to_string() +
+                             " returns a value never written");
+    }
+    if (it->second.size() > 1) {
+      throw std::logic_error(
+          "resolve_read_from: read " + op.to_string() +
+          " is ambiguous (value written more than once; give provenance)");
+    }
+    source[i] = it->second.front();
+  }
+  return source;
+}
+
+bool History::read_from_resolvable() const {
+  try {
+    (void)resolve_read_from();
+    return true;
+  } catch (const std::logic_error&) {
+    return false;
+  }
+}
+
+std::string History::to_string() const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < per_process_.size(); ++p) {
+    os << 'p' << p << ':';
+    for (OpIndex i : per_process_[p]) {
+      os << ' ' << ops_[static_cast<std::size_t>(i)].to_string();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pardsm::hist

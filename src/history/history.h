@@ -1,0 +1,83 @@
+// Histories: collections of local histories, one per application process.
+//
+// H = <h_1, ..., h_n>, each h_i the sequence of operations invoked by
+// ap_i.  This class stores O_H flat (global OpIndex order is insertion
+// order) and maintains per-process sequences.  It also resolves the
+// read-from relation: either exactly from write provenance (recorded
+// protocol runs) or by unique-value matching (hand-written examples).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "history/operation.h"
+
+namespace pardsm::hist {
+
+/// A complete history H over n processes and m variables.
+class History {
+ public:
+  /// An empty default-constructed history has no processes and no
+  /// variables; useful only as a placeholder to assign into.
+  explicit History(std::size_t process_count = 0, std::size_t var_count = 0);
+
+  /// Append a write w_proc(var)value to h_proc.  Returns the new op's
+  /// global index.  The write's WriteId seq is assigned automatically
+  /// (writer-local write count) unless `explicit_id` is provided.
+  OpIndex push_write(ProcessId proc, VarId var, Value value,
+                     std::optional<WriteId> explicit_id = std::nullopt);
+
+  /// Append a read r_proc(var)value.  `source` is the provenance of the
+  /// write read from; omit it for hand-built histories (it will be
+  /// resolved by unique-value matching) and pass kInitialWrite for r(x)⊥.
+  OpIndex push_read(ProcessId proc, VarId var, Value value,
+                    std::optional<WriteId> source = std::nullopt);
+
+  /// Set the real-time interval of an operation (protocol recorders).
+  void set_interval(OpIndex op, TimePoint invoked, TimePoint responded);
+
+  [[nodiscard]] std::size_t process_count() const { return per_process_.size(); }
+  [[nodiscard]] std::size_t var_count() const { return var_count_; }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+
+  [[nodiscard]] const Operation& op(OpIndex i) const;
+  [[nodiscard]] const std::vector<Operation>& ops() const { return ops_; }
+
+  /// Global indices of the operations of h_i, in program order.
+  [[nodiscard]] const std::vector<OpIndex>& ops_of(ProcessId p) const;
+
+  /// Global indices of every write in O_H (in global insertion order).
+  [[nodiscard]] std::vector<OpIndex> writes() const;
+
+  /// Global indices of every write on variable x.
+  [[nodiscard]] std::vector<OpIndex> writes_on(VarId x) const;
+
+  /// The paper's H_{i+w}: all operations of h_i plus all writes of H.
+  /// Returned in a deterministic order (global index order).
+  [[nodiscard]] std::vector<OpIndex> projection_i_plus_w(ProcessId p) const;
+
+  /// Resolve the read-from source of every read.
+  ///
+  /// Returns, for each op index, the global index of the write it reads
+  /// from (kNoOp for writes and for reads of ⊥).  Resolution uses write
+  /// provenance when present, else unique (var, value) matching.  Throws
+  /// std::logic_error when a read's source is ambiguous (two writes wrote
+  /// the same value to the same variable and no provenance is available)
+  /// or missing (value never written).
+  [[nodiscard]] std::vector<OpIndex> resolve_read_from() const;
+
+  /// True if every value in the history could be resolved.
+  [[nodiscard]] bool read_from_resolvable() const;
+
+  /// Multi-line rendering of all local histories (diffable; tests use it).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t var_count_;
+  std::vector<Operation> ops_;
+  std::vector<std::vector<OpIndex>> per_process_;
+  std::vector<std::int64_t> writes_by_proc_;  ///< per-writer write counter
+};
+
+}  // namespace pardsm::hist

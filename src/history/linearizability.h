@@ -1,0 +1,31 @@
+// Linearizability (atomicity [12]) checking for register histories.
+//
+// Atomicity is the strongest criterion the paper mentions; it is defined
+// over real-time operation intervals, which recorded protocol histories
+// carry (Operation::invoked/responded).  By the locality property of
+// linearizability, a register history is linearizable iff each variable's
+// subhistory is, so the check decomposes per variable and reuses the exact
+// serialization finder with the real-time precedence relation.
+#pragma once
+
+#include "history/history.h"
+#include "history/serialization.h"
+
+namespace pardsm::hist {
+
+/// Result of a linearizability check.
+struct LinearizabilityResult {
+  bool linearizable = false;
+  bool definitive = true;  ///< false if a per-variable search hit its budget
+  /// Per-variable linearization witnesses (global op indices), var-indexed;
+  /// empty vectors for variables with no operations.
+  std::vector<std::vector<OpIndex>> witnesses;
+};
+
+/// Check whether `h` (with populated operation intervals) is linearizable.
+/// Operations with zero-width unset intervals are treated as concurrent
+/// with everything, which can only make the check more permissive.
+[[nodiscard]] LinearizabilityResult check_linearizable(
+    const History& h, const SearchOptions& options = {});
+
+}  // namespace pardsm::hist

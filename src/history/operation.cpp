@@ -1,0 +1,23 @@
+#include "history/operation.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace pardsm::hist {
+
+std::string Operation::to_string() const {
+  std::ostringstream os;
+  os << (is_write() ? 'w' : 'r') << proc << "(x" << var << ')';
+  if (value == kBottom) {
+    os << "⊥";
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Operation& op) {
+  return os << op.to_string();
+}
+
+}  // namespace pardsm::hist

@@ -1,0 +1,53 @@
+// Read/write operations — the paper's w_i(x)v and r_i(x)v.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "simnet/ids.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm::hist {
+
+/// Global index of an operation inside a History (position in O_H).
+using OpIndex = std::int32_t;
+
+/// Sentinel "no operation", used e.g. for the source of a read that
+/// returned the initial value ⊥.
+inline constexpr OpIndex kNoOp = -1;
+
+/// One shared-memory operation.
+struct Operation {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+
+  Kind kind = Kind::kRead;
+  ProcessId proc = kNoProcess;  ///< invoking application process ap_i
+  VarId var = kNoVar;           ///< accessed variable x_h
+  Value value = kBottom;        ///< value written, or value returned
+
+  /// Position of this operation in its process's local history h_i.
+  std::int32_t proc_seq = -1;
+
+  /// For writes: the write's own provenance id (writer, per-writer seq).
+  /// For reads: the WriteId of the write whose value was returned, or
+  /// kInitialWrite when the read returned ⊥.
+  WriteId write_id{};
+
+  /// Real-time interval, filled by protocol recorders; used only by the
+  /// linearizability checker.  Both zero when unknown.
+  TimePoint invoked{};
+  TimePoint responded{};
+
+  [[nodiscard]] bool is_read() const { return kind == Kind::kRead; }
+  [[nodiscard]] bool is_write() const { return kind == Kind::kWrite; }
+
+  /// Compact rendering, e.g. "w1(x2)5" / "r3(x0)⊥".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Operation& op);
+
+}  // namespace pardsm::hist

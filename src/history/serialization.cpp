@@ -1,0 +1,331 @@
+#include "history/serialization.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "simnet/check.h"
+
+namespace pardsm::hist {
+
+namespace {
+
+/// Dynamic bitmask over local op indices (histories can exceed 64 ops).
+class Mask {
+ public:
+  explicit Mask(std::size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void set(std::size_t i) { words_[i / 64] |= (1ULL << (i % 64)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+  /// True if all bits of `other` are set in *this.
+  [[nodiscard]] bool contains(const Mask& other) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if ((other.words_[w] & ~words_[w]) != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+struct StateKey {
+  std::vector<std::uint64_t> packed;  // mask words + last-write vector
+  friend bool operator==(const StateKey&, const StateKey&) = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const {
+    std::uint64_t acc = 0x9E3779B97F4A7C15ULL;
+    for (std::uint64_t w : k.packed) {
+      acc ^= w + 0x9E3779B97F4A7C15ULL + (acc << 6) + (acc >> 2);
+    }
+    return static_cast<std::size_t>(acc);
+  }
+};
+
+/// Search context: everything indexed by *local* op index (position in the
+/// subset).
+struct Search {
+  const History& h;
+  std::vector<OpIndex> subset;           // local -> global
+  std::vector<std::int32_t> local_var;   // local -> compact var index
+  std::vector<std::int32_t> read_src;    // local -> local source write or -1
+  std::vector<bool> is_bottom_read;      // local -> reads ⊥?
+  std::vector<Mask> preds;               // local -> predecessor mask
+  std::size_t k = 0;                     // subset size
+  std::size_t nvars = 0;                 // compact var count
+  std::uint64_t max_states = 0;
+  std::uint64_t states = 0;
+  std::unordered_set<StateKey, StateKeyHash> failed;
+
+  std::vector<std::int32_t> placed_order;  // local indices, search stack
+  Mask placed;
+  std::vector<std::int32_t> last_write;    // compact var -> local op or -1
+  std::vector<std::int32_t> placed_count_pred;  // #placed preds per op
+
+  explicit Search(const History& hist) : h(hist), placed(1) {}
+
+  [[nodiscard]] StateKey key() const {
+    StateKey k2;
+    k2.packed = placed.words();
+    for (std::int32_t lw : last_write) {
+      k2.packed.push_back(static_cast<std::uint64_t>(lw + 1));
+    }
+    return k2;
+  }
+
+  /// Is placing local op `v` next legal w.r.t. read semantics?
+  [[nodiscard]] bool read_legal(std::size_t v) const {
+    const Operation& op = h.op(subset[v]);
+    if (!op.is_read()) return true;
+    const std::int32_t lw = last_write[static_cast<std::size_t>(local_var[v])];
+    if (is_bottom_read[v]) return lw == -1;
+    return lw == read_src[v];
+  }
+
+  bool dfs() {
+    if (placed_order.size() == k) return true;
+    if (++states > max_states) return false;  // caller inspects budget
+    const StateKey memo_key = key();
+    if (failed.contains(memo_key)) return false;
+
+    for (std::size_t v = 0; v < k; ++v) {
+      if (placed.test(v)) continue;
+      if (placed_count_pred[v] != 0) continue;  // unplaced predecessors
+      if (!read_legal(v)) continue;
+
+      // Place v.
+      placed.set(v);
+      placed_order.push_back(static_cast<std::int32_t>(v));
+      const Operation& op = h.op(subset[v]);
+      const auto cv = static_cast<std::size_t>(local_var[v]);
+      const std::int32_t saved_lw = last_write[cv];
+      if (op.is_write()) last_write[cv] = static_cast<std::int32_t>(v);
+      std::vector<std::size_t> decremented;
+      for (std::size_t b = 0; b < k; ++b) {
+        if (preds_has(b, v)) {
+          --placed_count_pred[b];
+          decremented.push_back(b);
+        }
+      }
+
+      if (dfs()) return true;
+      if (states > max_states) return false;
+
+      // Undo.
+      for (std::size_t b : decremented) ++placed_count_pred[b];
+      last_write[cv] = saved_lw;
+      placed_order.pop_back();
+      rebuild_placed_mask();
+    }
+
+    failed.insert(memo_key);
+    return false;
+  }
+
+  // -- helpers over the predecessor masks ---------------------------------
+  [[nodiscard]] bool preds_has(std::size_t b, std::size_t a) const {
+    return preds[b].test(a);
+  }
+  void rebuild_placed_mask() {
+    // Mask has no clear(); rebuild via placed_order (cheap at our sizes).
+    Mask fresh(k);
+    for (std::int32_t u : placed_order) {
+      fresh.set(static_cast<std::size_t>(u));
+    }
+    placed = fresh;
+  }
+};
+
+}  // namespace
+
+SerializationResult find_serialization(const History& h,
+                                       const std::vector<OpIndex>& subset,
+                                       const Relation& constraint,
+                                       const SearchOptions& options) {
+  SerializationResult result;
+  const std::size_t k = subset.size();
+  if (k == 0) {
+    result.verdict = SearchVerdict::kSerializable;
+    return result;
+  }
+
+  // Map global -> local.
+  std::map<OpIndex, std::int32_t> to_local;
+  for (std::size_t i = 0; i < k; ++i) {
+    to_local[subset[i]] = static_cast<std::int32_t>(i);
+  }
+
+  // Compact variable ids.
+  std::map<VarId, std::int32_t> var_compact;
+  for (OpIndex g : subset) {
+    var_compact.emplace(h.op(g).var,
+                        static_cast<std::int32_t>(var_compact.size()));
+  }
+
+  // Read sources (local).  A read whose source write is outside the subset
+  // can never be legal (its value's writer is not in S).
+  const auto global_src = h.resolve_read_from();
+  std::vector<std::int32_t> read_src(k, -1);
+  std::vector<bool> bottom_read(k, false);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Operation& op = h.op(subset[i]);
+    if (!op.is_read()) continue;
+    const OpIndex s = global_src[static_cast<std::size_t>(subset[i])];
+    if (s == kNoOp) {
+      bottom_read[i] = true;
+      continue;
+    }
+    auto it = to_local.find(s);
+    if (it == to_local.end()) {
+      result.verdict = SearchVerdict::kNotSerializable;
+      result.refuted_by_propagation = true;
+      return result;
+    }
+    read_src[i] = it->second;
+  }
+
+  // Local constraint, transitively closed.
+  Relation local = constraint.restrict_to(subset).closure();
+
+  // Forced-edge propagation to fixpoint.
+  //   For read r from w on x, other write w' on x:
+  //     w  -> w'  forces  r  -> w'
+  //     w' -> r   forces  w' -> w
+  //   For a ⊥-read r on x: every write w' on x is forced after r.
+  std::vector<std::vector<std::size_t>> writes_per_var(var_compact.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const Operation& op = h.op(subset[i]);
+    if (op.is_write()) {
+      writes_per_var[static_cast<std::size_t>(var_compact[op.var])].push_back(
+          i);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t r = 0; r < k; ++r) {
+      const Operation& op = h.op(subset[r]);
+      if (!op.is_read()) continue;
+      const auto cv = static_cast<std::size_t>(var_compact[op.var]);
+      if (bottom_read[r]) {
+        for (std::size_t w2 : writes_per_var[cv]) {
+          if (!local.has(r, w2)) {
+            local.add(r, w2);
+            changed = true;
+          }
+        }
+        continue;
+      }
+      const auto w = static_cast<std::size_t>(read_src[r]);
+      for (std::size_t w2 : writes_per_var[cv]) {
+        if (w2 == w) continue;
+        if (local.has(w, w2) && !local.has(r, w2)) {
+          local.add(r, w2);
+          changed = true;
+        }
+        if (local.has(w2, r) && !local.has(w2, w)) {
+          local.add(w2, w);
+          changed = true;
+        }
+      }
+    }
+    if (changed) local.close();
+  }
+  if (!local.is_acyclic()) {
+    result.verdict = SearchVerdict::kNotSerializable;
+    result.refuted_by_propagation = true;
+    return result;
+  }
+
+  // Backtracking search.
+  Search search(h);
+  search.subset = subset;
+  search.k = k;
+  search.nvars = var_compact.size();
+  search.max_states = options.max_states;
+  search.local_var.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    search.local_var[i] = var_compact[h.op(subset[i]).var];
+  }
+  search.read_src = read_src;
+  search.is_bottom_read = bottom_read;
+  search.preds.assign(k, Mask(k));
+  search.placed_count_pred.assign(k, 0);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < k; ++b) {
+      if (a != b && local.has(a, b)) {
+        search.preds[b].set(a);
+        ++search.placed_count_pred[b];
+      }
+    }
+  }
+  search.placed = Mask(k);
+  search.last_write.assign(var_compact.size(), -1);
+
+  const bool found = search.dfs();
+  result.states_explored = search.states;
+  if (found) {
+    result.verdict = SearchVerdict::kSerializable;
+    result.order.reserve(k);
+    for (std::int32_t v : search.placed_order) {
+      result.order.push_back(subset[static_cast<std::size_t>(v)]);
+    }
+  } else if (search.states > options.max_states) {
+    result.verdict = SearchVerdict::kUnknown;
+  } else {
+    result.verdict = SearchVerdict::kNotSerializable;
+  }
+  return result;
+}
+
+bool is_legal_serialization(const History& h,
+                            const std::vector<OpIndex>& subset,
+                            const std::vector<OpIndex>& order,
+                            const Relation& constraint) {
+  if (order.size() != subset.size()) return false;
+  {
+    auto a = subset;
+    auto b = order;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    if (a != b) return false;
+  }
+  // Precedence respected (constraint over global indices).
+  std::map<OpIndex, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (OpIndex a : order) {
+    for (OpIndex b : order) {
+      if (a != b &&
+          constraint.has(static_cast<std::size_t>(a),
+                         static_cast<std::size_t>(b)) &&
+          pos[a] >= pos[b]) {
+        return false;
+      }
+    }
+  }
+  // Read legality.
+  const auto src = h.resolve_read_from();
+  std::map<VarId, OpIndex> last_write;
+  for (OpIndex g : order) {
+    const Operation& op = h.op(g);
+    if (op.is_write()) {
+      last_write[op.var] = g;
+      continue;
+    }
+    const OpIndex expect = src[static_cast<std::size_t>(g)];
+    auto it = last_write.find(op.var);
+    const OpIndex got = (it == last_write.end()) ? kNoOp : it->second;
+    if (got != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace pardsm::hist

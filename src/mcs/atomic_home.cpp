@@ -1,0 +1,201 @@
+#include "mcs/atomic_home.h"
+
+#include <algorithm>
+
+namespace pardsm::mcs {
+
+namespace {
+
+struct ReadRequest final : MessageBody {
+  VarId x = kNoVar;
+  std::uint64_t rpc = 0;
+};
+
+struct ReadReply final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId source{};
+  std::uint64_t rpc = 0;
+};
+
+struct WriteRequest final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  std::uint64_t rpc = 0;
+};
+
+struct WriteAck final : MessageBody {
+  VarId x = kNoVar;
+  std::uint64_t rpc = 0;
+};
+
+struct Refresh final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+};
+
+}  // namespace
+
+AtomicHomeProcess::AtomicHomeProcess(ProcessId self,
+                                     const graph::Distribution& dist,
+                                     HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder) {}
+
+ProcessId AtomicHomeProcess::home_of(VarId x) const {
+  const auto replicas = distribution().replicas_of(x);
+  PARDSM_CHECK(!replicas.empty(), "variable with no replicas");
+  return replicas.front();
+}
+
+void AtomicHomeProcess::read(VarId x, ReadCallback done) {
+  PARDSM_CHECK(replicates(x), "application read outside X_i");
+  const ProcessId home = home_of(x);
+  if (home == id()) {
+    // The authoritative copy is local: linearization point is here.
+    local_read(x, done);
+    return;
+  }
+  ++mutable_stats().remote_reads;
+  const std::uint64_t rpc = next_rpc_++;
+  pending_reads_[rpc] = std::move(done);
+  rpc_invoked_[rpc] = now();
+
+  auto body = std::make_shared<ReadRequest>();
+  body->x = x;
+  body->rpc = rpc;
+  MessageMeta meta;
+  meta.kind = "RREQ";
+  meta.control_bytes = 8 + 8;
+  meta.vars_mentioned = {x};
+  transport().send(id(), home, std::move(body), meta);
+}
+
+void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  const ProcessId home = home_of(x);
+  const WriteId wid{id(), next_write_seq_++};
+  if (home == id()) {
+    const TimePoint t = now();
+    mutable_store().put(x, v, wid);
+    recorder().record_write(id(), x, v, wid, t, t);
+    ++mutable_stats().writes;
+    // Refresh the standby replicas.
+    auto refresh = std::make_shared<Refresh>();
+    refresh->x = x;
+    refresh->v = v;
+    refresh->id = wid;
+    MessageMeta meta;
+    meta.kind = "RFSH";
+    meta.control_bytes = 16 + 8;
+    meta.payload_bytes = 8;
+    meta.vars_mentioned = {x};
+    for (ProcessId q : distribution().replicas_of(x)) {
+      if (q != id()) transport().send(id(), q, refresh, meta);
+    }
+    done();
+    return;
+  }
+  ++mutable_stats().writes;
+  const std::uint64_t rpc = next_rpc_++;
+  PendingWrite pending;
+  pending.x = x;
+  pending.v = v;
+  pending.id = wid;
+  pending.done = std::move(done);
+  pending.invoked = now();
+  pending_writes_[rpc] = std::move(pending);
+
+  auto body = std::make_shared<WriteRequest>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->rpc = rpc;
+  MessageMeta meta;
+  meta.kind = "WREQ";
+  meta.control_bytes = 16 + 8 + 8;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+  transport().send(id(), home, std::move(body), meta);
+}
+
+void AtomicHomeProcess::on_message(const Message& m) {
+  if (const auto* rr = m.as<ReadRequest>()) {
+    PARDSM_CHECK(home_of(rr->x) == id(), "read request at non-home");
+    const Stored& s = mutable_store().get(rr->x);
+    auto reply = std::make_shared<ReadReply>();
+    reply->x = rr->x;
+    reply->v = s.value;
+    reply->source = s.source;
+    reply->rpc = rr->rpc;
+    MessageMeta meta;
+    meta.kind = "RRSP";
+    meta.control_bytes = 16 + 8 + 8;
+    meta.payload_bytes = 8;
+    meta.vars_mentioned = {rr->x};
+    transport().send(id(), m.from, std::move(reply), meta);
+    return;
+  }
+  if (const auto* reply = m.as<ReadReply>()) {
+    auto it = pending_reads_.find(reply->rpc);
+    if (it == pending_reads_.end()) return;  // duplicated reply
+    auto done = std::move(it->second);
+    pending_reads_.erase(it);
+    const TimePoint invoked = rpc_invoked_[reply->rpc];
+    rpc_invoked_.erase(reply->rpc);
+    recorder().record_read(id(), reply->x, reply->v, reply->source, invoked,
+                           now());
+    done(reply->v);
+    return;
+  }
+  if (const auto* wr = m.as<WriteRequest>()) {
+    PARDSM_CHECK(home_of(wr->x) == id(), "write request at non-home");
+    // Apply at most once (duplicated requests re-ack but must not revert
+    // the authoritative copy to an older value).
+    if (applied_ids_.insert(wr->id).second) {
+      mutable_store().put(wr->x, wr->v, wr->id);
+      ++mutable_stats().updates_applied;
+    }
+    // Refresh standbys (everyone in C(x) except home and writer).
+    auto refresh = std::make_shared<Refresh>();
+    refresh->x = wr->x;
+    refresh->v = wr->v;
+    refresh->id = wr->id;
+    MessageMeta rmeta;
+    rmeta.kind = "RFSH";
+    rmeta.control_bytes = 16 + 8;
+    rmeta.payload_bytes = 8;
+    rmeta.vars_mentioned = {wr->x};
+    for (ProcessId q : distribution().replicas_of(wr->x)) {
+      if (q != id() && q != m.from) transport().send(id(), q, refresh, rmeta);
+    }
+    auto ack = std::make_shared<WriteAck>();
+    ack->x = wr->x;
+    ack->rpc = wr->rpc;
+    MessageMeta meta;
+    meta.kind = "WACK";
+    meta.control_bytes = 8 + 8;
+    meta.vars_mentioned = {wr->x};
+    transport().send(id(), m.from, std::move(ack), meta);
+    return;
+  }
+  if (const auto* ack = m.as<WriteAck>()) {
+    auto it = pending_writes_.find(ack->rpc);
+    if (it == pending_writes_.end()) return;  // duplicated ack
+    PendingWrite pending = std::move(it->second);
+    pending_writes_.erase(it);
+    recorder().record_write(id(), pending.x, pending.v, pending.id,
+                            pending.invoked, now());
+    pending.done();
+    return;
+  }
+  PARDSM_CHECK(m.as<Refresh>() != nullptr, "atomic-home: unexpected body");
+  const auto* refresh = m.as<Refresh>();
+  // Standby copy; never read while this process is not the home.
+  if (replicates(refresh->x)) {
+    mutable_store().put(refresh->x, refresh->v, refresh->id);
+  }
+}
+
+}  // namespace pardsm::mcs

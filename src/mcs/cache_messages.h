@@ -1,0 +1,34 @@
+// Wire messages shared by the cache- and processor-consistency protocols.
+#pragma once
+
+#include <map>
+
+#include "simnet/message.h"
+
+namespace pardsm::mcs::detail {
+
+/// Writer -> home: please sequence this write.
+struct CacheWriteReq final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  TimePoint invoked{};
+  std::int64_t writer_seq = 0;
+  /// Per receiver q ∈ C(x): number of the writer's prior writes on
+  /// variables q replicates (processor consistency only; empty for cache).
+  std::map<ProcessId, std::int64_t> prior_counts;
+};
+
+/// Home -> C(x): the write, with its position in x's total order.
+struct CacheCommit final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  std::int64_t var_seq = 0;
+  ProcessId requester = kNoProcess;
+  TimePoint invoked{};
+  std::int64_t writer_seq = 0;
+  std::map<ProcessId, std::int64_t> prior_counts;
+};
+
+}  // namespace pardsm::mcs::detail

@@ -1,0 +1,167 @@
+#include "mcs/cache_partial.h"
+
+#include <algorithm>
+
+#include "mcs/cache_messages.h"
+
+namespace pardsm::mcs {
+
+CachePartialProcess::CachePartialProcess(ProcessId self,
+                                         const graph::Distribution& dist,
+                                         HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder) {}
+
+ProcessId CachePartialProcess::home_of(VarId x) const {
+  const auto replicas = distribution().replicas_of(x);
+  PARDSM_CHECK(!replicas.empty(), "variable with no replicas");
+  return replicas.front();
+}
+
+void CachePartialProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void CachePartialProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  const WriteId wid{id(), next_write_seq_};
+  const std::int64_t writer_seq = next_write_seq_++;
+  const TimePoint t = now();
+
+  PendingWrite pending;
+  pending.x = x;
+  pending.v = v;
+  pending.id = wid;
+  pending.done = std::move(done);
+  pending.invoked = t;
+  waiting_[wid] = std::move(pending);
+  ++mutable_stats().writes;
+
+  const auto priors = prior_counts_for(x);
+
+  if (home_of(x) == id()) {
+    sequence(x, v, wid, id(), t, writer_seq, priors);
+    return;
+  }
+  auto body = std::make_shared<detail::CacheWriteReq>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->invoked = t;
+  body->writer_seq = writer_seq;
+  body->prior_counts = priors;
+
+  MessageMeta meta;
+  meta.kind = "CWRQ";
+  meta.control_bytes = 16 + 8 + 8 + 16 * priors.size();
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+  transport().send(id(), home_of(x), std::move(body), meta);
+}
+
+std::map<ProcessId, std::int64_t> CachePartialProcess::prior_counts_for(
+    VarId) {
+  return {};  // plain cache consistency needs no cross-variable metadata
+}
+
+void CachePartialProcess::sequence(
+    VarId x, Value v, WriteId wid, ProcessId requester, TimePoint invoked,
+    std::int64_t writer_seq,
+    const std::map<ProcessId, std::int64_t>& prior_counts) {
+  PARDSM_CHECK(home_of(x) == id(), "sequence() at non-home");
+  const std::int64_t seq = ++var_seq_[x];
+
+  auto body = std::make_shared<detail::CacheCommit>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->var_seq = seq;
+  body->requester = requester;
+  body->invoked = invoked;
+  body->writer_seq = writer_seq;
+  body->prior_counts = prior_counts;
+
+  MessageMeta meta;
+  meta.kind = "CCMT";
+  meta.control_bytes = 16 + 8 + 8 + 8 + 8 + 16 * prior_counts.size();
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+
+  for (ProcessId q : distribution().replicas_of(x)) {
+    if (q == id()) continue;
+    transport().send(id(), q, body, meta);
+  }
+  // Home-local copy of the commit.
+  Message self_msg;
+  self_msg.from = id();
+  self_msg.to = id();
+  self_msg.body = body;
+  self_msg.meta = meta;
+  handle_commit(self_msg);
+}
+
+void CachePartialProcess::handle_commit(const Message& m) {
+  if (commit_ready(m)) {
+    apply_commit(m);
+    // Applying one commit can unblock buffered ones (PC subclass).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+        if (commit_ready(*it)) {
+          const Message msg = *it;
+          buffer_.erase(it);
+          apply_commit(msg);
+          progress = true;
+          break;
+        }
+      }
+    }
+  } else {
+    buffer_.push_back(m);
+    mutable_stats().max_buffer_depth =
+        std::max(mutable_stats().max_buffer_depth,
+                 static_cast<std::uint64_t>(buffer_.size()));
+  }
+}
+
+bool CachePartialProcess::commit_ready(const Message&) { return true; }
+
+void CachePartialProcess::apply_commit(const Message& m) {
+  const auto* c = m.as<detail::CacheCommit>();
+  PARDSM_CHECK(c != nullptr, "cache: unexpected commit body");
+  // Duplicate suppression: originals arrive in var_seq order (FIFO from
+  // the home); a late duplicate must not revert the replica.
+  auto [seq_it, first] = applied_var_seq_.try_emplace(c->x, 0);
+  if (c->var_seq <= seq_it->second) return;
+  seq_it->second = c->var_seq;
+
+  if (replicates(c->x)) {
+    mutable_store().put(c->x, c->v, c->id);
+    ++mutable_stats().updates_applied;
+  }
+  on_applied(c->id.writer);
+  if (c->requester == id()) {
+    auto it = waiting_.find(c->id);
+    if (it == waiting_.end()) return;  // duplicated own commit
+    PendingWrite pending = std::move(it->second);
+    waiting_.erase(it);
+    recorder().record_write(id(), pending.x, pending.v, pending.id,
+                            pending.invoked, now());
+    pending.done();
+  }
+}
+
+void CachePartialProcess::on_applied(ProcessId) {}
+
+void CachePartialProcess::on_message(const Message& m) {
+  if (const auto* req = m.as<detail::CacheWriteReq>()) {
+    sequence(req->x, req->v, req->id, m.from, req->invoked, req->writer_seq,
+             req->prior_counts);
+    return;
+  }
+  PARDSM_CHECK(m.as<detail::CacheCommit>() != nullptr,
+               "cache: unexpected message body");
+  handle_commit(m);
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,84 @@
+// Cache consistency (Goodman) with partial replication — extension №1
+// toward the paper's open question.
+//
+// The conclusion of the paper asks whether a criterion *stronger than
+// PRAM* admits efficient partial replication.  As a stepping stone, cache
+// consistency — per-variable sequential consistency, incomparable to PRAM
+// (it totally orders each variable's writes but ignores cross-variable
+// program order) — is efficiently implementable: each variable elects a
+// home inside C(x) that sequences its writes; commits multicast within
+// C(x) only; no process outside C(x) ever hears about x.
+//
+// Writes block until the writer receives its own commit (so a process's
+// later reads of the variable see its own write — required by
+// per-variable SC); reads are wait-free local reads.
+//
+// The class is deliberately subclassable: ProcessorPartialProcess layers
+// cross-variable per-writer ordering on top (see processor_partial.h).
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "mcs/protocol.h"
+
+namespace pardsm::mcs {
+
+/// One process of the per-variable-sequencer cache-consistency protocol.
+class CachePartialProcess : public McsProcess {
+ public:
+  CachePartialProcess(ProcessId self, const graph::Distribution& dist,
+                      HistoryRecorder& recorder);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::string name() const override { return "cache-partial"; }
+  [[nodiscard]] bool wait_free() const override { return false; }
+
+  /// Home of variable x: the lowest-id member of C(x).
+  [[nodiscard]] ProcessId home_of(VarId x) const;
+
+ protected:
+  struct PendingWrite {
+    VarId x = kNoVar;
+    Value v = kBottom;
+    WriteId id{};
+    WriteCallback done;
+    TimePoint invoked{};
+  };
+
+  /// Metadata the processor-consistency subclass attaches to a write: per
+  /// prospective receiver, the count of this writer's prior writes the
+  /// receiver replicates.  Plain cache consistency returns {}.
+  [[nodiscard]] virtual std::map<ProcessId, std::int64_t> prior_counts_for(
+      VarId x);
+
+  /// Hook: may this commit be applied now?  (PC buffers out-of-order
+  /// cross-variable commits; plain cache never buffers.)
+  [[nodiscard]] virtual bool commit_ready(const Message& m);
+
+  /// Hook: a commit by `writer` has just been applied here.
+  virtual void on_applied(ProcessId writer);
+
+  /// Deliver a commit: apply immediately or buffer until ready.
+  void handle_commit(const Message& m);
+
+  /// Apply one commit (store update + completion of own writes).
+  void apply_commit(const Message& m);
+
+  /// Home side: assign the next per-variable sequence number & multicast.
+  void sequence(VarId x, Value v, WriteId id, ProcessId requester,
+                TimePoint invoked, std::int64_t writer_seq,
+                const std::map<ProcessId, std::int64_t>& prior_counts);
+
+  std::int64_t next_write_seq_ = 0;
+  std::map<VarId, std::int64_t> var_seq_;  ///< home-side per-var counters
+  std::map<WriteId, PendingWrite> waiting_;
+  std::deque<Message> buffer_;  ///< commits awaiting commit_ready (PC)
+  /// Duplicate suppression: highest var_seq applied per variable.
+  std::map<VarId, std::int64_t> applied_var_seq_;
+};
+
+}  // namespace pardsm::mcs

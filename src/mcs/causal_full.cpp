@@ -1,0 +1,98 @@
+#include "mcs/causal_full.h"
+
+#include <algorithm>
+
+namespace pardsm::mcs {
+
+namespace {
+
+/// Body of a full-replication causal update.
+struct CausalUpdate final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  VectorClock vc;
+};
+
+/// All variables of the distribution (full replication ignores X_i for
+/// storage purposes; the *application* still only accesses X_i).
+std::vector<VarId> all_vars(const graph::Distribution& dist) {
+  std::vector<VarId> out(dist.var_count);
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    out[x] = static_cast<VarId>(x);
+  }
+  return out;
+}
+
+}  // namespace
+
+CausalFullProcess::CausalFullProcess(ProcessId self,
+                                     const graph::Distribution& dist,
+                                     HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder), vc_(dist.process_count()) {
+  // Replace the partial store with a complete one.
+  mutable_store() = ReplicaStore(all_vars(dist));
+}
+
+void CausalFullProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void CausalFullProcess::write(VarId x, Value v, WriteCallback done) {
+  vc_.increment(id());
+  const WriteId wid{id(), next_write_seq_++};
+  const TimePoint t = now();
+  mutable_store().put(x, v, wid);
+  recorder().record_write(id(), x, v, wid, t, t);
+  ++mutable_stats().writes;
+
+  auto body = std::make_shared<CausalUpdate>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->vc = vc_;
+
+  MessageMeta meta;
+  meta.kind = "CUPD";
+  meta.control_bytes = vc_.wire_bytes() + 16 /*write id*/ + 8 /*var*/;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+
+  const auto n = static_cast<ProcessId>(transport().process_count());
+  for (ProcessId q = 0; q < n; ++q) {
+    if (q == id()) continue;
+    transport().send(id(), q, body, meta);
+  }
+  done();
+}
+
+void CausalFullProcess::on_message(const Message& m) {
+  buffer_.push_back(m);
+  mutable_stats().max_buffer_depth = std::max(
+      mutable_stats().max_buffer_depth,
+      static_cast<std::uint64_t>(buffer_.size()));
+  try_deliver();
+}
+
+void CausalFullProcess::try_deliver() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      const auto* u = it->as<CausalUpdate>();
+      PARDSM_CHECK(u != nullptr, "causal-full: unexpected message body");
+      if (!vc_.ready_from(u->vc, it->from)) {
+        ++mutable_stats().updates_buffered;
+        continue;
+      }
+      vc_.merge(u->vc);
+      mutable_store().put(u->x, u->v, u->id);
+      ++mutable_stats().updates_applied;
+      buffer_.erase(it);
+      progress = true;
+      break;
+    }
+  }
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,44 @@
+// Causal consistency with complete replication (the classical baseline).
+//
+// Ahamad et al. [3]-style protocol: every process replicates every
+// variable; a write is applied locally (wait-free) and broadcast with the
+// writer's vector clock; receivers delay updates until causally ready.
+//
+// Control information per update: an n-entry vector clock — and the update
+// goes to *everyone*.  This is the "complete replication avoids
+// scalability" strawman of the paper's introduction, measured in
+// bench_control_overhead.
+#pragma once
+
+#include <deque>
+
+#include "mcs/protocol.h"
+#include "mcs/vector_clock.h"
+
+namespace pardsm::mcs {
+
+/// One process of the full-replication causal protocol.
+class CausalFullProcess final : public McsProcess {
+ public:
+  CausalFullProcess(ProcessId self, const graph::Distribution& dist,
+                    HistoryRecorder& recorder);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::string name() const override { return "causal-full"; }
+  [[nodiscard]] bool wait_free() const override { return true; }
+
+  [[nodiscard]] const VectorClock& clock() const { return vc_; }
+
+ private:
+  struct Update;
+  void try_deliver();
+
+  VectorClock vc_;
+  std::int64_t next_write_seq_ = 0;
+  std::deque<Message> buffer_;
+};
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,165 @@
+#include "mcs/causal_partial_adhoc.h"
+
+#include <algorithm>
+
+namespace pardsm::mcs {
+
+namespace {
+
+/// Hoop-routed causal message.  `deps` holds the sender's seen-counters
+/// restricted to variables the receiver tracks; `var_seq` is the
+/// per-(writer, x) sequence number of this write (1-based).
+struct AdHocMsg final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  bool has_value = false;
+  WriteId id{};
+  std::int64_t var_seq = 0;
+  std::vector<std::pair<VarId, std::vector<std::int64_t>>> deps;
+};
+
+}  // namespace
+
+std::shared_ptr<const StaticRelevance> StaticRelevance::analyze(
+    const graph::Distribution& dist) {
+  auto out = std::make_shared<StaticRelevance>();
+  const graph::ShareGraph sg(dist);
+  out->relevant = graph::all_relevant_sets(sg);
+  out->tracks.resize(dist.process_count());
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    for (ProcessId p : out->relevant[x]) {
+      out->tracks[static_cast<std::size_t>(p)].push_back(
+          static_cast<VarId>(x));
+    }
+  }
+  return out;
+}
+
+CausalPartialAdHocProcess::CausalPartialAdHocProcess(
+    ProcessId self, const graph::Distribution& dist,
+    HistoryRecorder& recorder,
+    std::shared_ptr<const StaticRelevance> analysis)
+    : McsProcess(self, dist, recorder), analysis_(std::move(analysis)) {
+  PARDSM_CHECK(analysis_ != nullptr, "ad-hoc protocol needs analysis");
+  for (VarId y : analysis_->tracks[static_cast<std::size_t>(self)]) {
+    seen_[y].assign(dist.process_count(), 0);
+  }
+}
+
+std::int64_t CausalPartialAdHocProcess::seen(VarId y, ProcessId k) const {
+  auto it = seen_.find(y);
+  if (it == seen_.end()) return 0;
+  return it->second[static_cast<std::size_t>(k)];
+}
+
+void CausalPartialAdHocProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  const WriteId wid{id(), next_write_seq_++};
+  const TimePoint t = now();
+
+  // Dependency snapshot BEFORE counting this write.
+  const auto snapshot = seen_;  // cheap at our variable counts
+  auto& own = seen_.at(x);
+  const std::int64_t var_seq = ++own[static_cast<std::size_t>(id())];
+
+  mutable_store().put(x, v, wid);
+  recorder().record_write(id(), x, v, wid, t, t);
+  ++mutable_stats().writes;
+
+  const auto& relevant = analysis_->relevant[static_cast<std::size_t>(x)];
+  const auto& dist = distribution();
+
+  for (ProcessId q : relevant) {
+    if (q == id()) continue;
+    const auto& q_tracks = analysis_->tracks[static_cast<std::size_t>(q)];
+
+    auto body = std::make_shared<AdHocMsg>();
+    body->x = x;
+    body->id = wid;
+    body->var_seq = var_seq;
+    body->has_value = dist.holds(q, x);
+    if (body->has_value) body->v = v;
+
+    // deps: snapshot restricted to variables q also tracks.
+    std::uint64_t dep_bytes = 0;
+    for (const auto& [y, counts] : snapshot) {
+      if (!std::binary_search(q_tracks.begin(), q_tracks.end(), y)) continue;
+      body->deps.emplace_back(y, counts);
+      dep_bytes += 8 + 8 * counts.size();
+    }
+
+    MessageMeta meta;
+    meta.kind = body->has_value ? "AUPD" : "ANOT";
+    meta.control_bytes = 16 /*write id*/ + 8 /*var*/ + 8 /*var_seq*/ +
+                         dep_bytes;
+    meta.payload_bytes = body->has_value ? 8 : 0;
+    meta.vars_mentioned = {x};
+
+    transport().send(id(), q, std::move(body), meta);
+  }
+  done();
+}
+
+void CausalPartialAdHocProcess::on_message(const Message& m) {
+  buffer_.push_back(m);
+  mutable_stats().max_buffer_depth = std::max(
+      mutable_stats().max_buffer_depth,
+      static_cast<std::uint64_t>(buffer_.size()));
+  try_deliver();
+}
+
+bool CausalPartialAdHocProcess::ready(const Message& m) const {
+  const auto* u = m.as<AdHocMsg>();
+  PARDSM_CHECK(u != nullptr, "ad-hoc: unexpected message body");
+
+  // Per-(writer, var) FIFO: this must be the next write of the sender on x
+  // that we incorporate.
+  auto it = seen_.find(u->x);
+  PARDSM_CHECK(it != seen_.end(),
+               "ad-hoc: received metadata for an untracked variable — "
+               "routing violates Theorem 1 sets");
+  if (it->second[static_cast<std::size_t>(m.from)] != u->var_seq - 1) {
+    return false;
+  }
+  // Dependency domination for every variable we track.
+  for (const auto& [y, counts] : u->deps) {
+    auto mine = seen_.find(y);
+    if (mine == seen_.end()) continue;  // not tracked here: not our concern
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      if (mine->second[k] < counts[k]) return false;
+    }
+  }
+  return true;
+}
+
+void CausalPartialAdHocProcess::deliver(const Message& m) {
+  const auto* u = m.as<AdHocMsg>();
+  seen_.at(u->x)[static_cast<std::size_t>(m.from)] = u->var_seq;
+  if (u->has_value && replicates(u->x)) {
+    mutable_store().put(u->x, u->v, u->id);
+    ++mutable_stats().updates_applied;
+  }
+}
+
+void CausalPartialAdHocProcess::try_deliver() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      if (!ready(*it)) {
+        ++mutable_stats().updates_buffered;
+        continue;
+      }
+      deliver(*it);
+      buffer_.erase(it);
+      progress = true;
+      break;
+    }
+  }
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,80 @@
+// Causal consistency with partial replication — distribution-aware
+// ("ad-hoc", §3.3 of the paper).
+//
+// When the variable distribution is known a priori, Theorem 1 pins exactly
+// who must learn about writes on x: the clique C(x) plus every process on
+// an x-hoop.  This protocol routes metadata accordingly:
+//
+//   * value updates  UPDATE(x,v)  →  C(x) \ {writer}
+//   * value-less     NOTIFY(x)    →  R(x) \ C(x)   (hoop members)
+//   * nobody else hears about x, ever.
+//
+// Dependency metadata is per-variable: each process tracks, for every
+// variable y with self ∈ R(y), how many writes per writer it has seen
+// (`seen[y][k]`).  A message carries the sender's seen-counters restricted
+// to variables both sender and receiver track; delivery waits until the
+// receiver's counters dominate them.  Correctness rests precisely on
+// Theorem 1: an application-level causal chain from a write on y to a
+// process r outside the metadata's reach would require an intermediary
+// lying on a y-hoop — but all y-hoop members are in R(y) and do receive
+// the y metadata.  (tests/test_causal_adhoc.cpp validates this against the
+// exact checker over a corpus of hoop-rich topologies.)
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mcs/protocol.h"
+#include "sharegraph/hoops.h"
+
+namespace pardsm::mcs {
+
+/// Offline share-graph analysis shared by all processes of a system.
+struct StaticRelevance {
+  /// relevant[x] = R(x) = C(x) ∪ hoop members (Theorem 1).
+  std::vector<std::set<ProcessId>> relevant;
+
+  /// tracks[p] = sorted variables y with p ∈ R(y).
+  std::vector<std::vector<VarId>> tracks;
+
+  /// Build from a distribution (enumerates nothing; polynomial).
+  static std::shared_ptr<const StaticRelevance> analyze(
+      const graph::Distribution& dist);
+};
+
+/// One process of the hoop-routed causal protocol.
+class CausalPartialAdHocProcess final : public McsProcess {
+ public:
+  CausalPartialAdHocProcess(ProcessId self, const graph::Distribution& dist,
+                            HistoryRecorder& recorder,
+                            std::shared_ptr<const StaticRelevance> analysis);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "causal-partial-adhoc";
+  }
+  [[nodiscard]] bool wait_free() const override { return true; }
+
+  /// seen[y][k]: number of writes by k on y this process has incorporated.
+  [[nodiscard]] std::int64_t seen(VarId y, ProcessId k) const;
+
+ private:
+  struct PendingCheck;
+  void try_deliver();
+  [[nodiscard]] bool ready(const Message& m) const;
+  void deliver(const Message& m);
+
+  std::shared_ptr<const StaticRelevance> analysis_;
+  /// Per tracked variable: per-writer counters.
+  std::map<VarId, std::vector<std::int64_t>> seen_;
+  std::int64_t next_write_seq_ = 0;
+  std::deque<Message> buffer_;
+};
+
+}  // namespace pardsm::mcs

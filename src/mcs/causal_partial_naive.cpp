@@ -1,0 +1,105 @@
+#include "mcs/causal_partial_naive.h"
+
+#include <algorithm>
+
+namespace pardsm::mcs {
+
+namespace {
+
+/// Update (with value) to C(x) members / notification (no value) to the
+/// rest.  Both advance the receiver's vector clock.
+struct PartialCausalMsg final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  bool has_value = false;
+  WriteId id{};
+  VectorClock vc;
+};
+
+}  // namespace
+
+CausalPartialNaiveProcess::CausalPartialNaiveProcess(
+    ProcessId self, const graph::Distribution& dist,
+    HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder), vc_(dist.process_count()) {}
+
+void CausalPartialNaiveProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  vc_.increment(id());
+  const WriteId wid{id(), next_write_seq_++};
+  const TimePoint t = now();
+  mutable_store().put(x, v, wid);
+  recorder().record_write(id(), x, v, wid, t, t);
+  ++mutable_stats().writes;
+
+  auto update = std::make_shared<PartialCausalMsg>();
+  update->x = x;
+  update->v = v;
+  update->has_value = true;
+  update->id = wid;
+  update->vc = vc_;
+
+  auto notify = std::make_shared<PartialCausalMsg>();
+  *notify = *update;
+  notify->has_value = false;
+  notify->v = kBottom;
+
+  MessageMeta upd_meta;
+  upd_meta.kind = "PUPD";
+  upd_meta.control_bytes = vc_.wire_bytes() + 16 + 8;
+  upd_meta.payload_bytes = 8;
+  upd_meta.vars_mentioned = {x};
+
+  MessageMeta not_meta = upd_meta;
+  not_meta.kind = "PNOT";
+  not_meta.payload_bytes = 0;
+
+  const auto& dist = distribution();
+  const auto n = static_cast<ProcessId>(transport().process_count());
+  for (ProcessId q = 0; q < n; ++q) {
+    if (q == id()) continue;
+    if (dist.holds(q, x)) {
+      transport().send(id(), q, update, upd_meta);
+    } else {
+      transport().send(id(), q, notify, not_meta);
+    }
+  }
+  done();
+}
+
+void CausalPartialNaiveProcess::on_message(const Message& m) {
+  buffer_.push_back(m);
+  mutable_stats().max_buffer_depth = std::max(
+      mutable_stats().max_buffer_depth,
+      static_cast<std::uint64_t>(buffer_.size()));
+  try_deliver();
+}
+
+void CausalPartialNaiveProcess::try_deliver() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = buffer_.begin(); it != buffer_.end(); ++it) {
+      const auto* u = it->as<PartialCausalMsg>();
+      PARDSM_CHECK(u != nullptr, "causal-partial: unexpected message body");
+      if (!vc_.ready_from(u->vc, it->from)) {
+        ++mutable_stats().updates_buffered;
+        continue;
+      }
+      vc_.merge(u->vc);
+      if (u->has_value && replicates(u->x)) {
+        mutable_store().put(u->x, u->v, u->id);
+        ++mutable_stats().updates_applied;
+      }
+      buffer_.erase(it);
+      progress = true;
+      break;
+    }
+  }
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,47 @@
+// Causal consistency with partial replication — distribution-oblivious.
+//
+// Sound for *any* variable distribution, at the cost Theorem 1 proves
+// unavoidable in that setting: every process must be told about every
+// write.  Value payloads go only to C(x); all other processes receive a
+// value-less NOTIFY carrying the same causal metadata, so the vector-clock
+// delivery condition still sees every write.
+//
+// This is the honest implementation of the paper's observation that, when
+// the distribution is not known a priori, "each process in the system has
+// to transmit control information regarding all the shared data,
+// contradicting scalability".
+#pragma once
+
+#include <deque>
+
+#include "mcs/protocol.h"
+#include "mcs/vector_clock.h"
+
+namespace pardsm::mcs {
+
+/// One process of the naive partial-replication causal protocol.
+class CausalPartialNaiveProcess final : public McsProcess {
+ public:
+  CausalPartialNaiveProcess(ProcessId self, const graph::Distribution& dist,
+                            HistoryRecorder& recorder);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::string name() const override {
+    return "causal-partial-naive";
+  }
+  [[nodiscard]] bool wait_free() const override { return true; }
+
+  [[nodiscard]] const VectorClock& clock() const { return vc_; }
+
+ private:
+  void try_deliver();
+
+  VectorClock vc_;
+  std::int64_t next_write_seq_ = 0;
+  std::deque<Message> buffer_;
+};
+
+}  // namespace pardsm::mcs

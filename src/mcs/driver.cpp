@@ -1,0 +1,210 @@
+#include "mcs/driver.h"
+
+#include "simnet/rng.h"
+#include "simnet/thread_runtime.h"
+
+namespace pardsm::mcs {
+
+ScriptedClient::ScriptedClient(McsProcess& process, Simulator& sim,
+                               Script script)
+    : process_(process), sim_(sim), script_(std::move(script)) {}
+
+void ScriptedClient::start(TimePoint start) {
+  if (script_.empty()) return;
+  sim_.schedule_at(start + script_.front().delay, [this] { issue(); });
+}
+
+void ScriptedClient::issue() {
+  PARDSM_CHECK(next_ < script_.size(), "issue past end of script");
+  const ScriptOp& op = script_[next_];
+  ++next_;
+
+  const auto continue_after = [this] {
+    if (next_ >= script_.size()) return;
+    const Duration delay = script_[next_].delay;
+    if (delay.us == 0) {
+      // Schedule at the current instant to keep the event loop in control
+      // (still after any messages the completed op just enqueued at t).
+      sim_.schedule_at(sim_.now(), [this] { issue(); });
+    } else {
+      sim_.schedule_at(sim_.now() + delay, [this] { issue(); });
+    }
+  };
+
+  if (op.kind == ScriptOp::Kind::kRead) {
+    process_.read(op.var, [this, continue_after](Value v) {
+      reads_.push_back(v);
+      continue_after();
+    });
+  } else {
+    process_.write(op.var, op.value, continue_after);
+  }
+}
+
+std::vector<Script> make_random_scripts(const graph::Distribution& dist,
+                                        const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<Script> scripts(dist.process_count());
+  Value next_value = 1;
+  for (std::size_t p = 0; p < dist.process_count(); ++p) {
+    const auto& mine = dist.per_process[p];
+    if (mine.empty()) continue;
+    Script& script = scripts[p];
+    for (std::size_t i = 0; i < spec.ops_per_process; ++i) {
+      const VarId x = mine[static_cast<std::size_t>(rng.below(mine.size()))];
+      if (rng.chance(spec.read_fraction)) {
+        script.push_back(ScriptOp::read(x, spec.think_time));
+      } else {
+        script.push_back(ScriptOp::write(x, next_value++, spec.think_time));
+      }
+    }
+  }
+  return scripts;
+}
+
+RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
+                       const std::vector<Script>& scripts,
+                       RunOptions options) {
+  PARDSM_CHECK(scripts.size() == dist.process_count(),
+               "one script per process required");
+
+  SimOptions sim_options;
+  sim_options.seed = options.sim_seed;
+  sim_options.channel = options.channel;
+  sim_options.latency = std::move(options.latency);
+  Simulator sim(std::move(sim_options));
+
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  auto processes = make_processes(kind, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = sim.add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(sim);
+  }
+
+  std::vector<std::unique_ptr<ScriptedClient>> clients;
+  clients.reserve(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(
+        std::make_unique<ScriptedClient>(*processes[p], sim, scripts[p]));
+    clients.back()->start(kTimeZero);
+  }
+
+  sim.run();
+
+  for (const auto& client : clients) {
+    PARDSM_CHECK(client->done(),
+                 "simulation quiesced before a client finished its script — "
+                 "protocol lost a completion");
+  }
+
+  RunResult result;
+  result.history = recorder.history();
+  result.total_traffic = sim.stats().total();
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    result.per_process_traffic.push_back(
+        sim.stats().traffic(static_cast<ProcessId>(p)));
+    result.protocol_stats.push_back(processes[p]->stats());
+  }
+  result.observed_relevant.resize(dist.var_count);
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    result.observed_relevant[x] =
+        sim.stats().processes_exposed_to(static_cast<VarId>(x));
+  }
+  result.finished_at = sim.now();
+  result.events = sim.events_fired();
+  return result;
+}
+
+namespace {
+
+/// Self-driving client for the thread runtime: each completion issues the
+/// next operation, always on the owning process's thread.
+class ThreadedClient {
+ public:
+  ThreadedClient(McsProcess& process, Script script)
+      : process_(process), script_(std::move(script)) {}
+
+  /// Runs on the owner thread (via ThreadRuntime::post) and re-enters from
+  /// completion callbacks, which also fire on the owner thread.
+  void issue() {
+    if (next_ >= script_.size()) {
+      done_ = true;
+      return;
+    }
+    const ScriptOp& op = script_[next_];
+    ++next_;
+    if (op.kind == ScriptOp::Kind::kRead) {
+      process_.read(op.var, [this](Value v) {
+        reads_.push_back(v);
+        issue();
+      });
+    } else {
+      process_.write(op.var, op.value, [this] { issue(); });
+    }
+  }
+
+  [[nodiscard]] bool done() const { return done_ || script_.empty(); }
+
+ private:
+  McsProcess& process_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RunResult run_workload_threaded(ProtocolKind kind,
+                                const graph::Distribution& dist,
+                                const std::vector<Script>& scripts,
+                                std::chrono::milliseconds quiesce_timeout) {
+  PARDSM_CHECK(scripts.size() == dist.process_count(),
+               "one script per process required");
+
+  ThreadRuntime rt;
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  auto processes = make_processes(kind, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = rt.add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(rt);
+  }
+
+  std::vector<std::unique_ptr<ThreadedClient>> clients;
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(
+        std::make_unique<ThreadedClient>(*processes[p], scripts[p]));
+  }
+
+  rt.start();
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    rt.post(static_cast<ProcessId>(p),
+            [client = clients[p].get()] { client->issue(); });
+  }
+  const bool quiet = rt.await_quiescence(quiesce_timeout);
+  PARDSM_CHECK(quiet, "thread runtime failed to quiesce — protocol stuck?");
+  rt.stop();
+
+  for (const auto& client : clients) {
+    PARDSM_CHECK(client->done(), "threaded client did not finish its script");
+  }
+
+  RunResult result;
+  result.history = recorder.history();
+  result.total_traffic = rt.stats().total();
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    result.per_process_traffic.push_back(
+        rt.stats().traffic(static_cast<ProcessId>(p)));
+    result.protocol_stats.push_back(processes[p]->stats());
+  }
+  result.observed_relevant.resize(dist.var_count);
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    result.observed_relevant[x] =
+        rt.stats().processes_exposed_to(static_cast<VarId>(x));
+  }
+  return result;
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,113 @@
+// Workload drivers: scripted clients and complete system runs.
+//
+// A ScriptedClient executes a fixed sequence of operations through one
+// McsProcess, issuing the next operation when the previous completes
+// (program order).  run_workload() wires distribution + protocol + script
+// into a Simulator, runs to quiescence and returns the recorded history
+// with all traffic statistics — the workhorse of the property tests and
+// most benches.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mcs/factory.h"
+#include "simnet/simulator.h"
+
+namespace pardsm::mcs {
+
+/// One scripted operation.
+struct ScriptOp {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  VarId var = kNoVar;
+  Value value = kBottom;  ///< written value (writes only)
+  /// Delay before issuing this operation (think time).
+  Duration delay{};
+
+  static ScriptOp read(VarId x, Duration delay = {}) {
+    return {Kind::kRead, x, kBottom, delay};
+  }
+  static ScriptOp write(VarId x, Value v, Duration delay = {}) {
+    return {Kind::kWrite, x, v, delay};
+  }
+};
+
+/// A per-process operation script.
+using Script = std::vector<ScriptOp>;
+
+/// Drives one McsProcess through its script (simulator runtime).
+class ScriptedClient {
+ public:
+  ScriptedClient(McsProcess& process, Simulator& sim, Script script);
+
+  /// Schedule the first operation at `start`.
+  void start(TimePoint start);
+
+  [[nodiscard]] bool done() const { return next_ >= script_.size(); }
+  [[nodiscard]] const std::vector<Value>& read_results() const {
+    return reads_;
+  }
+
+ private:
+  void issue();
+
+  McsProcess& process_;
+  Simulator& sim_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+};
+
+/// Workload generation parameters.
+struct WorkloadSpec {
+  std::size_t ops_per_process = 8;
+  double read_fraction = 0.5;
+  std::uint64_t seed = 1;
+  Duration think_time{};  ///< fixed delay between a process's operations
+};
+
+/// Random scripts over the distribution: process i only touches X_i, and
+/// every written value is globally unique (exact read-from resolution).
+[[nodiscard]] std::vector<Script> make_random_scripts(
+    const graph::Distribution& dist, const WorkloadSpec& spec);
+
+/// Result of a full system run.
+struct RunResult {
+  hist::History history;
+  ProcessTraffic total_traffic;
+  std::vector<ProcessTraffic> per_process_traffic;
+  /// observed_relevant[x] = processes that received metadata about x.
+  std::vector<std::set<ProcessId>> observed_relevant;
+  std::vector<ProtocolStats> protocol_stats;
+  TimePoint finished_at{};
+  std::uint64_t events = 0;
+};
+
+/// Options for run_workload.
+struct RunOptions {
+  std::uint64_t sim_seed = 1;
+  ChannelOptions channel;
+  std::unique_ptr<LatencyModel> latency;  ///< null = constant 1ms
+};
+
+/// Execute `scripts` against a fresh system of `kind` over `dist` on the
+/// deterministic simulator; returns the recorded history and traffic.
+[[nodiscard]] RunResult run_workload(ProtocolKind kind,
+                                     const graph::Distribution& dist,
+                                     const std::vector<Script>& scripts,
+                                     RunOptions options = {});
+
+/// Execute the same shape of run on the std::thread runtime (one OS thread
+/// per MCS process, genuine preemptive parallelism).  Script think-times
+/// are ignored; executions are non-deterministic by design — the property
+/// tests assert that consistency holds regardless of interleaving.
+/// `quiesce_timeout` bounds the wait for the system to drain.
+[[nodiscard]] RunResult run_workload_threaded(
+    ProtocolKind kind, const graph::Distribution& dist,
+    const std::vector<Script>& scripts,
+    std::chrono::milliseconds quiesce_timeout = std::chrono::milliseconds(
+        10000));
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,71 @@
+#include "mcs/factory.h"
+
+#include "mcs/atomic_home.h"
+#include "mcs/cache_partial.h"
+#include "mcs/causal_full.h"
+#include "mcs/causal_partial_adhoc.h"
+#include "mcs/causal_partial_naive.h"
+#include "mcs/pram_partial.h"
+#include "mcs/processor_partial.h"
+#include "mcs/sequencer_sc.h"
+#include "mcs/slow_partial.h"
+
+namespace pardsm::mcs {
+
+std::vector<std::unique_ptr<McsProcess>> make_processes(
+    ProtocolKind kind, const graph::Distribution& dist,
+    HistoryRecorder& recorder) {
+  const std::size_t n = dist.process_count();
+  std::vector<std::unique_ptr<McsProcess>> out;
+  out.reserve(n);
+
+  std::shared_ptr<const StaticRelevance> analysis;
+  if (kind == ProtocolKind::kCausalPartialAdHoc) {
+    analysis = StaticRelevance::analyze(dist);
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto self = static_cast<ProcessId>(p);
+    switch (kind) {
+      case ProtocolKind::kAtomicHome:
+        out.push_back(
+            std::make_unique<AtomicHomeProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kSequencerSC:
+        out.push_back(
+            std::make_unique<SequencerScProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kCausalFull:
+        out.push_back(
+            std::make_unique<CausalFullProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kCausalPartialNaive:
+        out.push_back(std::make_unique<CausalPartialNaiveProcess>(self, dist,
+                                                                  recorder));
+        break;
+      case ProtocolKind::kCausalPartialAdHoc:
+        out.push_back(std::make_unique<CausalPartialAdHocProcess>(
+            self, dist, recorder, analysis));
+        break;
+      case ProtocolKind::kPramPartial:
+        out.push_back(
+            std::make_unique<PramPartialProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kSlowPartial:
+        out.push_back(
+            std::make_unique<SlowPartialProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kCachePartial:
+        out.push_back(
+            std::make_unique<CachePartialProcess>(self, dist, recorder));
+        break;
+      case ProtocolKind::kProcessorPartial:
+        out.push_back(
+            std::make_unique<ProcessorPartialProcess>(self, dist, recorder));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pardsm::mcs

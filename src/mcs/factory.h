@@ -1,0 +1,18 @@
+// Protocol instantiation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mcs/protocol.h"
+
+namespace pardsm::mcs {
+
+/// Create one McsProcess per process of the distribution, for the given
+/// protocol.  The recorder must outlive the processes.  After creation the
+/// caller registers each process with a runtime and calls attach().
+[[nodiscard]] std::vector<std::unique_ptr<McsProcess>> make_processes(
+    ProtocolKind kind, const graph::Distribution& dist,
+    HistoryRecorder& recorder);
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,63 @@
+#include "mcs/pram_partial.h"
+
+namespace pardsm::mcs {
+
+namespace {
+
+struct PramUpdate final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+};
+
+}  // namespace
+
+PramPartialProcess::PramPartialProcess(ProcessId self,
+                                       const graph::Distribution& dist,
+                                       HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder) {}
+
+void PramPartialProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void PramPartialProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  const WriteId wid{id(), next_write_seq_++};
+  const TimePoint t = now();
+  mutable_store().put(x, v, wid);
+  recorder().record_write(id(), x, v, wid, t, t);
+  ++mutable_stats().writes;
+
+  auto body = std::make_shared<PramUpdate>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+
+  MessageMeta meta;
+  meta.kind = "PRAM";
+  meta.control_bytes = 16 /*write id*/ + 8 /*var*/;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+
+  for (ProcessId q : distribution().replicas_of(x)) {
+    if (q == id()) continue;
+    transport().send(id(), q, body, meta);
+  }
+  done();
+}
+
+void PramPartialProcess::on_message(const Message& m) {
+  const auto* u = m.as<PramUpdate>();
+  PARDSM_CHECK(u != nullptr, "pram: unexpected message body");
+  PARDSM_CHECK(replicates(u->x), "pram: update for unreplicated variable");
+  // Ignore duplicated (hence stale: originals arrive FIFO) copies — an old
+  // value must never overwrite a newer one from the same writer.
+  auto [it, inserted] = last_applied_.try_emplace(m.from, -1);
+  if (u->id.seq <= it->second) return;
+  it->second = u->id.seq;
+  mutable_store().put(u->x, u->v, u->id);
+  ++mutable_stats().updates_applied;
+}
+
+}  // namespace pardsm::mcs

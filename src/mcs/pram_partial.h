@@ -1,0 +1,43 @@
+// PRAM consistency with partial replication — the paper's efficient case.
+//
+// Theorem 2: under PRAM no dependency chain crosses a hoop, so only C(x)
+// members are x-relevant.  The protocol is correspondingly minimal:
+//
+//   write(x)v : apply locally, send UPDATE(x, v, writer-seq) to C(x)\{self};
+//   receive   : apply immediately (FIFO channels preserve each writer's
+//               program order per receiver — the pipelined RAM of [13]);
+//   read(x)   : wait-free local read.
+//
+// Control information per update: one 16-byte write id.  Nothing is ever
+// sent to a process outside C(x) — bench_theorem2_pram asserts exactly
+// this from observed traffic.
+#pragma once
+
+#include <map>
+
+#include "mcs/protocol.h"
+
+namespace pardsm::mcs {
+
+/// One process of the PRAM partial-replication protocol.
+class PramPartialProcess final : public McsProcess {
+ public:
+  PramPartialProcess(ProcessId self, const graph::Distribution& dist,
+                     HistoryRecorder& recorder);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] std::string name() const override { return "pram-partial"; }
+  [[nodiscard]] bool wait_free() const override { return true; }
+
+ private:
+  std::int64_t next_write_seq_ = 0;
+  /// Duplicate suppression: highest writer-seq applied per sender.  FIFO
+  /// channels deliver originals in order; a duplicated copy arrives late
+  /// and must not overwrite newer state.
+  std::map<ProcessId, std::int64_t> last_applied_;
+};
+
+}  // namespace pardsm::mcs

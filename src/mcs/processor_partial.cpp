@@ -1,0 +1,34 @@
+#include "mcs/processor_partial.h"
+
+#include "mcs/cache_messages.h"
+
+namespace pardsm::mcs {
+
+ProcessorPartialProcess::ProcessorPartialProcess(
+    ProcessId self, const graph::Distribution& dist,
+    HistoryRecorder& recorder)
+    : CachePartialProcess(self, dist, recorder) {}
+
+std::map<ProcessId, std::int64_t> ProcessorPartialProcess::prior_counts_for(
+    VarId x) {
+  std::map<ProcessId, std::int64_t> priors;
+  for (ProcessId q : distribution().replicas_of(x)) {
+    priors[q] = sent_to_[q];
+    ++sent_to_[q];
+  }
+  return priors;
+}
+
+bool ProcessorPartialProcess::commit_ready(const Message& m) {
+  const auto* c = m.as<detail::CacheCommit>();
+  PARDSM_CHECK(c != nullptr, "processor: unexpected commit body");
+  auto it = c->prior_counts.find(id());
+  if (it == c->prior_counts.end()) return true;  // no constraint for us
+  return applied_from_[c->id.writer] >= it->second;
+}
+
+void ProcessorPartialProcess::on_applied(ProcessId writer) {
+  ++applied_from_[writer];
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,62 @@
+#include "mcs/protocol.h"
+
+namespace pardsm::mcs {
+
+const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kAtomicHome:
+      return "atomic-home";
+    case ProtocolKind::kSequencerSC:
+      return "sequencer-sc";
+    case ProtocolKind::kCausalFull:
+      return "causal-full";
+    case ProtocolKind::kCausalPartialNaive:
+      return "causal-partial-naive";
+    case ProtocolKind::kCausalPartialAdHoc:
+      return "causal-partial-adhoc";
+    case ProtocolKind::kPramPartial:
+      return "pram-partial";
+    case ProtocolKind::kSlowPartial:
+      return "slow-partial";
+    case ProtocolKind::kCachePartial:
+      return "cache-partial";
+    case ProtocolKind::kProcessorPartial:
+      return "processor-partial";
+  }
+  return "?";
+}
+
+const std::vector<ProtocolKind>& all_protocols() {
+  static const std::vector<ProtocolKind> kAll = {
+      ProtocolKind::kAtomicHome,         ProtocolKind::kSequencerSC,
+      ProtocolKind::kCausalFull,         ProtocolKind::kCausalPartialNaive,
+      ProtocolKind::kCausalPartialAdHoc, ProtocolKind::kPramPartial,
+      ProtocolKind::kSlowPartial,        ProtocolKind::kCachePartial,
+      ProtocolKind::kProcessorPartial,
+  };
+  return kAll;
+}
+
+GuaranteeLevel guarantee_of(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kAtomicHome:
+      return GuaranteeLevel::kAtomic;
+    case ProtocolKind::kSequencerSC:
+      return GuaranteeLevel::kSequential;
+    case ProtocolKind::kCausalFull:
+    case ProtocolKind::kCausalPartialNaive:
+    case ProtocolKind::kCausalPartialAdHoc:
+      return GuaranteeLevel::kCausal;
+    case ProtocolKind::kPramPartial:
+      return GuaranteeLevel::kPram;
+    case ProtocolKind::kSlowPartial:
+      return GuaranteeLevel::kSlow;
+    case ProtocolKind::kCachePartial:
+      return GuaranteeLevel::kCache;
+    case ProtocolKind::kProcessorPartial:
+      return GuaranteeLevel::kProcessor;
+  }
+  return GuaranteeLevel::kSlow;
+}
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,152 @@
+// Protocol framework: the MCS process abstraction.
+//
+// An McsProcess pairs with one application process: the application calls
+// read()/write() (asynchronous, callback-based — wait-free protocols
+// complete them synchronously before returning), the MCS process exchanges
+// messages with its peers through the Transport to keep replicas
+// consistent, and every completed operation is recorded for post-hoc
+// checking.
+//
+// The asynchronous operation API is what lets the same protocol code run
+// under the single-threaded discrete-event simulator (where a blocking
+// call would deadlock the event loop) and under the thread runtime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mcs/recorder.h"
+#include "mcs/replica_store.h"
+#include "sharegraph/share_graph.h"
+#include "simnet/check.h"
+#include "simnet/stats.h"
+#include "simnet/transport.h"
+
+namespace pardsm::mcs {
+
+/// Completion callback of a read (receives the value returned).
+using ReadCallback = std::function<void(Value)>;
+
+/// Completion callback of a write.
+using WriteCallback = std::function<void()>;
+
+/// Protocol-internal counters (beyond NetworkStats).
+struct ProtocolStats {
+  std::uint64_t local_reads = 0;    ///< reads served from the local replica
+  std::uint64_t remote_reads = 0;   ///< reads that required a round trip
+  std::uint64_t writes = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t updates_buffered = 0;  ///< delayed for causal readiness
+  std::uint64_t max_buffer_depth = 0;
+};
+
+/// Base class of every memory-consistency protocol instance (one per
+/// process).
+class McsProcess : public Endpoint {
+ public:
+  /// `dist` and `recorder` must outlive the process; `transport` is wired
+  /// afterwards via attach() because process ids are assigned by the
+  /// runtime at registration time.
+  McsProcess(ProcessId self, const graph::Distribution& dist,
+             HistoryRecorder& recorder)
+      : self_(self),
+        dist_(dist),
+        recorder_(recorder),
+        store_(dist.per_process.at(static_cast<std::size_t>(self))) {}
+
+  /// Wire the transport (after runtime registration).
+  void attach(Transport& transport) { transport_ = &transport; }
+
+  /// Asynchronous read of x; `done` receives the value.  Calling read on a
+  /// variable outside X_i is a programming error (partial replication
+  /// means the application only accesses its own variables).
+  virtual void read(VarId x, ReadCallback done) = 0;
+
+  /// Asynchronous write of v to x.
+  virtual void write(VarId x, Value v, WriteCallback done) = 0;
+
+  /// Human-readable protocol name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True if this protocol serves reads and writes without waiting for the
+  /// network (the paper's wait-free local-access property, §3.3).
+  [[nodiscard]] virtual bool wait_free() const = 0;
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] const ProtocolStats& stats() const { return pstats_; }
+  [[nodiscard]] const ReplicaStore& store() const { return store_; }
+  [[nodiscard]] bool replicates(VarId x) const { return store_.holds(x); }
+
+ protected:
+  [[nodiscard]] Transport& transport() {
+    PARDSM_CHECK(transport_ != nullptr, "McsProcess used before attach()");
+    return *transport_;
+  }
+  [[nodiscard]] TimePoint now() const {
+    return transport_ ? transport_->now() : TimePoint{};
+  }
+  [[nodiscard]] const graph::Distribution& distribution() const {
+    return dist_;
+  }
+  [[nodiscard]] HistoryRecorder& recorder() { return recorder_; }
+  [[nodiscard]] ReplicaStore& mutable_store() { return store_; }
+  [[nodiscard]] ProtocolStats& mutable_stats() { return pstats_; }
+
+  /// Serve a read from the local replica, recording it.  Shared by all
+  /// wait-free protocols.
+  void local_read(VarId x, const ReadCallback& done) {
+    PARDSM_CHECK(store_.holds(x),
+                 "application read of a variable outside X_i");
+    const Stored& s = store_.get(x);
+    ++pstats_.local_reads;
+    const TimePoint t = now();
+    recorder_.record_read(self_, x, s.value, s.source, t, t);
+    done(s.value);
+  }
+
+ private:
+  ProcessId self_;
+  const graph::Distribution& dist_;
+  HistoryRecorder& recorder_;
+  ReplicaStore store_;
+  ProtocolStats pstats_;
+  Transport* transport_ = nullptr;
+};
+
+/// The protocols implemented in this repository.  The last two are the
+/// repository's extensions toward the paper's open question (conclusion):
+/// criteria other than / stronger than PRAM that still admit efficient
+/// partial replication.
+enum class ProtocolKind {
+  kAtomicHome,          ///< linearizable, home-based RPC
+  kSequencerSC,         ///< sequentially consistent, sequencer total order
+  kCausalFull,          ///< causal, full replication, vector clocks [3]
+  kCausalPartialNaive,  ///< causal, partial replicas, global notifications
+  kCausalPartialAdHoc,  ///< causal, partial replicas, hoop-routed metadata
+  kPramPartial,         ///< PRAM, partial replicas (the paper's efficient case)
+  kSlowPartial,         ///< slow memory, partial replicas
+  kCachePartial,        ///< cache consistency, per-variable home sequencing
+  kProcessorPartial,    ///< PRAM ∧ cache (processor consistency)
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind k);
+
+/// All protocol kinds, strongest criterion first.
+[[nodiscard]] const std::vector<ProtocolKind>& all_protocols();
+
+/// The weakest criterion each protocol is required to satisfy (used by
+/// property tests: recorded histories must pass this checker and all
+/// weaker ones).
+enum class GuaranteeLevel {
+  kAtomic,
+  kSequential,
+  kCausal,
+  kProcessor,  ///< PRAM ∧ cache
+  kPram,
+  kCache,      ///< per-variable sequential consistency (incomparable to PRAM)
+  kSlow,
+};
+[[nodiscard]] GuaranteeLevel guarantee_of(ProtocolKind k);
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,30 @@
+#include "mcs/recorder.h"
+
+namespace pardsm::mcs {
+
+void HistoryRecorder::record_write(ProcessId p, VarId x, Value v, WriteId id,
+                                   TimePoint invoked, TimePoint responded) {
+  std::lock_guard lock(mu_);
+  const auto op = history_.push_write(p, x, v, id);
+  history_.set_interval(op, invoked, responded);
+}
+
+void HistoryRecorder::record_read(ProcessId p, VarId x, Value value,
+                                  WriteId source, TimePoint invoked,
+                                  TimePoint responded) {
+  std::lock_guard lock(mu_);
+  const auto op = history_.push_read(p, x, value, source);
+  history_.set_interval(op, invoked, responded);
+}
+
+hist::History HistoryRecorder::history() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::lock_guard lock(mu_);
+  return history_.size();
+}
+
+}  // namespace pardsm::mcs

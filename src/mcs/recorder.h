@@ -1,0 +1,42 @@
+// History recording.
+//
+// Protocols report every application-level operation here; the recorder
+// assembles a hist::History with exact read-from provenance and real-time
+// intervals, which the test suite feeds to the exact consistency checkers.
+// Thread-safe (the thread runtime records from many threads).
+#pragma once
+
+#include <mutex>
+
+#include "history/history.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm::mcs {
+
+/// Thread-safe builder of a hist::History from live protocol runs.
+class HistoryRecorder {
+ public:
+  HistoryRecorder(std::size_t process_count, std::size_t var_count)
+      : history_(process_count, var_count) {}
+
+  /// Record a completed write (its WriteId must be the one the protocol
+  /// attached to the stored value).
+  void record_write(ProcessId p, VarId x, Value v, WriteId id,
+                    TimePoint invoked, TimePoint responded);
+
+  /// Record a completed read returning `got` (value + provenance).
+  void record_read(ProcessId p, VarId x, Value value, WriteId source,
+                   TimePoint invoked, TimePoint responded);
+
+  /// Snapshot of the history so far (copy; safe after the run finished).
+  [[nodiscard]] hist::History history() const;
+
+  /// Number of recorded operations.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  hist::History history_;
+};
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,33 @@
+#include "mcs/replica_store.h"
+
+#include "simnet/check.h"
+
+namespace pardsm::mcs {
+
+ReplicaStore::ReplicaStore(const std::vector<VarId>& vars) {
+  for (VarId x : vars) data_.emplace(x, Stored{});
+}
+
+const Stored& ReplicaStore::get(VarId x) const {
+  auto it = data_.find(x);
+  PARDSM_CHECK(it != data_.end(),
+               "ReplicaStore::get: variable not replicated here");
+  return it->second;
+}
+
+void ReplicaStore::put(VarId x, Value value, WriteId source) {
+  auto it = data_.find(x);
+  PARDSM_CHECK(it != data_.end(),
+               "ReplicaStore::put: variable not replicated here");
+  it->second = Stored{value, source};
+  ++version_;
+}
+
+std::vector<VarId> ReplicaStore::vars() const {
+  std::vector<VarId> out;
+  out.reserve(data_.size());
+  for (const auto& [x, stored] : data_) out.push_back(x);
+  return out;
+}
+
+}  // namespace pardsm::mcs

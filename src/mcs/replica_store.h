@@ -1,0 +1,48 @@
+// Per-process variable store with write provenance.
+//
+// Each MCS process keeps local copies of exactly the variables in X_i
+// (partial replication) or of every variable (full replication).  Stored
+// values carry the WriteId of the write that produced them, so that reads
+// recorded into histories have an exact read-from source.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "simnet/ids.h"
+
+namespace pardsm::mcs {
+
+/// A stored value plus its provenance.
+struct Stored {
+  Value value = kBottom;
+  WriteId source{};  ///< kInitialWrite for the initial ⊥
+};
+
+/// The local replica set of one MCS process.
+class ReplicaStore {
+ public:
+  /// Construct holding exactly `vars` (every entry initialized to ⊥).
+  explicit ReplicaStore(const std::vector<VarId>& vars = {});
+
+  /// True if x is locally replicated.
+  [[nodiscard]] bool holds(VarId x) const { return data_.count(x) > 0; }
+
+  /// Current content of x.  Requires holds(x).
+  [[nodiscard]] const Stored& get(VarId x) const;
+
+  /// Overwrite x with (value, source).  Requires holds(x).
+  void put(VarId x, Value value, WriteId source);
+
+  /// Locally replicated variables (sorted).
+  [[nodiscard]] std::vector<VarId> vars() const;
+
+  /// Number of applied puts (diagnostics).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+ private:
+  std::map<VarId, Stored> data_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace pardsm::mcs

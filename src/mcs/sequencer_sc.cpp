@@ -1,0 +1,128 @@
+#include "mcs/sequencer_sc.h"
+
+namespace pardsm::mcs {
+
+namespace {
+
+struct WriteRequest final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  TimePoint invoked{};
+};
+
+struct WriteCommit final : MessageBody {
+  VarId x = kNoVar;
+  Value v = kBottom;
+  WriteId id{};
+  std::int64_t gseq = 0;
+  ProcessId requester = kNoProcess;
+  TimePoint invoked{};
+};
+
+}  // namespace
+
+SequencerScProcess::SequencerScProcess(ProcessId self,
+                                       const graph::Distribution& dist,
+                                       HistoryRecorder& recorder)
+    : McsProcess(self, dist, recorder) {}
+
+void SequencerScProcess::read(VarId x, ReadCallback done) {
+  local_read(x, done);
+}
+
+void SequencerScProcess::write(VarId x, Value v, WriteCallback done) {
+  PARDSM_CHECK(replicates(x), "application write outside X_i");
+  const WriteId wid{id(), next_write_seq_++};
+  const TimePoint t = now();
+  waiting_[wid] = std::move(done);
+  invoked_at_[wid] = t;
+  ++mutable_stats().writes;
+
+  if (id() == kSequencer) {
+    sequence_write(x, v, wid, id(), t);
+    return;
+  }
+  auto body = std::make_shared<WriteRequest>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->invoked = t;
+
+  MessageMeta meta;
+  meta.kind = "WREQ";
+  meta.control_bytes = 16 + 8;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+  transport().send(id(), kSequencer, std::move(body), meta);
+}
+
+void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
+                                        ProcessId requester,
+                                        TimePoint invoked) {
+  // A duplicated request must not be sequenced twice.
+  if (!sequenced_ids_.insert(wid).second) return;
+  ++global_seq_;
+  ++sequenced_;
+  auto body = std::make_shared<WriteCommit>();
+  body->x = x;
+  body->v = v;
+  body->id = wid;
+  body->gseq = global_seq_;
+  body->requester = requester;
+  body->invoked = invoked;
+
+  MessageMeta meta;
+  meta.kind = "WCMT";
+  meta.control_bytes = 16 + 8 + 8 + 8;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+
+  for (ProcessId q : distribution().replicas_of(x)) {
+    if (q == id()) continue;
+    transport().send(id(), q, body, meta);
+  }
+  // Local application on the sequencer (if it replicates x).
+  if (replicates(x)) {
+    apply_commit(x, v, wid, requester, invoked, global_seq_);
+  } else if (requester == id()) {
+    PARDSM_CHECK(false, "writer must replicate its own variable");
+  }
+}
+
+void SequencerScProcess::apply_commit(VarId x, Value v, WriteId wid,
+                                      ProcessId requester, TimePoint invoked,
+                                      std::int64_t gseq) {
+  // Duplicate suppression: commits arrive in ascending gseq (FIFO from the
+  // sequencer); a late duplicate must not revert the replica.
+  if (gseq <= last_gseq_applied_) return;
+  last_gseq_applied_ = gseq;
+  if (replicates(x)) {
+    mutable_store().put(x, v, wid);
+    ++mutable_stats().updates_applied;
+  }
+  if (requester == id()) {
+    // Our own write is now globally ordered and locally applied: complete.
+    recorder().record_write(id(), x, v, wid, invoked, now());
+    auto it = waiting_.find(wid);
+    PARDSM_CHECK(it != waiting_.end(), "commit for unknown pending write");
+    auto done = std::move(it->second);
+    waiting_.erase(it);
+    invoked_at_.erase(wid);
+    done();
+  }
+}
+
+void SequencerScProcess::on_message(const Message& m) {
+  if (const auto* req = m.as<WriteRequest>()) {
+    PARDSM_CHECK(id() == kSequencer, "write request sent to non-sequencer");
+    sequence_write(req->x, req->v, req->id, m.from, req->invoked);
+    return;
+  }
+  const auto* commit = m.as<WriteCommit>();
+  PARDSM_CHECK(commit != nullptr, "sequencer-sc: unexpected message body");
+  apply_commit(commit->x, commit->v, commit->id, commit->requester,
+               commit->invoked, commit->gseq);
+}
+
+}  // namespace pardsm::mcs

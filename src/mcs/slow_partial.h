@@ -1,0 +1,61 @@
+// Slow memory with partial replication (Hutto & Ahamad; the paper cites it
+// via Sinha [16] as the rung below PRAM).
+//
+// Guarantee: writes by one process to one *variable* are observed in
+// program order; writes by the same process to different variables may be
+// observed reordered.  The protocol deliberately exercises that freedom:
+// each incoming update is buffered and applied after a deterministic
+// per-variable jitter, preserving per-(writer, variable) order via
+// sequence numbers but freely interleaving across variables — a model for
+// per-variable channels or NUMA store buffers.
+//
+// Efficiency is as good as PRAM: updates go only to C(x), O(1) control
+// bytes.  The ablation bench (bench_control_overhead) shows the weaker
+// criterion buys nothing further — PRAM is already efficient, which is why
+// the paper stops at PRAM.
+#pragma once
+
+#include <map>
+
+#include "mcs/protocol.h"
+
+namespace pardsm::mcs {
+
+/// One process of the slow-memory partial-replication protocol.
+class SlowPartialProcess final : public McsProcess {
+ public:
+  SlowPartialProcess(ProcessId self, const graph::Distribution& dist,
+                     HistoryRecorder& recorder);
+
+  void read(VarId x, ReadCallback done) override;
+  void write(VarId x, Value v, WriteCallback done) override;
+  void on_message(const Message& m) override;
+  void on_timer(TimerTag tag) override;
+
+  [[nodiscard]] std::string name() const override { return "slow-partial"; }
+  [[nodiscard]] bool wait_free() const override { return true; }
+
+ private:
+  struct Pending {
+    VarId x = kNoVar;
+    Value v = kBottom;
+    WriteId id{};
+    std::int64_t var_seq = 0;
+    ProcessId writer = kNoProcess;
+  };
+  void drain(ProcessId writer, VarId x);
+
+  std::int64_t next_write_seq_ = 0;
+  /// Writer-local per-variable sequence numbers for outgoing updates.
+  std::map<VarId, std::int64_t> my_var_seq_;
+  /// Next expected var_seq per (writer, variable).
+  std::map<std::pair<ProcessId, VarId>, std::int64_t> expected_;
+  /// Buffered out-of-jitter updates per (writer, variable), keyed by seq.
+  std::map<std::pair<ProcessId, VarId>, std::map<std::int64_t, Pending>>
+      pending_;
+  /// Timer tags -> (writer, variable) queues to drain.
+  std::map<TimerTag, std::pair<ProcessId, VarId>> timers_;
+  TimerTag next_timer_ = 1;
+};
+
+}  // namespace pardsm::mcs

@@ -1,0 +1,49 @@
+#include "mcs/vector_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "simnet/check.h"
+
+namespace pardsm::mcs {
+
+void VectorClock::merge(const VectorClock& other) {
+  PARDSM_CHECK(other.size() == size(), "VectorClock::merge size mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+  }
+}
+
+bool VectorClock::leq(const VectorClock& other) const {
+  PARDSM_CHECK(other.size() == size(), "VectorClock::leq size mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] > other.entries_[i]) return false;
+  }
+  return true;
+}
+
+bool VectorClock::ready_from(const VectorClock& msg, ProcessId sender) const {
+  PARDSM_CHECK(msg.size() == size(), "VectorClock::ready_from size mismatch");
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const auto pk = static_cast<ProcessId>(k);
+    if (pk == sender) {
+      if (msg.at(pk) != at(pk) + 1) return false;
+    } else if (msg.at(pk) > at(pk)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << entries_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace pardsm::mcs

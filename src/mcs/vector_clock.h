@@ -1,0 +1,54 @@
+// Vector clocks over processes.
+//
+// Used by the causal protocols to timestamp updates.  Entry k counts the
+// writes by process k that the owner has causally incorporated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/ids.h"
+
+namespace pardsm::mcs {
+
+/// A process-indexed vector clock.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t n) : entries_(n, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::int64_t at(ProcessId p) const {
+    return entries_[static_cast<std::size_t>(p)];
+  }
+  void set(ProcessId p, std::int64_t v) {
+    entries_[static_cast<std::size_t>(p)] = v;
+  }
+  void increment(ProcessId p) { ++entries_[static_cast<std::size_t>(p)]; }
+
+  /// Component-wise maximum.
+  void merge(const VectorClock& other);
+
+  /// True if every entry of *this <= the matching entry of other.
+  [[nodiscard]] bool leq(const VectorClock& other) const;
+
+  /// Causal-delivery readiness test for a message timestamped `msg` from
+  /// `sender`, at a receiver whose clock is *this:
+  ///   msg[sender] == this[sender] + 1 and msg[k] <= this[k] for k≠sender.
+  [[nodiscard]] bool ready_from(const VectorClock& msg,
+                                ProcessId sender) const;
+
+  /// Serialized size in bytes (8 per entry) — control-byte accounting.
+  [[nodiscard]] std::uint64_t wire_bytes() const { return 8 * entries_.size(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+ private:
+  std::vector<std::int64_t> entries_;
+};
+
+}  // namespace pardsm::mcs

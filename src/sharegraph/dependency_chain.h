@@ -1,0 +1,69 @@
+// x-dependency chains along hoops (Definition 4).
+//
+// H includes an x-dependency chain along the x-hoop [p_a, ..., p_b] when
+// O_H contains w_a(x)v, an operation o_b(x), and a pattern of operations —
+// at least one per hoop process — that *implies* w_a(x)v 7-> o_b(x) under
+// the consistency criterion's order relation.
+//
+// The "implies" is witnessed by a path of the relation's *generating
+// edges* (program-order steps, read-from edges, lazy writes-before edges,
+// ...), since the full relation is their transitive closure.  The detector
+// searches for such a path that touches every process of the hoop.
+//
+// For PRAM the relation has no transitivity (Definition 11), so a
+// multi-edge path implies nothing; Theorem 2 falls out: the detector can
+// only accept a direct read-from edge, which never involves intermediaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "history/orders.h"
+#include "sharegraph/hoops.h"
+
+namespace pardsm::graph {
+
+/// Which criterion's dependency notion to use.
+enum class ChainRelation {
+  kCausal,          ///< generating edges: program-order steps ∪ read-from
+  kLazyCausal,      ///< lazy-program steps ∪ read-from
+  kLazySemiCausal,  ///< lazy-program steps ∪ lazy-writes-before
+  kPram,            ///< program-order steps ∪ read-from, NOT chainable
+};
+
+/// Generating edges of the relation (the closure of which is the
+/// criterion's order), as a Relation over h's op indices.
+[[nodiscard]] hist::Relation generating_edges(
+    const hist::History& h, ChainRelation rel,
+    hist::LazyMode mode = hist::LazyMode::kPaperConsistent);
+
+/// Whether this criterion's relation is closed under transitivity (false
+/// only for PRAM).
+[[nodiscard]] bool chain_relation_transitive(ChainRelation rel);
+
+/// A found chain.
+struct ChainWitness {
+  bool found = false;
+  /// The op path from the initial write w_a(x)v to the final o_b(x).
+  std::vector<hist::OpIndex> ops;
+  Hoop hoop;  ///< hoop it was found along
+
+  /// Processes touched by the witness path.
+  [[nodiscard]] std::vector<ProcessId> touched(const hist::History& h) const;
+};
+
+/// Search for an x-dependency chain along one specific hoop.
+/// `max_steps` bounds the (op, covered-set) state space.
+[[nodiscard]] ChainWitness find_chain_along_hoop(
+    const hist::History& h, VarId x, const Hoop& hoop, ChainRelation rel,
+    hist::LazyMode mode = hist::LazyMode::kPaperConsistent,
+    std::uint64_t max_steps = 1'000'000);
+
+/// Search every enumerated x-hoop of the share graph (up to `hoop_limit`)
+/// for a chain; returns the first witness found.
+[[nodiscard]] ChainWitness find_chain(
+    const hist::History& h, const ShareGraph& sg, VarId x, ChainRelation rel,
+    hist::LazyMode mode = hist::LazyMode::kPaperConsistent,
+    std::size_t hoop_limit = 4096);
+
+}  // namespace pardsm::graph

@@ -1,0 +1,238 @@
+#include "sharegraph/hoops.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "simnet/check.h"
+
+namespace pardsm::graph {
+
+namespace {
+
+/// True iff the edge (i, j) carries a label other than x (hoop steps must
+/// share a variable different from x).
+bool edge_usable(const ShareGraph& sg, ProcessId i, ProcessId j, VarId x) {
+  for (VarId v : sg.label(i, j)) {
+    if (v != x) return true;
+  }
+  return false;
+}
+
+void dfs_hoops(const ShareGraph& sg, VarId x,
+               const std::vector<bool>& in_clique, std::vector<ProcessId>& path,
+               std::vector<bool>& visited, HoopEnumeration& out,
+               std::size_t limit) {
+  if (out.hoops.size() >= limit) {
+    out.truncated = true;
+    return;
+  }
+  ++out.dfs_steps;
+  const ProcessId v = path.back();
+  for (ProcessId w : sg.neighbours(v)) {
+    if (out.hoops.size() >= limit) {
+      out.truncated = true;
+      return;
+    }
+    if (!edge_usable(sg, v, w, x)) continue;
+    if (in_clique[static_cast<std::size_t>(w)]) {
+      // Complete a hoop if w is a clique member distinct from the start and
+      // the path has at least one intermediate.
+      if (w != path.front() && path.size() >= 2) {
+        Hoop hoop = path;
+        hoop.push_back(w);
+        if (hoop.front() <= hoop.back()) {  // canonical direction only
+          out.hoops.push_back(std::move(hoop));
+        }
+      }
+      continue;
+    }
+    if (visited[static_cast<std::size_t>(w)]) continue;
+    visited[static_cast<std::size_t>(w)] = true;
+    path.push_back(w);
+    dfs_hoops(sg, x, in_clique, path, visited, out, limit);
+    path.pop_back();
+    visited[static_cast<std::size_t>(w)] = false;
+  }
+}
+
+}  // namespace
+
+HoopEnumeration enumerate_hoops(const ShareGraph& sg, VarId x,
+                                std::size_t limit) {
+  HoopEnumeration out;
+  const std::size_t n = sg.process_count();
+  std::vector<bool> in_clique(n, false);
+  for (ProcessId p : sg.clique(x)) {
+    in_clique[static_cast<std::size_t>(p)] = true;
+  }
+  for (ProcessId a : sg.clique(x)) {
+    std::vector<bool> visited(n, false);
+    visited[static_cast<std::size_t>(a)] = true;
+    std::vector<ProcessId> path{a};
+    dfs_hoops(sg, x, in_clique, path, visited, out, limit);
+    if (out.truncated) break;
+  }
+  // Deterministic order.
+  std::sort(out.hoops.begin(), out.hoops.end());
+  out.hoops.erase(std::unique(out.hoops.begin(), out.hoops.end()),
+                  out.hoops.end());
+  return out;
+}
+
+namespace {
+
+/// Unit-capacity max-flow check: are there two vertex-disjoint paths
+/// (disjoint except at v) from v to two distinct members of C(x), with all
+/// intermediate vertices outside C(x) and all edges labelled ≠ x?
+///
+/// Standard vertex-splitting construction: every non-clique vertex u ≠ v
+/// becomes u_in -> u_out with capacity 1; clique vertices connect directly
+/// to the sink with capacity 1 (so two paths must end at distinct clique
+/// members); v is the source with capacity 2.
+bool two_disjoint_paths(const ShareGraph& sg, VarId x, ProcessId v,
+                        const std::vector<bool>& in_clique) {
+  const std::size_t n = sg.process_count();
+  // Node ids: u_in = 2u, u_out = 2u+1, sink = 2n.
+  const int sink = static_cast<int>(2 * n);
+  struct Edge {
+    int to;
+    int cap;
+    int rev;  // index of reverse edge in adj[to]
+  };
+  std::vector<std::vector<Edge>> adj(2 * n + 1);
+  auto add_edge = [&](int a, int b, int cap) {
+    adj[static_cast<std::size_t>(a)].push_back(
+        {b, cap, static_cast<int>(adj[static_cast<std::size_t>(b)].size())});
+    adj[static_cast<std::size_t>(b)].push_back(
+        {a, 0,
+         static_cast<int>(adj[static_cast<std::size_t>(a)].size()) - 1});
+  };
+
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto pu = static_cast<ProcessId>(u);
+    if (in_clique[u]) {
+      // Clique member: in == out for our purposes; capacity 1 to the sink.
+      add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), 1);
+      add_edge(static_cast<int>(2 * u + 1), sink, 1);
+    } else {
+      const int cap = (pu == v) ? 2 : 1;
+      add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), cap);
+    }
+    for (ProcessId w : sg.neighbours(pu)) {
+      if (!edge_usable(sg, pu, w, x)) continue;
+      // Directed u_out -> w_in; the reverse direction is added when w is
+      // processed.  Intermediates must be non-clique, but edges into clique
+      // members are allowed (they terminate a path).
+      if (in_clique[u] && pu != v) continue;  // paths may not pass through
+                                              // other clique members
+      add_edge(static_cast<int>(2 * u + 1),
+               static_cast<int>(2 * static_cast<std::size_t>(w)), 1);
+    }
+  }
+
+  const int source = static_cast<int>(
+      2 * static_cast<std::size_t>(v));  // v_in (capacity 2 through v)
+  int flow = 0;
+  while (flow < 2) {
+    // BFS for an augmenting path.
+    std::vector<int> prev_node(2 * n + 1, -1);
+    std::vector<int> prev_edge(2 * n + 1, -1);
+    std::queue<int> bfs;
+    bfs.push(source);
+    prev_node[static_cast<std::size_t>(source)] = source;
+    while (!bfs.empty() &&
+           prev_node[static_cast<std::size_t>(sink)] == -1) {
+      const int u = bfs.front();
+      bfs.pop();
+      const auto& edges = adj[static_cast<std::size_t>(u)];
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].cap <= 0) continue;
+        const int to = edges[e].to;
+        if (prev_node[static_cast<std::size_t>(to)] != -1) continue;
+        prev_node[static_cast<std::size_t>(to)] = u;
+        prev_edge[static_cast<std::size_t>(to)] = static_cast<int>(e);
+        bfs.push(to);
+      }
+    }
+    if (prev_node[static_cast<std::size_t>(sink)] == -1) break;
+    // Augment by 1.
+    int u = sink;
+    while (u != source) {
+      const int pu = prev_node[static_cast<std::size_t>(u)];
+      auto& e = adj[static_cast<std::size_t>(pu)]
+                   [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(u)])];
+      e.cap -= 1;
+      adj[static_cast<std::size_t>(u)][static_cast<std::size_t>(e.rev)].cap +=
+          1;
+      u = pu;
+    }
+    ++flow;
+  }
+  return flow >= 2;
+}
+
+}  // namespace
+
+bool hoop_exists(const ShareGraph& sg, VarId x) {
+  const std::size_t n = sg.process_count();
+  std::vector<bool> in_clique(n, false);
+  for (ProcessId p : sg.clique(x)) {
+    in_clique[static_cast<std::size_t>(p)] = true;
+  }
+  // A hoop with one intermediate exists iff some non-clique vertex has two
+  // disjoint paths to distinct clique members; checking every non-clique
+  // vertex is sufficient (any hoop has at least one intermediate).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (in_clique[v]) continue;
+    if (two_disjoint_paths(sg, x, static_cast<ProcessId>(v), in_clique)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::set<ProcessId> hoop_members(const ShareGraph& sg, VarId x) {
+  const std::size_t n = sg.process_count();
+  std::vector<bool> in_clique(n, false);
+  for (ProcessId p : sg.clique(x)) {
+    in_clique[static_cast<std::size_t>(p)] = true;
+  }
+  std::set<ProcessId> members;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (in_clique[v]) continue;
+    if (two_disjoint_paths(sg, x, static_cast<ProcessId>(v), in_clique)) {
+      members.insert(static_cast<ProcessId>(v));
+    }
+  }
+  return members;
+}
+
+std::set<ProcessId> x_relevant(const ShareGraph& sg, VarId x) {
+  std::set<ProcessId> out = hoop_members(sg, x);
+  for (ProcessId p : sg.clique(x)) out.insert(p);
+  return out;
+}
+
+std::vector<std::set<ProcessId>> all_relevant_sets(const ShareGraph& sg) {
+  std::vector<std::set<ProcessId>> out;
+  out.reserve(sg.var_count());
+  for (std::size_t x = 0; x < sg.var_count(); ++x) {
+    out.push_back(x_relevant(sg, static_cast<VarId>(x)));
+  }
+  return out;
+}
+
+RelevanceSummary summarize_relevance(const ShareGraph& sg) {
+  RelevanceSummary s;
+  for (std::size_t x = 0; x < sg.var_count(); ++x) {
+    const auto xv = static_cast<VarId>(x);
+    const auto relevant = x_relevant(sg, xv);
+    const auto& clique = sg.clique(xv);
+    s.total_relevant += relevant.size();
+    s.total_replicas += clique.size();
+    if (relevant.size() > clique.size()) ++s.vars_with_hoops;
+  }
+  return s;
+}
+
+}  // namespace pardsm::graph

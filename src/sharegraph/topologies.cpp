@@ -1,0 +1,271 @@
+#include "sharegraph/topologies.h"
+
+#include <algorithm>
+
+#include "simnet/check.h"
+#include "simnet/rng.h"
+
+namespace pardsm::graph::topo {
+
+Distribution fig1() {
+  Distribution d;
+  d.name = "fig1";
+  d.var_count = 2;
+  d.per_process = {{0, 1}, {0}, {1}};  // X_i={x1,x2}, X_j={x1}, X_k={x2}
+  return d;
+}
+
+Distribution complete(std::size_t n, std::size_t m) {
+  Distribution d;
+  d.name = "complete-n" + std::to_string(n) + "-m" + std::to_string(m);
+  d.var_count = m;
+  d.per_process.resize(n);
+  for (auto& xs : d.per_process) {
+    xs.resize(m);
+    for (std::size_t x = 0; x < m; ++x) xs[x] = static_cast<VarId>(x);
+  }
+  return d;
+}
+
+Distribution chain_with_hoop(std::size_t n) {
+  PARDSM_CHECK(n >= 3, "chain_with_hoop needs >= 3 processes");
+  Distribution d;
+  d.name = "chain-n" + std::to_string(n);
+  // var 0 = x (shared by the two ends); vars 1..n-1 = links l_i between
+  // (i-1, i).
+  d.var_count = n;
+  d.per_process.resize(n);
+  d.per_process[0].push_back(0);
+  d.per_process[n - 1].push_back(0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto link = static_cast<VarId>(i + 1);
+    d.per_process[i].push_back(link);
+    d.per_process[i + 1].push_back(link);
+  }
+  return d;
+}
+
+Distribution open_chain(std::size_t n) {
+  PARDSM_CHECK(n >= 2, "open_chain needs >= 2 processes");
+  Distribution d;
+  d.name = "open-chain-n" + std::to_string(n);
+  d.var_count = n - 1;
+  d.per_process.resize(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto link = static_cast<VarId>(i);
+    d.per_process[i].push_back(link);
+    d.per_process[i + 1].push_back(link);
+  }
+  return d;
+}
+
+Distribution ring(std::size_t n) {
+  PARDSM_CHECK(n >= 3, "ring needs >= 3 processes");
+  Distribution d;
+  d.name = "ring-n" + std::to_string(n);
+  d.var_count = n;
+  d.per_process.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto link = static_cast<VarId>(i);
+    d.per_process[i].push_back(link);
+    d.per_process[(i + 1) % n].push_back(link);
+  }
+  return d;
+}
+
+Distribution grid(std::size_t rows, std::size_t cols) {
+  PARDSM_CHECK(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  Distribution d;
+  d.name = "grid-" + std::to_string(rows) + "x" + std::to_string(cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  d.per_process.resize(rows * cols);
+  VarId next = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        d.per_process[id(r, c)].push_back(next);
+        d.per_process[id(r, c + 1)].push_back(next);
+        ++next;
+      }
+      if (r + 1 < rows) {
+        d.per_process[id(r, c)].push_back(next);
+        d.per_process[id(r + 1, c)].push_back(next);
+        ++next;
+      }
+    }
+  }
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution clusters(std::size_t k, std::size_t cluster_size, bool cyclic) {
+  PARDSM_CHECK(k >= 2 && cluster_size >= 1, "clusters parameter sanity");
+  Distribution d;
+  d.name = "clusters-k" + std::to_string(k) + "-s" +
+           std::to_string(cluster_size) + (cyclic ? "-cyclic" : "");
+  const std::size_t n = k * cluster_size;
+  d.per_process.resize(n);
+  VarId next = 0;
+  // One fully replicated variable per cluster.
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < cluster_size; ++i) {
+      d.per_process[c * cluster_size + i].push_back(next);
+    }
+    ++next;
+  }
+  // Bridge variable between last member of cluster c and first member of
+  // cluster c+1.
+  const std::size_t bridges = cyclic ? k : k - 1;
+  for (std::size_t c = 0; c < bridges; ++c) {
+    const std::size_t from = c * cluster_size + (cluster_size - 1);
+    const std::size_t to = ((c + 1) % k) * cluster_size;
+    d.per_process[from].push_back(next);
+    d.per_process[to].push_back(next);
+    ++next;
+  }
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution random_replication(std::size_t n, std::size_t m, std::size_t r,
+                                std::uint64_t seed) {
+  PARDSM_CHECK(r >= 1 && r <= n, "replication degree must be in [1, n]");
+  Distribution d;
+  d.name = "random-n" + std::to_string(n) + "-m" + std::to_string(m) + "-r" +
+           std::to_string(r) + "-s" + std::to_string(seed);
+  d.var_count = m;
+  d.per_process.resize(n);
+  Rng rng(seed);
+  std::vector<ProcessId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<ProcessId>(i);
+  for (std::size_t x = 0; x < m; ++x) {
+    rng.shuffle(all);
+    for (std::size_t i = 0; i < r; ++i) {
+      d.per_process[static_cast<std::size_t>(all[i])].push_back(
+          static_cast<VarId>(x));
+    }
+  }
+  for (auto& xs : d.per_process) std::sort(xs.begin(), xs.end());
+  return d;
+}
+
+Distribution star(std::size_t leaves) {
+  PARDSM_CHECK(leaves >= 2, "star needs >= 2 leaves");
+  Distribution d;
+  d.name = "star-l" + std::to_string(leaves);
+  const std::size_t n = leaves + 1;  // p0 = hub
+  d.per_process.resize(n);
+  VarId next = 0;
+  for (std::size_t l = 1; l <= leaves; ++l) {
+    d.per_process[0].push_back(next);
+    d.per_process[l].push_back(next);
+    ++next;
+  }
+  // One leaf-to-leaf variable (x): its C(x) = {p1, p2}; the path through
+  // the hub [p1, p0, p2] is an x-hoop.
+  d.per_process[1].push_back(next);
+  d.per_process[2].push_back(next);
+  ++next;
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution bellman_ford_fig8() {
+  Distribution d;
+  d.name = "bellman-ford-fig8";
+  // Variables: x_1..x_5 -> ids 0..4, k_1..k_5 -> ids 5..9.
+  // Paper (Section 6): X_1 = {x1,k1}; X_2 = {x1,x2,x3,k1,k2,k3};
+  // X_3 = {x1,x2,x3,k1,k2,k3}; X_4 = {x2,x3,x4,k2,k3,k4};
+  // X_5 = {x3,x4,x5,k3,k4,k5}.
+  d.var_count = 10;
+  const auto x = [](int i) { return static_cast<VarId>(i - 1); };
+  const auto k = [](int i) { return static_cast<VarId>(5 + i - 1); };
+  d.per_process = {
+      {x(1), k(1)},
+      {x(1), x(2), x(3), k(1), k(2), k(3)},
+      {x(1), x(2), x(3), k(1), k(2), k(3)},
+      {x(2), x(3), x(4), k(2), k(3), k(4)},
+      {x(3), x(4), x(5), k(3), k(4), k(5)},
+  };
+  return d;
+}
+
+Distribution hypercube(std::size_t dimensions) {
+  PARDSM_CHECK(dimensions >= 1 && dimensions <= 10,
+               "hypercube dimension sanity");
+  Distribution d;
+  d.name = "hypercube-d" + std::to_string(dimensions);
+  const std::size_t n = 1u << dimensions;
+  d.per_process.resize(n);
+  VarId next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < dimensions; ++bit) {
+      const std::size_t w = v ^ (1u << bit);
+      if (w <= v) continue;  // each edge once
+      d.per_process[v].push_back(next);
+      d.per_process[w].push_back(next);
+      ++next;
+    }
+  }
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution torus(std::size_t rows, std::size_t cols) {
+  PARDSM_CHECK(rows >= 3 && cols >= 3, "torus needs >= 3x3");
+  Distribution d;
+  d.name = "torus-" + std::to_string(rows) + "x" + std::to_string(cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return r * cols + c;
+  };
+  d.per_process.resize(rows * cols);
+  VarId next = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Right and down edges with wrap-around: every edge exactly once.
+      d.per_process[id(r, c)].push_back(next);
+      d.per_process[id(r, (c + 1) % cols)].push_back(next);
+      ++next;
+      d.per_process[id(r, c)].push_back(next);
+      d.per_process[id((r + 1) % rows, c)].push_back(next);
+      ++next;
+    }
+  }
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution preferential_attachment(std::size_t n, std::size_t attach,
+                                     std::uint64_t seed) {
+  PARDSM_CHECK(n >= 2 && attach >= 1, "preferential_attachment sanity");
+  Rng rng(seed);
+  Distribution d;
+  d.name = "prefattach-n" + std::to_string(n) + "-a" +
+           std::to_string(attach) + "-s" + std::to_string(seed);
+  d.per_process.resize(n);
+  VarId next = 0;
+  // Degree-weighted target list: every edge endpoint appears once.
+  std::vector<ProcessId> endpoints{0};
+  for (std::size_t v = 1; v < n; ++v) {
+    std::set<ProcessId> chosen;
+    const std::size_t want = std::min(attach, v);
+    while (chosen.size() < want) {
+      const ProcessId target =
+          endpoints[static_cast<std::size_t>(rng.below(endpoints.size()))];
+      if (static_cast<std::size_t>(target) < v) chosen.insert(target);
+    }
+    for (ProcessId target : chosen) {
+      d.per_process[v].push_back(next);
+      d.per_process[static_cast<std::size_t>(target)].push_back(next);
+      ++next;
+      endpoints.push_back(static_cast<ProcessId>(v));
+      endpoints.push_back(target);
+    }
+  }
+  d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+}  // namespace pardsm::graph::topo

@@ -1,0 +1,79 @@
+// Variable-distribution generators.
+//
+// Every generator returns a Distribution (per-process variable sets) from
+// which a ShareGraph is built.  The corpus covers the paper's figures and
+// the parameter sweeps of the benches: hoop-free topologies, single-hoop
+// chains, hoop-rich rings/grids, clustered systems and random
+// r-replication.
+#pragma once
+
+#include <cstdint>
+
+#include "sharegraph/share_graph.h"
+
+namespace pardsm::graph::topo {
+
+/// Figure 1 of the paper: three processes, two variables;
+/// X_i = {x1, x2}, X_j = {x1}, X_k = {x2}  (ids: p0=i, p1=j, p2=k;
+/// x1=var 0, x2=var 1).
+[[nodiscard]] Distribution fig1();
+
+/// Every variable on every process (complete replication, no hoops).
+[[nodiscard]] Distribution complete(std::size_t n, std::size_t m);
+
+/// Chain with one closing variable: processes 0..n-1; a "link" variable
+/// l_i shared by (i, i+1), and variable x (id 0) shared by the two ends
+/// {0, n-1}.  The whole chain is an x-hoop — the canonical Figure 2 shape.
+/// Note the closing variable turns the share graph into a cycle, so every
+/// link variable gains a hoop around the other side too.
+[[nodiscard]] Distribution chain_with_hoop(std::size_t n);
+
+/// Open chain: link variables only, no closing variable.  Removing any
+/// C(l_i) disconnects the graph, so *no* variable has a hoop — the
+/// hoop-free baseline of the benches.
+[[nodiscard]] Distribution open_chain(std::size_t n);
+
+/// Ring: link variable between every (i, (i+1) mod n).  Every variable has
+/// a hoop around the other side of the ring.
+[[nodiscard]] Distribution ring(std::size_t n);
+
+/// r×c grid: one variable per grid edge (shared by its two endpoints).
+[[nodiscard]] Distribution grid(std::size_t rows, std::size_t cols);
+
+/// k fully-replicated clusters of `cluster_size` processes, adjacent
+/// clusters bridged by one shared variable.  Hoops exist for bridge
+/// variables when clusters form a cycle (`cyclic`).
+[[nodiscard]] Distribution clusters(std::size_t k, std::size_t cluster_size,
+                                    bool cyclic);
+
+/// Random distribution: m variables, each replicated on `r` distinct
+/// processes chosen uniformly (deterministic in `seed`).
+[[nodiscard]] Distribution random_replication(std::size_t n, std::size_t m,
+                                              std::size_t r,
+                                              std::uint64_t seed);
+
+/// Star: variable s_i shared by the hub (p0) and leaf i; plus one variable
+/// shared by two leaves (creating a hoop through the hub).
+[[nodiscard]] Distribution star(std::size_t leaves);
+
+/// The Bellman-Ford example of Section 6 / Figure 8: five processes.
+/// Variables: x_i = ids 0..4 (distance values), k_i = ids 5..9
+/// (synchronization counters).  X_i sets exactly as printed in the paper.
+[[nodiscard]] Distribution bellman_ford_fig8();
+
+/// d-dimensional hypercube: 2^d processes, one variable per edge.
+/// Dense in hoops (every edge closes through the other 2^d - 2 vertices).
+[[nodiscard]] Distribution hypercube(std::size_t dimensions);
+
+/// rows×cols torus (wrap-around grid), one variable per edge.
+[[nodiscard]] Distribution torus(std::size_t rows, std::size_t cols);
+
+/// Preferential-attachment ("scale-free") share graph: each new process
+/// shares one fresh variable with `attach` existing processes chosen with
+/// probability proportional to their current degree.  Models the skewed
+/// sharing patterns of collaborative large-scale systems (§3.3).
+[[nodiscard]] Distribution preferential_attachment(std::size_t n,
+                                                   std::size_t attach,
+                                                   std::uint64_t seed);
+
+}  // namespace pardsm::graph::topo

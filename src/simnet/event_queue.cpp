@@ -1,0 +1,26 @@
+#include "simnet/event_queue.h"
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+void EventQueue::schedule(TimePoint when, std::function<void()> fn) {
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+TimePoint EventQueue::next_time() const {
+  PARDSM_CHECK(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().when;
+}
+
+Event EventQueue::pop() {
+  PARDSM_CHECK(!heap_.empty(), "pop on empty queue");
+  // priority_queue::top returns const&; we must copy then pop.  The
+  // std::function move is the expensive part, so copy via const_cast-free
+  // pattern: take a copy of top, then pop.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace pardsm

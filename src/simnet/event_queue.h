@@ -1,0 +1,57 @@
+// Discrete-event priority queue.
+//
+// Events are ordered by (time, insertion sequence), which makes simulation
+// runs fully deterministic: ties are broken by insertion order, never by
+// container internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// A scheduled simulation event.
+struct Event {
+  TimePoint when{};
+  std::uint64_t seq = 0;  ///< tie-breaker: insertion order
+  std::function<void()> fire;
+};
+
+/// Min-heap of events keyed by (when, seq).
+class EventQueue {
+ public:
+  /// Schedule `fn` to run at absolute time `when`.
+  void schedule(TimePoint when, std::function<void()> fn);
+
+  /// True if no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the next event; only valid when !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Remove and return the next event.  Only valid when !empty().
+  Event pop();
+
+  /// Total number of events ever scheduled (diagnostics).
+  [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return b.when < a.when;
+      return b.seq < a.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pardsm

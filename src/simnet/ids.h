@@ -1,0 +1,50 @@
+// Fundamental identifier and value types shared by every pardsm layer.
+//
+// The paper models a system of n MCS processes p_1..p_n and m shared
+// variables x_1..x_m.  We index both from 0.  Values are 64-bit integers;
+// the paper's initial value "bottom" is represented by kBottom.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pardsm {
+
+/// Index of an MCS/application process pair (the paper's p_i / ap_i).
+using ProcessId = std::int32_t;
+
+/// Index of a shared variable (the paper's x_h).
+using VarId = std::int32_t;
+
+/// Value stored in a shared variable.
+using Value = std::int64_t;
+
+/// Sentinel used where a process id is not yet known.
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Sentinel used where a variable id is not yet known.
+inline constexpr VarId kNoVar = -1;
+
+/// The paper's initial value "bottom": every variable holds it before any
+/// write.  A read returning kBottom models r(x)⊥.
+inline constexpr Value kBottom = std::numeric_limits<Value>::min();
+
+/// Identity of a write operation: writer process plus the writer-local
+/// sequence number of the write (0-based position among that writer's
+/// writes).  Replicas carry provenance so the read-from relation of
+/// recorded histories is exact, never inferred from value equality.
+struct WriteId {
+  ProcessId writer = kNoProcess;
+  std::int64_t seq = -1;
+
+  friend bool operator==(const WriteId&, const WriteId&) = default;
+  friend auto operator<=>(const WriteId&, const WriteId&) = default;
+
+  /// True if this id denotes a real write (not the initial value).
+  [[nodiscard]] bool valid() const { return writer != kNoProcess; }
+};
+
+/// WriteId for "nobody wrote yet" (the initial ⊥ content of a variable).
+inline constexpr WriteId kInitialWrite{};
+
+}  // namespace pardsm

@@ -1,0 +1,49 @@
+#include "simnet/latency.h"
+
+#include <cmath>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+UniformLatency::UniformLatency(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+  PARDSM_CHECK(lo.us >= 0 && lo <= hi, "UniformLatency requires 0 <= lo <= hi");
+}
+
+Duration UniformLatency::sample(ProcessId, ProcessId, Rng& rng) {
+  return Duration{rng.range(lo_.us, hi_.us)};
+}
+
+ExponentialTailLatency::ExponentialTailLatency(Duration base,
+                                               Duration mean_tail,
+                                               Duration cap)
+    : base_(base), mean_(mean_tail), cap_(cap) {
+  PARDSM_CHECK(base.us >= 0 && mean_tail.us > 0 && cap.us >= 0,
+               "ExponentialTailLatency parameter sanity");
+}
+
+Duration ExponentialTailLatency::sample(ProcessId, ProcessId, Rng& rng) {
+  // Inverse-CDF sampling; clamp u away from 0 to avoid log(0).
+  const double u = std::max(rng.uniform01(), 1e-12);
+  auto tail = static_cast<std::int64_t>(
+      -std::log(u) * static_cast<double>(mean_.us));
+  if (tail > cap_.us) tail = cap_.us;
+  return base_ + Duration{tail};
+}
+
+MatrixLatency::MatrixLatency(std::vector<std::vector<Duration>> matrix)
+    : matrix_(std::move(matrix)) {
+  for (const auto& row : matrix_) {
+    PARDSM_CHECK(row.size() == matrix_.size(), "MatrixLatency must be square");
+  }
+}
+
+Duration MatrixLatency::sample(ProcessId from, ProcessId to, Rng&) {
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < matrix_.size(),
+               "MatrixLatency: from out of range");
+  PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < matrix_.size(),
+               "MatrixLatency: to out of range");
+  return matrix_[static_cast<std::size_t>(from)][static_cast<std::size_t>(to)];
+}
+
+}  // namespace pardsm

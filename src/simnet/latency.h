@@ -1,0 +1,84 @@
+// Network latency models.
+//
+// A LatencyModel answers "how long does a message from p to q take?".
+// Models draw from the channel's own Rng stream, so latency sequences are
+// reproducible per (seed, channel) regardless of global event interleaving.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simnet/ids.h"
+#include "simnet/rng.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// Strategy interface for sampling per-message network latency.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Sample the latency of one message from `from` to `to`.
+  virtual Duration sample(ProcessId from, ProcessId to, Rng& rng) = 0;
+
+  /// Deep copy (each Network owns its own instance).
+  [[nodiscard]] virtual std::unique_ptr<LatencyModel> clone() const = 0;
+};
+
+/// Every message takes exactly `fixed` time.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(Duration fixed) : fixed_(fixed) {}
+  Duration sample(ProcessId, ProcessId, Rng&) override { return fixed_; }
+  [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
+    return std::make_unique<ConstantLatency>(fixed_);
+  }
+
+ private:
+  Duration fixed_;
+};
+
+/// Latency uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(Duration lo, Duration hi);
+  Duration sample(ProcessId, ProcessId, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
+    return std::make_unique<UniformLatency>(lo_, hi_);
+  }
+
+ private:
+  Duration lo_, hi_;
+};
+
+/// Base latency plus an exponential tail (truncated), approximating a
+/// congested WAN link: base + Exp(mean_tail), capped at base + cap.
+class ExponentialTailLatency final : public LatencyModel {
+ public:
+  ExponentialTailLatency(Duration base, Duration mean_tail, Duration cap);
+  Duration sample(ProcessId, ProcessId, Rng& rng) override;
+  [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
+    return std::make_unique<ExponentialTailLatency>(base_, mean_, cap_);
+  }
+
+ private:
+  Duration base_, mean_, cap_;
+};
+
+/// Fully specified per-directed-pair latency matrix (geo-distributed sites).
+class MatrixLatency final : public LatencyModel {
+ public:
+  /// `matrix[from][to]` is the one-way latency; diagonal entries are used
+  /// for loopback sends.
+  explicit MatrixLatency(std::vector<std::vector<Duration>> matrix);
+  Duration sample(ProcessId from, ProcessId to, Rng&) override;
+  [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
+    return std::make_unique<MatrixLatency>(matrix_);
+  }
+
+ private:
+  std::vector<std::vector<Duration>> matrix_;
+};
+
+}  // namespace pardsm

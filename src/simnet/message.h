@@ -1,0 +1,67 @@
+// Messages exchanged between MCS processes.
+//
+// Protocol payloads are polymorphic MessageBody subclasses (no byte-level
+// serialization: both runtimes live in one address space).  What the paper
+// cares about — how much *control information* travels and which variables
+// that information concerns — is declared explicitly in MessageMeta by the
+// sending protocol and audited by NetworkStats / the efficiency analyzer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simnet/ids.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// Base class for protocol-defined message contents.
+class MessageBody {
+ public:
+  virtual ~MessageBody() = default;
+};
+
+/// Accounting metadata attached to every message by the sending protocol.
+struct MessageMeta {
+  /// Short human-readable tag for traces, e.g. "UPD", "NOTIFY", "ACK".
+  std::string kind;
+
+  /// Bytes of protocol control information (timestamps, ids, clocks...).
+  std::uint64_t control_bytes = 0;
+
+  /// Bytes of application data (the written value itself).
+  std::uint64_t payload_bytes = 0;
+
+  /// Variables about which this message carries *metadata*.  A process that
+  /// receives a message mentioning x becomes observably x-relevant — the
+  /// quantity Theorem 1 and Theorem 2 of the paper characterize.
+  std::vector<VarId> vars_mentioned;
+
+  /// Total bytes on the wire (header modelled as 16 bytes).
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return 16 + control_bytes + payload_bytes;
+  }
+};
+
+/// A message in flight or being delivered.
+struct Message {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::shared_ptr<const MessageBody> body;
+  MessageMeta meta;
+
+  /// Filled by the runtime.
+  std::uint64_t id = 0;
+  TimePoint send_time{};
+  TimePoint deliver_time{};
+
+  /// Convenience typed access to the body.  Returns nullptr on mismatch.
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return dynamic_cast<const T*>(body.get());
+  }
+};
+
+}  // namespace pardsm

@@ -1,0 +1,54 @@
+#include "simnet/network.h"
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+Network::Network(std::size_t n, ChannelOptions options,
+                 std::unique_ptr<LatencyModel> latency, Rng rng)
+    : n_(n),
+      options_(options),
+      latency_(latency ? std::move(latency)
+                       : std::make_unique<ConstantLatency>(millis(1))),
+      rng_(rng) {}
+
+std::vector<TimePoint> Network::plan_delivery(ProcessId from, ProcessId to,
+                                              TimePoint send_time) {
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_,
+               "plan_delivery: bad sender");
+  PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < n_,
+               "plan_delivery: bad receiver");
+
+  if (severed(from, to) || rng_.chance(options_.drop_probability)) {
+    ++dropped_;
+    return {};
+  }
+
+  std::vector<TimePoint> deliveries;
+  const int copies = rng_.chance(options_.duplicate_probability) ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    TimePoint at = send_time + latency_->sample(from, to, rng_);
+    if (options_.fifo) {
+      auto& last = last_delivery_[{from, to}];
+      if (at <= last) at = last + micros(1);
+      last = at;
+    }
+    deliveries.push_back(at);
+  }
+  return deliveries;
+}
+
+void Network::sever(ProcessId from, ProcessId to) {
+  severed_[{from, to}] = true;
+}
+
+void Network::heal(ProcessId from, ProcessId to) {
+  severed_[{from, to}] = false;
+}
+
+bool Network::severed(ProcessId from, ProcessId to) const {
+  auto it = severed_.find({from, to});
+  return it != severed_.end() && it->second;
+}
+
+}  // namespace pardsm

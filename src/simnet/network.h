@@ -1,0 +1,71 @@
+// Channel behaviour: latency, FIFO ordering, loss and duplication.
+//
+// Network decides *when* (and whether, and how many times) each sent
+// message is delivered.  It is deliberately independent of the event queue
+// so channel semantics can be unit-tested in isolation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "simnet/ids.h"
+#include "simnet/latency.h"
+#include "simnet/rng.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// Per-channel fault and ordering knobs.
+struct ChannelOptions {
+  /// Deliver messages of each directed pair in send order.  PRAM and slow
+  /// protocols rely on FIFO; causal protocols tolerate reordering.
+  bool fifo = true;
+
+  /// Probability that a message is silently dropped.
+  double drop_probability = 0.0;
+
+  /// Probability that a message is delivered twice.
+  double duplicate_probability = 0.0;
+};
+
+/// Computes delivery schedules for messages.
+class Network {
+ public:
+  /// Build a network over `n` processes.  `latency` may be null, meaning
+  /// a default 1ms constant latency.
+  Network(std::size_t n, ChannelOptions options,
+          std::unique_ptr<LatencyModel> latency, Rng rng);
+
+  /// Decide the fate of one message sent at `send_time`: returns the list
+  /// of delivery times (empty if dropped, two entries if duplicated).
+  /// FIFO clamping guarantees strictly increasing delivery times per
+  /// directed pair when options.fifo is set.
+  std::vector<TimePoint> plan_delivery(ProcessId from, ProcessId to,
+                                       TimePoint send_time);
+
+  [[nodiscard]] std::size_t process_count() const { return n_; }
+  [[nodiscard]] const ChannelOptions& options() const { return options_; }
+
+  /// Partition control: while a directed pair is severed, messages are
+  /// dropped.  Used by fault-injection tests.
+  void sever(ProcessId from, ProcessId to);
+  void heal(ProcessId from, ProcessId to);
+  [[nodiscard]] bool severed(ProcessId from, ProcessId to) const;
+
+  /// Messages dropped so far (by fault injection or loss probability).
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  std::size_t n_;
+  ChannelOptions options_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  /// Last planned delivery time per directed pair (FIFO clamp state).
+  std::map<std::pair<ProcessId, ProcessId>, TimePoint> last_delivery_;
+  std::map<std::pair<ProcessId, ProcessId>, bool> severed_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pardsm

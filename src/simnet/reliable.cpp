@@ -1,0 +1,193 @@
+#include "simnet/reliable.h"
+
+#include <deque>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+namespace {
+
+/// Payload-bearing frame.
+struct DataFrame final : MessageBody {
+  std::uint64_t seq = 0;  ///< per (sender, receiver) sequence, 1-based
+  std::shared_ptr<const MessageBody> payload;
+  MessageMeta payload_meta;
+};
+
+/// Acknowledgement: cumulative per directed pair.
+struct AckFrame final : MessageBody {
+  std::uint64_t cumulative = 0;  ///< all seq <= cumulative received
+};
+
+/// Timer tags: the ARQ layer owns the upper bit space so application tags
+/// pass through unchanged.
+constexpr TimerTag kArqTimerBit = 1ULL << 63;
+
+}  // namespace
+
+/// Per-process shim: the simulator endpoint that hides the ARQ machinery
+/// from the real application endpoint.
+class ReliableTransport::Shim final : public Endpoint {
+ public:
+  Shim(ReliableTransport& owner, Endpoint* app, ProcessId self)
+      : owner_(owner), app_(app), self_(self) {}
+
+  // ---- sending side -------------------------------------------------------
+  void send_app(ProcessId to, std::shared_ptr<const MessageBody> body,
+                MessageMeta meta) {
+    auto& out = outgoing_[to];
+    auto frame = std::make_shared<DataFrame>();
+    frame->seq = ++out.next_seq;
+    frame->payload = std::move(body);
+    frame->payload_meta = meta;
+
+    out.unacked[frame->seq] = frame;
+    transmit(to, frame);
+    arm_timer();
+  }
+
+  void transmit(ProcessId to, const std::shared_ptr<DataFrame>& frame) {
+    MessageMeta meta = frame->payload_meta;
+    meta.kind = "ARQ:" + meta.kind;
+    meta.control_bytes += 16;  // seq + ack piggyback space
+    owner_.sim_.send(self_, to, frame, std::move(meta));
+  }
+
+  // ---- receiving side -------------------------------------------------------
+  void on_message(const Message& m) override {
+    if (const auto* ack = m.as<AckFrame>()) {
+      auto& out = outgoing_[m.from];
+      for (auto it = out.unacked.begin();
+           it != out.unacked.end() && it->first <= ack->cumulative;) {
+        it = out.unacked.erase(it);
+      }
+      return;
+    }
+    const auto* frame = m.as<DataFrame>();
+    if (frame == nullptr) {
+      // Not an ARQ frame (foreign traffic): pass through untouched.
+      app_->on_message(m);
+      return;
+    }
+    auto& in = incoming_[m.from];
+    if (frame->seq > in.delivered) {
+      in.pending.emplace(frame->seq, *frame);
+      // Deliver any in-sequence prefix exactly once.
+      while (!in.pending.empty() &&
+             in.pending.begin()->first == in.delivered + 1) {
+        const DataFrame& next = in.pending.begin()->second;
+        Message app_msg;
+        app_msg.from = m.from;
+        app_msg.to = self_;
+        app_msg.body = next.payload;
+        app_msg.meta = next.payload_meta;
+        app_msg.id = m.id;
+        app_msg.send_time = m.send_time;
+        app_msg.deliver_time = m.deliver_time;
+        ++in.delivered;
+        in.pending.erase(in.pending.begin());
+        app_->on_message(app_msg);
+      }
+    }
+    // Cumulative ack (also for duplicates — the original ack may be lost).
+    auto ack = std::make_shared<AckFrame>();
+    ack->cumulative = in.delivered;
+    MessageMeta ack_meta;
+    ack_meta.kind = "ARQ:ACK";
+    ack_meta.control_bytes = 8;
+    owner_.sim_.send(self_, m.from, std::move(ack), std::move(ack_meta));
+  }
+
+  void on_timer(TimerTag tag) override {
+    if ((tag & kArqTimerBit) == 0) {
+      app_->on_timer(tag);
+      return;
+    }
+    timer_armed_ = false;
+    bool anything_pending = false;
+    for (auto& [to, out] : outgoing_) {
+      for (auto& [seq, frame] : out.unacked) {
+        PARDSM_CHECK(++frame_retries_[frame.get()] <=
+                         owner_.options_.max_retransmits,
+                     "ARQ gave up: frame retransmitted too often");
+        ++retransmissions_;
+        transmit(to, frame);
+        anything_pending = true;
+      }
+    }
+    if (anything_pending) arm_timer();
+  }
+
+  void arm_timer() {
+    if (timer_armed_) return;
+    timer_armed_ = true;
+    owner_.sim_.set_timer(self_, owner_.options_.retransmit_after,
+                          kArqTimerBit);
+  }
+
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_;
+  }
+
+ private:
+  struct Outgoing {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, std::shared_ptr<DataFrame>> unacked;
+  };
+  struct Incoming {
+    std::uint64_t delivered = 0;
+    std::map<std::uint64_t, DataFrame> pending;
+  };
+
+  ReliableTransport& owner_;
+  Endpoint* app_;
+  ProcessId self_;
+  std::map<ProcessId, Outgoing> outgoing_;
+  std::map<ProcessId, Incoming> incoming_;
+  std::map<const DataFrame*, std::uint32_t> frame_retries_;
+  std::uint64_t retransmissions_ = 0;
+  bool timer_armed_ = false;
+};
+
+ReliableTransport::ReliableTransport(Simulator& sim, ReliableOptions options)
+    : sim_(sim), options_(options) {}
+
+ReliableTransport::~ReliableTransport() = default;
+
+ProcessId ReliableTransport::add_endpoint(Endpoint* ep) {
+  PARDSM_CHECK(ep != nullptr, "add_endpoint: null endpoint");
+  auto shim = std::make_unique<Shim>(*this, ep,
+                                     static_cast<ProcessId>(shims_.size()));
+  const ProcessId assigned = sim_.add_endpoint(shim.get());
+  PARDSM_CHECK(assigned == static_cast<ProcessId>(shims_.size()),
+               "interleaved registration with the raw simulator");
+  shims_.push_back(std::move(shim));
+  return assigned;
+}
+
+void ReliableTransport::send(ProcessId from, ProcessId to,
+                             std::shared_ptr<const MessageBody> body,
+                             MessageMeta meta) {
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < shims_.size(),
+               "send: bad sender");
+  shims_[static_cast<std::size_t>(from)]->send_app(to, std::move(body),
+                                                   std::move(meta));
+}
+
+void ReliableTransport::set_timer(ProcessId who, Duration delay,
+                                  TimerTag tag) {
+  PARDSM_CHECK((tag & (1ULL << 63)) == 0,
+               "application timer tags must not use the top bit");
+  sim_.set_timer(who, delay, tag);
+}
+
+std::size_t ReliableTransport::process_count() const { return shims_.size(); }
+
+std::uint64_t ReliableTransport::retransmissions() const {
+  std::uint64_t sum = 0;
+  for (const auto& shim : shims_) sum += shim->retransmissions();
+  return sum;
+}
+
+}  // namespace pardsm

@@ -1,0 +1,115 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in pardsm (latency samples, workload generation,
+// topology generation) flows through Rng so that a (seed, code path) pair
+// fully determines an execution.  The generator is xoshiro256** seeded via
+// SplitMix64, both public-domain algorithms reimplemented here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator
+/// state and to derive independent child seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic 64-bit generator (xoshiro256**).
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions, although pardsm code prefers the built-in
+/// helpers below for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a seed; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0x1727'2005'0623ULL) { reseed(seed); }
+
+  /// Re-initialize the stream from a seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire rejection; bound > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    PARDSM_CHECK(bound > 0, "Rng::below requires positive bound");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    PARDSM_CHECK(lo <= hi, "Rng::range requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Fisher–Yates shuffle (deterministic given the stream position).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator; children with distinct tags
+  /// have decorrelated streams.
+  [[nodiscard]] Rng fork(std::uint64_t tag) {
+    std::uint64_t mix = (*this)() ^ (tag * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pardsm

@@ -1,0 +1,50 @@
+// Simulated time.
+//
+// The simulator's clock is a 64-bit count of microseconds.  Using an
+// integral representation keeps event ordering exact and portable; helper
+// constructors give readable literals at call sites (micros/millis/secs).
+#pragma once
+
+#include <cstdint>
+
+namespace pardsm {
+
+/// A duration in simulated microseconds.
+struct Duration {
+  std::int64_t us = 0;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us + b.us};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us - b.us};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.us * k};
+  }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+};
+
+/// An absolute simulated time (microseconds since simulation start).
+struct TimePoint {
+  std::int64_t us = 0;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.us + d.us};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.us - b.us};
+  }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+  friend constexpr bool operator==(TimePoint, TimePoint) = default;
+};
+
+/// Readable duration literals.
+constexpr Duration micros(std::int64_t n) { return Duration{n}; }
+constexpr Duration millis(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000000}; }
+
+/// Simulation epoch.
+inline constexpr TimePoint kTimeZero{};
+
+}  // namespace pardsm

@@ -1,0 +1,108 @@
+#include "simnet/simulator.h"
+
+#include <utility>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+Simulator::Simulator(SimOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+Simulator::~Simulator() = default;
+
+ProcessId Simulator::add_endpoint(Endpoint* ep) {
+  PARDSM_CHECK(ep != nullptr, "add_endpoint: null endpoint");
+  PARDSM_CHECK(!network_frozen_,
+               "add_endpoint: cannot add endpoints after first send");
+  endpoints_.push_back(ep);
+  return static_cast<ProcessId>(endpoints_.size() - 1);
+}
+
+void Simulator::send(ProcessId from, ProcessId to,
+                     std::shared_ptr<const MessageBody> body,
+                     MessageMeta meta) {
+  if (!network_frozen_) {
+    network_ = std::make_unique<Network>(
+        endpoints_.size(), options_.channel,
+        options_.latency ? options_.latency->clone() : nullptr,
+        rng_.fork(/*tag=*/0x4E455457ULL));  // "NETW"
+    stats_.resize(endpoints_.size());
+    network_frozen_ = true;
+  }
+  PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size(),
+               "send: bad destination");
+
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.body = std::move(body);
+  m.meta = std::move(meta);
+  m.id = next_msg_id_++;
+  m.send_time = now_;
+
+  stats_.on_send(m);
+  trace_.record({TraceEntry::Type::kSend, now_, from, to, m.id, m.meta.kind});
+
+  const auto deliveries = network_->plan_delivery(from, to, now_);
+  if (deliveries.empty()) {
+    trace_.record({TraceEntry::Type::kDrop, now_, from, to, m.id, m.meta.kind});
+    return;
+  }
+  for (TimePoint at : deliveries) {
+    Message copy = m;
+    copy.deliver_time = at;
+    queue_.schedule(at, [this, msg = std::move(copy)]() mutable {
+      deliver(std::move(msg));
+    });
+  }
+}
+
+void Simulator::set_timer(ProcessId who, Duration delay, TimerTag tag) {
+  PARDSM_CHECK(who >= 0 && static_cast<std::size_t>(who) < endpoints_.size(),
+               "set_timer: bad process");
+  PARDSM_CHECK(delay.us >= 0, "set_timer: negative delay");
+  queue_.schedule(now_ + delay, [this, who, tag] {
+    trace_.record({TraceEntry::Type::kTimer, now_, who, kNoProcess, tag,
+                   "timer"});
+    endpoints_[static_cast<std::size_t>(who)]->on_timer(tag);
+  });
+}
+
+void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  PARDSM_CHECK(when >= now_, "schedule_at: time in the past");
+  queue_.schedule(when, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.pop();
+  PARDSM_CHECK(e.when >= now_, "event queue went backwards");
+  now_ = e.when;
+  ++events_fired_;
+  PARDSM_CHECK(events_fired_ <= options_.max_events,
+               "simulation exceeded max_events — non-terminating protocol?");
+  e.fire();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+bool Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  return queue_.empty();
+}
+
+void Simulator::deliver(Message m) {
+  stats_.on_deliver(m);
+  trace_.record({TraceEntry::Type::kDeliver, now_, m.from, m.to, m.id,
+                 m.meta.kind});
+  endpoints_[static_cast<std::size_t>(m.to)]->on_message(m);
+}
+
+}  // namespace pardsm

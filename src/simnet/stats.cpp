@@ -1,0 +1,103 @@
+#include "simnet/stats.h"
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+void NetworkStats::resize(std::size_t n) {
+  std::lock_guard lock(mu_);
+  per_process_.assign(n, ProcessTraffic{});
+  exposure_.assign(n, {});
+}
+
+void NetworkStats::on_send(const Message& m) {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(m.from >= 0 &&
+                   static_cast<std::size_t>(m.from) < per_process_.size(),
+               "on_send: bad sender");
+  auto& t = per_process_[static_cast<std::size_t>(m.from)];
+  ++t.msgs_sent;
+  t.control_bytes_sent += m.meta.control_bytes;
+  t.payload_bytes_sent += m.meta.payload_bytes;
+}
+
+void NetworkStats::on_deliver(const Message& m) {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(m.to >= 0 &&
+                   static_cast<std::size_t>(m.to) < per_process_.size(),
+               "on_deliver: bad receiver");
+  auto& t = per_process_[static_cast<std::size_t>(m.to)];
+  ++t.msgs_received;
+  t.control_bytes_received += m.meta.control_bytes;
+  t.payload_bytes_received += m.meta.payload_bytes;
+  auto& exp = exposure_[static_cast<std::size_t>(m.to)];
+  for (VarId x : m.meta.vars_mentioned) ++exp[x];
+}
+
+ProcessTraffic NetworkStats::traffic(ProcessId p) const {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < per_process_.size(),
+               "traffic: bad process");
+  return per_process_[static_cast<std::size_t>(p)];
+}
+
+ProcessTraffic NetworkStats::total() const {
+  std::lock_guard lock(mu_);
+  ProcessTraffic sum;
+  for (const auto& t : per_process_) {
+    sum.msgs_sent += t.msgs_sent;
+    sum.msgs_received += t.msgs_received;
+    sum.control_bytes_sent += t.control_bytes_sent;
+    sum.payload_bytes_sent += t.payload_bytes_sent;
+    sum.control_bytes_received += t.control_bytes_received;
+    sum.payload_bytes_received += t.payload_bytes_received;
+  }
+  return sum;
+}
+
+std::uint64_t NetworkStats::exposure(ProcessId p, VarId x) const {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < exposure_.size(),
+               "exposure: bad process");
+  const auto& exp = exposure_[static_cast<std::size_t>(p)];
+  auto it = exp.find(x);
+  return it == exp.end() ? 0 : it->second;
+}
+
+std::set<ProcessId> NetworkStats::processes_exposed_to(VarId x) const {
+  std::lock_guard lock(mu_);
+  std::set<ProcessId> out;
+  for (std::size_t p = 0; p < exposure_.size(); ++p) {
+    auto it = exposure_[p].find(x);
+    if (it != exposure_[p].end() && it->second > 0) {
+      out.insert(static_cast<ProcessId>(p));
+    }
+  }
+  return out;
+}
+
+std::set<VarId> NetworkStats::variables_seen_by(ProcessId p) const {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < exposure_.size(),
+               "variables_seen_by: bad process");
+  std::set<VarId> out;
+  for (const auto& [x, count] : exposure_[static_cast<std::size_t>(p)]) {
+    if (count > 0) out.insert(x);
+  }
+  return out;
+}
+
+std::uint64_t NetworkStats::messages_delivered() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t sum = 0;
+  for (const auto& t : per_process_) sum += t.msgs_received;
+  return sum;
+}
+
+void NetworkStats::clear() {
+  std::lock_guard lock(mu_);
+  for (auto& t : per_process_) t = ProcessTraffic{};
+  for (auto& e : exposure_) e.clear();
+}
+
+}  // namespace pardsm

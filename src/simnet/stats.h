@@ -1,0 +1,78 @@
+// Traffic accounting.
+//
+// NetworkStats reduces message traffic to the quantities the paper reasons
+// about: per-process message/byte counts split into control vs payload, and
+// per-(process, variable) *exposure* — how often a process received
+// metadata mentioning a given variable.  The exposure table is exactly the
+// empirical version of the paper's "x-relevant" notion (DESIGN.md T1/T2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "simnet/ids.h"
+#include "simnet/message.h"
+
+namespace pardsm {
+
+/// Aggregated counters for one process.
+struct ProcessTraffic {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t control_bytes_sent = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t control_bytes_received = 0;
+  std::uint64_t payload_bytes_received = 0;
+
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const {
+    return control_bytes_sent + payload_bytes_sent + 16 * msgs_sent;
+  }
+};
+
+/// Thread-safe traffic accounting shared by both runtimes.
+class NetworkStats {
+ public:
+  explicit NetworkStats(std::size_t n = 0) { resize(n); }
+
+  /// (Re)size for `n` processes, clearing all counters.
+  void resize(std::size_t n);
+
+  /// Record a message leaving `m.from`.
+  void on_send(const Message& m);
+
+  /// Record a message arriving at `m.to`; updates variable exposure.
+  void on_deliver(const Message& m);
+
+  /// Counters for process `p`.
+  [[nodiscard]] ProcessTraffic traffic(ProcessId p) const;
+
+  /// Sum of counters over all processes.
+  [[nodiscard]] ProcessTraffic total() const;
+
+  /// How many received messages mentioned variable `x` at process `p`.
+  [[nodiscard]] std::uint64_t exposure(ProcessId p, VarId x) const;
+
+  /// Set of processes with nonzero exposure to `x` — the *observed*
+  /// x-relevant set (plus C(x) members that only send).
+  [[nodiscard]] std::set<ProcessId> processes_exposed_to(VarId x) const;
+
+  /// Set of variables process `p` has been exposed to.
+  [[nodiscard]] std::set<VarId> variables_seen_by(ProcessId p) const;
+
+  /// Total messages delivered across all processes.
+  [[nodiscard]] std::uint64_t messages_delivered() const;
+
+  /// Reset all counters, keeping the size.
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ProcessTraffic> per_process_;
+  /// exposure_[p][x] = number of received messages mentioning x.
+  std::vector<std::map<VarId, std::uint64_t>> exposure_;
+};
+
+}  // namespace pardsm

@@ -1,0 +1,184 @@
+#include "simnet/thread_runtime.h"
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+ThreadRuntime::ThreadRuntime(ThreadRuntimeOptions options)
+    : options_(options), rng_(options.seed) {}
+
+ThreadRuntime::~ThreadRuntime() {
+  if (running_.load()) stop();
+}
+
+ProcessId ThreadRuntime::add_endpoint(Endpoint* ep) {
+  PARDSM_CHECK(ep != nullptr, "add_endpoint: null endpoint");
+  PARDSM_CHECK(!running_.load(), "add_endpoint: runtime already started");
+  endpoints_.push_back(ep);
+  mailboxes_.push_back(std::make_unique<Mailbox>());
+  return static_cast<ProcessId>(endpoints_.size() - 1);
+}
+
+void ThreadRuntime::start() {
+  PARDSM_CHECK(!running_.load(), "start: already running");
+  stats_.resize(endpoints_.size());
+  running_.store(true);
+  start_time_ = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < mailboxes_.size(); ++p) {
+    mailboxes_[p]->worker = std::thread(
+        [this, p] { worker_loop(static_cast<ProcessId>(p)); });
+  }
+}
+
+bool ThreadRuntime::await_quiescence(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(quiesce_mu_);
+  return quiesce_cv_.wait_for(lock, timeout,
+                              [this] { return pending_.load() == 0; });
+}
+
+void ThreadRuntime::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& mb : mailboxes_) {
+    std::lock_guard lock(mb->mu);
+    mb->cv.notify_all();
+  }
+  for (auto& mb : mailboxes_) {
+    if (mb->worker.joinable()) mb->worker.join();
+  }
+}
+
+void ThreadRuntime::post(ProcessId who, std::function<void()> task) {
+  PARDSM_CHECK(who >= 0 && static_cast<std::size_t>(who) < mailboxes_.size(),
+               "post: bad process");
+  pending_.fetch_add(1);
+  auto& mb = *mailboxes_[static_cast<std::size_t>(who)];
+  {
+    std::lock_guard lock(mb.mu);
+    mb.tasks.push_back(std::move(task));
+  }
+  mb.cv.notify_one();
+}
+
+void ThreadRuntime::send(ProcessId from, ProcessId to,
+                         std::shared_ptr<const MessageBody> body,
+                         MessageMeta meta) {
+  PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < mailboxes_.size(),
+               "send: bad destination");
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.body = std::move(body);
+  m.meta = std::move(meta);
+  {
+    std::lock_guard lock(msg_id_mu_);
+    m.id = next_msg_id_++;
+  }
+  m.send_time = now();
+  stats_.on_send(m);
+
+  int copies = 1;
+  {
+    std::lock_guard lock(rng_mu_);
+    if (rng_.chance(options_.drop_probability)) copies = 0;
+    if (copies == 1 && rng_.chance(options_.duplicate_probability)) copies = 2;
+  }
+
+  auto& mb = *mailboxes_[static_cast<std::size_t>(to)];
+  for (int c = 0; c < copies; ++c) {
+    pending_.fetch_add(1);
+    {
+      std::lock_guard lock(mb.mu);
+      mb.messages.push_back(m);
+    }
+    mb.cv.notify_one();
+  }
+}
+
+TimePoint ThreadRuntime::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+  return TimePoint{std::chrono::duration_cast<std::chrono::microseconds>(
+                       elapsed)
+                       .count()};
+}
+
+void ThreadRuntime::set_timer(ProcessId who, Duration delay, TimerTag tag) {
+  PARDSM_CHECK(who >= 0 && static_cast<std::size_t>(who) < mailboxes_.size(),
+               "set_timer: bad process");
+  pending_.fetch_add(1);
+  auto& mb = *mailboxes_[static_cast<std::size_t>(who)];
+  {
+    std::lock_guard lock(mb.mu);
+    mb.timers.push(TimerItem{std::chrono::steady_clock::now() +
+                                 std::chrono::microseconds(delay.us),
+                             tag});
+  }
+  mb.cv.notify_one();
+}
+
+std::size_t ThreadRuntime::process_count() const { return endpoints_.size(); }
+
+void ThreadRuntime::finish_item() {
+  if (pending_.fetch_sub(1) == 1) {
+    std::lock_guard lock(quiesce_mu_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void ThreadRuntime::worker_loop(ProcessId self) {
+  auto& mb = *mailboxes_[static_cast<std::size_t>(self)];
+  Endpoint* ep = endpoints_[static_cast<std::size_t>(self)];
+
+  std::unique_lock lock(mb.mu);
+  while (true) {
+    const auto has_work = [&] {
+      if (!running_.load()) return true;
+      if (!mb.messages.empty() || !mb.tasks.empty()) return true;
+      return !mb.timers.empty() &&
+             mb.timers.top().deadline <= std::chrono::steady_clock::now();
+    };
+
+    if (!has_work()) {
+      if (mb.timers.empty()) {
+        mb.cv.wait(lock, has_work);
+      } else {
+        mb.cv.wait_until(lock, mb.timers.top().deadline, has_work);
+      }
+    }
+
+    if (!running_.load()) break;
+
+    if (!mb.tasks.empty()) {
+      auto task = std::move(mb.tasks.front());
+      mb.tasks.pop_front();
+      lock.unlock();
+      task();
+      finish_item();
+      lock.lock();
+      continue;
+    }
+
+    if (!mb.messages.empty()) {
+      Message m = std::move(mb.messages.front());
+      mb.messages.pop_front();
+      lock.unlock();
+      stats_.on_deliver(m);
+      ep->on_message(m);
+      finish_item();
+      lock.lock();
+      continue;
+    }
+
+    if (!mb.timers.empty() &&
+        mb.timers.top().deadline <= std::chrono::steady_clock::now()) {
+      const TimerTag tag = mb.timers.top().tag;
+      mb.timers.pop();
+      lock.unlock();
+      ep->on_timer(tag);
+      finish_item();
+      lock.lock();
+      continue;
+    }
+  }
+}
+
+}  // namespace pardsm

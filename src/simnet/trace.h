@@ -1,0 +1,60 @@
+// Event tracing for debugging and figure regeneration.
+//
+// A Trace is an append-only log of network-level events.  It is disabled by
+// default (protocol benchmarks should not pay for it); when enabled it can
+// be dumped in a stable, diffable text format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simnet/ids.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// One trace record.
+struct TraceEntry {
+  enum class Type { kSend, kDeliver, kDrop, kTimer };
+  Type type = Type::kSend;
+  TimePoint when{};
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  std::uint64_t msg_id = 0;
+  std::string kind;  ///< MessageMeta::kind or timer tag description
+};
+
+/// Thread-safe append-only event log.
+class Trace {
+ public:
+  /// Enable or disable recording (disabled by default).
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Append one entry if enabled.
+  void record(TraceEntry e);
+
+  /// Snapshot of all entries so far.
+  [[nodiscard]] std::vector<TraceEntry> entries() const;
+
+  /// Number of entries recorded.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Human-readable dump, one line per entry.
+  void dump(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  std::vector<TraceEntry> entries_;
+};
+
+/// Short label for a trace entry type ("SEND", "DELV", "DROP", "TIMR").
+[[nodiscard]] const char* to_string(TraceEntry::Type t);
+
+}  // namespace pardsm

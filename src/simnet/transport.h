@@ -1,0 +1,52 @@
+// Runtime-independent interface between protocols and the world.
+//
+// Protocols (src/mcs) are written once against Transport + Endpoint and run
+// unchanged under the deterministic discrete-event simulator and under the
+// std::thread runtime.  This is the boundary that makes the "multi-node
+// emulation" substitution of DESIGN.md §2 possible.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/message.h"
+#include "simnet/sim_time.h"
+
+namespace pardsm {
+
+/// Opaque timer identity passed back to Endpoint::on_timer.
+using TimerTag = std::uint64_t;
+
+/// Something that receives messages and timer callbacks: one per process.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// A message addressed to this endpoint has been delivered.
+  virtual void on_message(const Message& m) = 0;
+
+  /// A timer armed via Transport::set_timer has fired.
+  virtual void on_timer(TimerTag tag) { (void)tag; }
+};
+
+/// Facilities a protocol may use: sending, clock, timers.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queue a message for asynchronous delivery.  Ownership of the body is
+  /// shared; the same body object may be multicast to several receivers.
+  virtual void send(ProcessId from, ProcessId to,
+                    std::shared_ptr<const MessageBody> body,
+                    MessageMeta meta) = 0;
+
+  /// Current time (simulated or wall-derived, depending on runtime).
+  [[nodiscard]] virtual TimePoint now() const = 0;
+
+  /// Arm a one-shot timer for process `who`, firing after `delay`.
+  virtual void set_timer(ProcessId who, Duration delay, TimerTag tag) = 0;
+
+  /// Number of processes in the system.
+  [[nodiscard]] virtual std::size_t process_count() const = 0;
+};
+
+}  // namespace pardsm

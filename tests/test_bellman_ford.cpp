@@ -1,0 +1,181 @@
+// Section 6 / Figures 7-9: distributed Bellman-Ford on partial-replication
+// DSM.
+
+#include <gtest/gtest.h>
+
+#include "apps/bellman_ford.h"
+#include "sharegraph/hoops.h"
+#include "sharegraph/topologies.h"
+
+namespace pardsm::apps {
+namespace {
+
+TEST(WeightedGraph, Fig8Structure) {
+  const auto g = WeightedGraph::fig8();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.edges().size(), 8u);
+  // Predecessor sets from the paper's variable distribution.
+  EXPECT_EQ(g.predecessors(1), (std::vector<int>{0, 2}));  // Γ⁻¹(2)={1,3}
+  EXPECT_EQ(g.predecessors(2), (std::vector<int>{0, 1}));  // Γ⁻¹(3)={1,2}
+  EXPECT_EQ(g.predecessors(3), (std::vector<int>{1, 2}));  // Γ⁻¹(4)={2,3}
+  EXPECT_EQ(g.predecessors(4), (std::vector<int>{2, 3}));  // Γ⁻¹(5)={3,4}
+  // Weight label multiset {4,1,1,2,8,2,3,3}.
+  std::vector<std::int64_t> weights;
+  for (const auto& e : g.edges()) weights.push_back(e.weight);
+  std::sort(weights.begin(), weights.end());
+  EXPECT_EQ(weights, (std::vector<std::int64_t>{1, 1, 2, 2, 3, 3, 4, 8}));
+}
+
+TEST(WeightedGraph, Fig8ReferenceDistances) {
+  const auto g = WeightedGraph::fig8();
+  const auto d = bellman_ford_reference(g, 0);
+  EXPECT_EQ(d, (std::vector<std::int64_t>{0, 2, 1, 4, 4}));
+}
+
+TEST(WeightedGraph, ReferenceHandlesUnreachable) {
+  WeightedGraph g(3);
+  g.add_edge(0, 1, 5);
+  const auto d = bellman_ford_reference(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 5);
+  EXPECT_EQ(d[2], kInfDistance);
+}
+
+TEST(BellmanFordDistribution, MatchesPaperSection6) {
+  // The derived distribution on Fig 8 must equal the topology module's
+  // verbatim copy of the paper's X_1..X_5.
+  const auto derived = bellman_ford_distribution(WeightedGraph::fig8());
+  const auto verbatim = graph::topo::bellman_ford_fig8();
+  ASSERT_EQ(derived.process_count(), verbatim.process_count());
+  EXPECT_EQ(derived.var_count, verbatim.var_count);
+  for (std::size_t p = 0; p < derived.process_count(); ++p) {
+    EXPECT_EQ(derived.per_process[p], verbatim.per_process[p]) << "X_" << p;
+  }
+}
+
+TEST(BellmanFord, Fig8OnPram) {
+  const auto result = run_bellman_ford(WeightedGraph::fig8());
+  EXPECT_TRUE(result.matches_reference)
+      << "got: " << ::testing::PrintToString(result.distances);
+  EXPECT_EQ(result.distances, (std::vector<std::int64_t>{0, 2, 1, 4, 4}));
+  // Each node performed exactly N iterations (Figure 7 line 5).
+  for (std::int64_t k : result.rounds) EXPECT_EQ(k, 5);
+  EXPECT_EQ(result.handoff_violations, 0u);
+}
+
+TEST(BellmanFord, Fig8OnStrongerProtocolsAgrees) {
+  for (auto kind : {mcs::ProtocolKind::kCausalPartialNaive,
+                    mcs::ProtocolKind::kCausalPartialAdHoc,
+                    mcs::ProtocolKind::kCausalFull,
+                    mcs::ProtocolKind::kSequencerSC,
+                    mcs::ProtocolKind::kAtomicHome}) {
+    BellmanFordOptions options;
+    options.protocol = kind;
+    const auto result = run_bellman_ford(WeightedGraph::fig8(), options);
+    EXPECT_TRUE(result.matches_reference) << mcs::to_string(kind);
+  }
+}
+
+TEST(BellmanFord, PramBeatsCausalOnBytes) {
+  // The paper's motivation: with PRAM the same computation moves far less
+  // control information than a causal memory needs.
+  BellmanFordOptions pram;
+  const auto r_pram = run_bellman_ford(WeightedGraph::fig8(), pram);
+
+  BellmanFordOptions naive;
+  naive.protocol = mcs::ProtocolKind::kCausalPartialNaive;
+  const auto r_naive = run_bellman_ford(WeightedGraph::fig8(), naive);
+
+  EXPECT_LT(r_pram.total_traffic.control_bytes_sent,
+            r_naive.total_traffic.control_bytes_sent);
+  EXPECT_LT(r_pram.total_traffic.msgs_sent, r_naive.total_traffic.msgs_sent);
+}
+
+TEST(BellmanFord, RandomNetworksConvergeOnPram) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto g = WeightedGraph::random_network(6 + seed % 3, 6, 9, seed);
+    BellmanFordOptions options;
+    options.sim_seed = seed;
+    const auto result = run_bellman_ford(g, options);
+    EXPECT_TRUE(result.matches_reference) << "seed " << seed;
+    EXPECT_EQ(result.handoff_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(BellmanFord, DifferentSourceNode) {
+  const auto g = WeightedGraph::fig8();
+  BellmanFordOptions options;
+  options.source = 2;  // paper node 3
+  const auto result = run_bellman_ford(g, options);
+  EXPECT_TRUE(result.matches_reference);
+  EXPECT_EQ(result.distances, bellman_ford_reference(g, 2));
+}
+
+TEST(BellmanFord, DeterministicUnderSeed) {
+  BellmanFordOptions options;
+  options.sim_seed = 99;
+  const auto a = run_bellman_ford(WeightedGraph::fig8(), options);
+  const auto b = run_bellman_ford(WeightedGraph::fig8(), options);
+  EXPECT_EQ(a.total_traffic.msgs_sent, b.total_traffic.msgs_sent);
+  EXPECT_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.barrier_polls, b.barrier_polls);
+}
+
+// Figure 9 regeneration: in the recorded history, each process's writes on
+// its own x and k variables alternate (x first, then k) per round — the
+// "two last write operations made by each process at each step" pattern —
+// and values read by successors respect their writers' program order.
+TEST(BellmanFord, Fig9WritePatternPerRound) {
+  const auto result = run_bellman_ford(WeightedGraph::fig8());
+  const auto& h = result.history;
+  const std::size_t n = 5;
+  for (ProcessId p = 0; p < static_cast<ProcessId>(n); ++p) {
+    std::vector<VarId> own_writes;
+    for (hist::OpIndex op : h.ops_of(p)) {
+      if (h.op(op).is_write()) own_writes.push_back(h.op(op).var);
+    }
+    // Expected: x, k (init), then per round: x, k.
+    ASSERT_GE(own_writes.size(), 2u);
+    for (std::size_t w = 0; w < own_writes.size(); w += 2) {
+      EXPECT_EQ(own_writes[w], x_var(p)) << "p" << p << " write " << w;
+      EXPECT_EQ(own_writes[w + 1], k_var(n, p)) << "p" << p;
+    }
+  }
+}
+
+TEST(BellmanFord, Fig9TableFormat) {
+  const auto result = run_bellman_ford(WeightedGraph::fig8());
+  const auto table = format_fig9_table(result, 5, 2);
+  // Every process appears with at least the initialization step and the
+  // first iteration; steps end with the k-write.
+  for (int p = 1; p <= 5; ++p) {
+    EXPECT_NE(table.find("p" + std::to_string(p) + ":"), std::string::npos);
+  }
+  EXPECT_NE(table.find("step 0:"), std::string::npos);
+  EXPECT_NE(table.find("step 1:"), std::string::npos);
+  // The source's init step writes x_1 = 0 then k_1 = 0.
+  EXPECT_NE(table.find("w0(x0)0 w0(x5)0"), std::string::npos);
+}
+
+// The Bellman-Ford distribution has hoops (e.g. around the 2↔3 cycle), so
+// under causal consistency the run is *not* efficiently partially
+// replicable — while PRAM confines all x-metadata to C(x).  This is the
+// paper's whole point, on its own example.
+TEST(BellmanFord, Fig8DistributionHasHoopsButPramStaysInCliques) {
+  const auto dist = bellman_ford_distribution(WeightedGraph::fig8());
+  const graph::ShareGraph sg(dist);
+  const auto summary = graph::summarize_relevance(sg);
+  EXPECT_GT(summary.vars_with_hoops, 0u);
+
+  BellmanFordOptions options;
+  const auto g = WeightedGraph::fig8();
+  // Re-run through the driver to get exposure: use run_bellman_ford's
+  // traffic indirectly — PRAM sends only to C(x) by construction; the
+  // protocol-level test suite already asserts exposure, so here we only
+  // sanity-check totals are consistent.
+  const auto result = run_bellman_ford(g, options);
+  EXPECT_GT(result.total_traffic.msgs_sent, 0u);
+}
+
+}  // namespace
+}  // namespace pardsm::apps

@@ -1,0 +1,143 @@
+// Checker cross-validation on randomly generated (often inconsistent)
+// histories.
+//
+// Unlike the protocol suites — whose histories are consistent by
+// construction — this suite feeds the checkers arbitrary histories and
+// validates the checkers against each other:
+//   L1  lattice coherence: if a weaker criterion rejects, every stronger
+//       one rejects (contrapositive of implies());
+//   L2  witness validity: every "consistent" verdict's serializations are
+//       legal under is_legal_serialization;
+//   L3  all verdicts are definitive at these sizes (no budget blowups).
+
+#include <gtest/gtest.h>
+
+#include "history/checkers.h"
+#include "history/serialization.h"
+#include "simnet/rng.h"
+
+namespace pardsm::hist {
+namespace {
+
+/// Random history: writes use unique values; reads return a previously
+/// written value on the same variable (or ⊥), *not* necessarily a
+/// consistent one — reads may pick stale or "future-local" values, which
+/// is exactly what stresses the checkers.
+History random_history(std::size_t procs, std::size_t vars,
+                       std::size_t ops_per_proc, Rng& rng) {
+  History h(procs, vars);
+  Value next_value = 1;
+  std::vector<std::pair<VarId, Value>> written;  // any (var, value) so far
+  // Interleave rounds so cross-process read-from is common.
+  for (std::size_t round = 0; round < ops_per_proc; ++round) {
+    for (std::size_t p = 0; p < procs; ++p) {
+      const auto x = static_cast<VarId>(rng.below(vars));
+      if (rng.chance(0.5)) {
+        h.push_write(static_cast<ProcessId>(p), x, next_value);
+        written.emplace_back(x, next_value);
+        ++next_value;
+      } else {
+        // Read: pick some write on x, or ⊥.
+        std::vector<Value> candidates;
+        for (const auto& [wx, wv] : written) {
+          if (wx == x) candidates.push_back(wv);
+        }
+        if (candidates.empty() || rng.chance(0.2)) {
+          h.push_read(static_cast<ProcessId>(p), x, kBottom);
+        } else {
+          h.push_read(static_cast<ProcessId>(p), x,
+                      candidates[static_cast<std::size_t>(
+                          rng.below(candidates.size()))]);
+        }
+      }
+    }
+  }
+  return h;
+}
+
+class CheckerLattice : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckerLattice, CoherentVerdictsOnRandomHistories) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    const auto h = random_history(3, 2, 4, rng);
+
+    std::map<Criterion, CheckResult> results;
+    for (Criterion c : all_criteria()) {
+      results[c] = check_history(h, c);
+      // L3: decidable at this size.
+      EXPECT_TRUE(results[c].definitive) << to_string(c);
+    }
+
+    // L1: lattice coherence.
+    for (Criterion strong : all_criteria()) {
+      for (Criterion weak : all_criteria()) {
+        if (!implies(strong, weak)) continue;
+        if (results[strong].consistent) {
+          EXPECT_TRUE(results[weak].consistent)
+              << to_string(strong) << " admitted but " << to_string(weak)
+              << " rejected:\n"
+              << h.to_string();
+        }
+      }
+    }
+
+    // L2: witness validity for per-process criteria.  Validation uses the
+    // criterion relation *as defined* (raw, not closed over all ops): for
+    // PRAM/slow, Definition 12 has no transitivity, so only the relation's
+    // own pairs constrain the serialization; for causal the relation is
+    // already the full closure.
+    for (Criterion c :
+         {Criterion::kCausal, Criterion::kPram, Criterion::kSlow}) {
+      const auto& r = results[c];
+      if (!r.consistent) continue;
+      const Relation rel =
+          criterion_relation(h, c, LazyMode::kPaperConsistent);
+      for (const auto& pv : r.per_process) {
+        if (pv.witness.empty()) continue;
+        const auto subset = h.projection_i_plus_w(pv.proc);
+        EXPECT_TRUE(is_legal_serialization(h, subset, pv.witness, rel))
+            << to_string(c) << " produced an illegal witness for p"
+            << pv.proc;
+      }
+    }
+
+    // L2 for the global criterion.
+    if (results[Criterion::kSequential].consistent) {
+      std::vector<OpIndex> everything;
+      for (std::size_t i = 0; i < h.size(); ++i) {
+        everything.push_back(static_cast<OpIndex>(i));
+      }
+      EXPECT_TRUE(is_legal_serialization(
+          h, everything,
+          results[Criterion::kSequential].per_process.front().witness,
+          program_order(h)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckerLattice,
+                         ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Sanity: the generator does produce both consistent and inconsistent
+// histories (otherwise the suite tests nothing).
+TEST(CheckerLattice, GeneratorCoversBothOutcomes) {
+  Rng rng(99);
+  int consistent = 0, inconsistent = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto h = random_history(3, 2, 4, rng);
+    if (check_history(h, Criterion::kSlow).consistent) {
+      ++consistent;
+    } else {
+      ++inconsistent;
+    }
+  }
+  EXPECT_GT(consistent, 0);
+  EXPECT_GT(inconsistent, 0);
+}
+
+}  // namespace
+}  // namespace pardsm::hist

@@ -1,0 +1,188 @@
+// Consistency-criterion checkers on classic litmus histories.
+
+#include <gtest/gtest.h>
+
+#include "history/checkers.h"
+#include "history/linearizability.h"
+
+namespace pardsm::hist {
+namespace {
+
+bool ok(const History& h, Criterion c) {
+  const auto r = check_history(h, c);
+  EXPECT_TRUE(r.definitive) << to_string(c);
+  return r.consistent;
+}
+
+// Classic "causal but not sequential": two concurrent writes observed in
+// opposite orders by two readers.
+History causal_not_sequential() {
+  History h(4, 2);
+  h.push_write(0, 0, 1);  // w0(x)1
+  h.push_write(1, 1, 2);  // w1(y)2
+  // p2 sees x then not-yet y; p3 sees y then not-yet x.
+  h.push_read(2, 0, 1);
+  h.push_read(2, 1, kBottom);
+  h.push_read(3, 1, 2);
+  h.push_read(3, 0, kBottom);
+  return h;
+}
+
+TEST(Checkers, CausalButNotSequential) {
+  const auto h = causal_not_sequential();
+  EXPECT_FALSE(ok(h, Criterion::kSequential));
+  EXPECT_TRUE(ok(h, Criterion::kCausal));
+  EXPECT_TRUE(ok(h, Criterion::kPram));
+}
+
+// Classic "PRAM but not causal": p1 reads p0's write then writes; p2 sees
+// p1's write but an older value of p0's variable.
+History pram_not_causal() {
+  History h(3, 2);
+  h.push_write(0, 0, 1);  // w0(x)1
+  h.push_read(1, 0, 1);   // r1(x)1
+  h.push_write(1, 1, 2);  // w1(y)2   (causally after w0(x)1)
+  h.push_read(2, 1, 2);   // r2(y)2
+  h.push_read(2, 0, kBottom);  // r2(x)⊥  — violates causality
+  return h;
+}
+
+TEST(Checkers, PramButNotCausal) {
+  const auto h = pram_not_causal();
+  EXPECT_FALSE(ok(h, Criterion::kCausal));
+  EXPECT_TRUE(ok(h, Criterion::kPram));
+  EXPECT_TRUE(ok(h, Criterion::kSlow));
+}
+
+// "Slow but not PRAM": a single writer's writes to two variables observed
+// out of order.
+History slow_not_pram() {
+  History h(2, 2);
+  h.push_write(0, 0, 1);  // w0(x)1
+  h.push_write(0, 1, 2);  // w0(y)2 (program order after)
+  h.push_read(1, 1, 2);   // r1(y)2
+  h.push_read(1, 0, kBottom);  // r1(x)⊥ — y arrived before x
+  return h;
+}
+
+TEST(Checkers, SlowButNotPram) {
+  const auto h = slow_not_pram();
+  EXPECT_FALSE(ok(h, Criterion::kPram));
+  EXPECT_TRUE(ok(h, Criterion::kSlow));
+}
+
+// Not even slow: same writer, same variable, observed out of order.
+History not_even_slow() {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_write(0, 0, 2);
+  h.push_read(1, 0, 2);
+  h.push_read(1, 0, 1);  // older value after newer one
+  return h;
+}
+
+TEST(Checkers, SameVariableReorderViolatesSlow) {
+  const auto h = not_even_slow();
+  EXPECT_FALSE(ok(h, Criterion::kSlow));
+  EXPECT_FALSE(ok(h, Criterion::kPram));
+}
+
+TEST(Checkers, SequentialHistoryPassesEverything) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, 1);
+  h.push_write(1, 0, 2);
+  h.push_read(0, 0, 2);
+  for (Criterion c : all_criteria()) {
+    EXPECT_TRUE(ok(h, c)) << to_string(c);
+  }
+}
+
+TEST(Checkers, EmptyHistoryIsEverythingConsistent) {
+  History h(2, 1);
+  for (Criterion c : all_criteria()) {
+    EXPECT_TRUE(ok(h, c)) << to_string(c);
+  }
+}
+
+TEST(Checkers, ValueNeverWrittenFailsEverything) {
+  History h(1, 1);
+  h.push_read(0, 0, 42);  // nobody wrote 42
+  for (Criterion c : all_criteria()) {
+    EXPECT_FALSE(ok(h, c)) << to_string(c);
+  }
+}
+
+TEST(Checkers, FirstViolationIdentifiesProcess) {
+  const auto h = pram_not_causal();
+  const auto r = check_history(h, Criterion::kCausal);
+  EXPECT_EQ(r.first_violation(), 2);
+}
+
+TEST(Checkers, ClassifyProducesLatticeConsistentRow) {
+  const auto cls = classify(causal_not_sequential());
+  // sequential=no causal=yes ... slow=yes
+  ASSERT_EQ(cls.admitted.size(), all_criteria().size());
+  EXPECT_FALSE(cls.admitted[0].second);  // sequential
+  EXPECT_TRUE(cls.admitted[1].second);   // causal
+  EXPECT_TRUE(cls.admitted[5].second);   // slow
+  EXPECT_NE(cls.to_string().find("causal=yes"), std::string::npos);
+}
+
+TEST(Checkers, ImpliesLattice) {
+  using C = Criterion;
+  EXPECT_TRUE(implies(C::kSequential, C::kCausal));
+  EXPECT_TRUE(implies(C::kSequential, C::kSlow));
+  EXPECT_TRUE(implies(C::kCausal, C::kPram));
+  EXPECT_TRUE(implies(C::kCausal, C::kLazySemiCausal));
+  EXPECT_TRUE(implies(C::kPram, C::kSlow));
+  EXPECT_FALSE(implies(C::kPram, C::kCausal));
+  EXPECT_FALSE(implies(C::kLazySemiCausal, C::kPram));
+  EXPECT_FALSE(implies(C::kSlow, C::kPram));
+  for (C c : all_criteria()) EXPECT_TRUE(implies(c, c));
+}
+
+// ------------------------------------------------------ linearizability
+TEST(Linearizability, SequentialIntervalsLinearizable) {
+  History h(2, 1);
+  const auto w = h.push_write(0, 0, 1);
+  h.set_interval(w, TimePoint{10}, TimePoint{20});
+  const auto r = h.push_read(1, 0, 1);
+  h.set_interval(r, TimePoint{30}, TimePoint{40});
+  const auto lin = check_linearizable(h);
+  EXPECT_TRUE(lin.linearizable);
+}
+
+TEST(Linearizability, StaleReadAfterWriteCompletesIsRejected) {
+  History h(2, 1);
+  const auto w = h.push_write(0, 0, 1);
+  h.set_interval(w, TimePoint{10}, TimePoint{20});
+  const auto r = h.push_read(1, 0, kBottom);  // reads ⊥ after w finished
+  h.set_interval(r, TimePoint{30}, TimePoint{40});
+  const auto lin = check_linearizable(h);
+  EXPECT_FALSE(lin.linearizable);
+}
+
+TEST(Linearizability, OverlappingOpsMayOrderEitherWay) {
+  History h(2, 1);
+  const auto w = h.push_write(0, 0, 1);
+  h.set_interval(w, TimePoint{10}, TimePoint{40});
+  const auto r = h.push_read(1, 0, kBottom);  // overlaps the write
+  h.set_interval(r, TimePoint{20}, TimePoint{30});
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+TEST(Linearizability, PerVariableLocality) {
+  // Variable x is fine; variable y violates: overall must fail.
+  History h(2, 2);
+  const auto wx = h.push_write(0, 0, 1);
+  h.set_interval(wx, TimePoint{10}, TimePoint{20});
+  const auto wy = h.push_write(0, 1, 2);
+  h.set_interval(wy, TimePoint{30}, TimePoint{40});
+  const auto ry = h.push_read(1, 1, kBottom);
+  h.set_interval(ry, TimePoint{50}, TimePoint{60});
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+}  // namespace
+}  // namespace pardsm::hist

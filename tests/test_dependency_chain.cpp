@@ -1,0 +1,139 @@
+// Dependency chains along hoops (Definition 4, Figure 3) and the per-
+// criterion chain behaviour that drives Theorems 1 and 2.
+
+#include <gtest/gtest.h>
+
+#include "history/canned.h"
+#include "sharegraph/dependency_chain.h"
+#include "sharegraph/topologies.h"
+
+namespace pardsm::graph {
+namespace {
+
+using hist::paper::ChainEnd;
+
+TEST(DependencyChain, Fig3CanonicalChainIsFound) {
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto ex = hist::paper::fig3_dependency_chain(k, ChainEnd::kRead);
+    Distribution d;
+    d.name = ex.name;
+    d.var_count = ex.history.var_count();
+    d.per_process = ex.distribution;
+    const ShareGraph sg(d);
+
+    const auto witness =
+        find_chain(ex.history, sg, ex.focus_var, ChainRelation::kCausal);
+    ASSERT_TRUE(witness.found) << "k=" << k;
+    // The witness starts at w_a(x)v and ends at o_b(x).
+    const auto& first = ex.history.op(witness.ops.front());
+    const auto& last = ex.history.op(witness.ops.back());
+    EXPECT_TRUE(first.is_write());
+    EXPECT_EQ(first.var, ex.focus_var);
+    EXPECT_EQ(last.var, ex.focus_var);
+    // It touches every hoop process.
+    EXPECT_EQ(witness.touched(ex.history).size(), k + 1) << "k=" << k;
+  }
+}
+
+TEST(DependencyChain, Fig3WriteEndChainIsFound) {
+  const auto ex = hist::paper::fig3_dependency_chain(3, ChainEnd::kWrite);
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+  EXPECT_TRUE(
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kCausal).found);
+}
+
+TEST(DependencyChain, PramNeverChainsAlongHoops) {
+  // Theorem 2: under the PRAM relation no dependency chain can span a
+  // hoop, no matter the history.
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const auto ex = hist::paper::fig3_dependency_chain(k, ChainEnd::kRead);
+    Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+    const ShareGraph sg(d);
+    EXPECT_FALSE(
+        find_chain(ex.history, sg, ex.focus_var, ChainRelation::kPram).found)
+        << "k=" << k;
+  }
+}
+
+TEST(DependencyChain, Fig4NoLazyCausalChainButCausalChain) {
+  // The paper: "In this history, no x-dependency chain is created along
+  // the x-hoop [p1, p2, p3]" — under the lazy causality order.  Under full
+  // causality the chain exists (that is why Fig 4 is not causal).
+  const auto ex = hist::paper::fig4_lazy_causal_not_causal();
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+
+  EXPECT_FALSE(
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kLazyCausal)
+          .found);
+  EXPECT_TRUE(
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kCausal).found);
+}
+
+TEST(DependencyChain, Fig5LazyCausalChainExists) {
+  // Fig 5: r3(y)c ->li w3(x)d closes the chain even under lazy causality.
+  const auto ex = hist::paper::fig5_not_lazy_causal();
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+  const auto witness =
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kLazyCausal);
+  ASSERT_TRUE(witness.found);
+  // The chain runs along the x-hoop [p0, p1, p2].
+  EXPECT_EQ(witness.hoop.front(), 0);
+  EXPECT_EQ(witness.hoop.back(), 2);
+}
+
+TEST(DependencyChain, Fig6LazySemiCausalChainExists) {
+  const auto ex = hist::paper::fig6_not_lazy_semi_causal();
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+  EXPECT_TRUE(
+      find_chain(ex.history, sg, ex.focus_var, ChainRelation::kLazySemiCausal)
+          .found);
+}
+
+TEST(DependencyChain, Fig6LiteralModeHasNoLscChain) {
+  // Ablation: under the literal Definition 5 the p2 write pair is
+  // permutable and the lwb chain cannot be assembled.
+  const auto ex = hist::paper::fig6_not_lazy_semi_causal();
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+  EXPECT_FALSE(find_chain(ex.history, sg, ex.focus_var,
+                          ChainRelation::kLazySemiCausal,
+                          hist::LazyMode::kLiteral)
+                   .found);
+}
+
+TEST(DependencyChain, NoChainWithoutOperationsOnX) {
+  // A hoop exists but nobody writes x: no chain.
+  const auto ex = hist::paper::fig3_dependency_chain(3, ChainEnd::kRead);
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+  hist::History empty(ex.history.process_count(), ex.history.var_count());
+  EXPECT_FALSE(find_chain(empty, sg, 0, ChainRelation::kCausal).found);
+}
+
+TEST(DependencyChain, ChainRequiresCoverageOfAllHoopProcesses) {
+  // Build the fig3 topology (k=3) but a history where the middle process
+  // never participates: the dependency w(x) -> r(x) is then direct
+  // read-from, and no chain *along the hoop* exists.
+  const auto ex = hist::paper::fig3_dependency_chain(3, ChainEnd::kRead);
+  Distribution d{ex.name, ex.history.var_count(), ex.distribution};
+  const ShareGraph sg(d);
+
+  hist::History h(ex.history.process_count(), ex.history.var_count());
+  h.push_write(0, 0, 100);
+  h.push_read(3, 0, 100);  // direct read-from, no intermediary pattern
+  EXPECT_FALSE(find_chain(h, sg, 0, ChainRelation::kCausal).found);
+}
+
+TEST(DependencyChain, GeneratingEdgesPramNotTransitive) {
+  EXPECT_FALSE(chain_relation_transitive(ChainRelation::kPram));
+  EXPECT_TRUE(chain_relation_transitive(ChainRelation::kCausal));
+  EXPECT_TRUE(chain_relation_transitive(ChainRelation::kLazyCausal));
+  EXPECT_TRUE(chain_relation_transitive(ChainRelation::kLazySemiCausal));
+}
+
+}  // namespace
+}  // namespace pardsm::graph

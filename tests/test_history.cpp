@@ -1,0 +1,123 @@
+// History container unit tests: construction, projections, read-from
+// resolution, provenance.
+
+#include <gtest/gtest.h>
+
+#include "history/history.h"
+
+namespace pardsm::hist {
+namespace {
+
+TEST(History, BasicConstruction) {
+  History h(3, 2);
+  EXPECT_EQ(h.process_count(), 3u);
+  EXPECT_EQ(h.var_count(), 2u);
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(History, PushAssignsProgramPositionsAndWriteIds) {
+  History h(2, 2);
+  const auto w1 = h.push_write(0, 0, 10);
+  const auto w2 = h.push_write(0, 1, 20);
+  const auto r1 = h.push_read(1, 0, 10);
+  EXPECT_EQ(h.op(w1).proc_seq, 0);
+  EXPECT_EQ(h.op(w2).proc_seq, 1);
+  EXPECT_EQ(h.op(r1).proc_seq, 0);
+  EXPECT_EQ(h.op(w1).write_id, (WriteId{0, 0}));
+  EXPECT_EQ(h.op(w2).write_id, (WriteId{0, 1}));
+}
+
+TEST(History, OpsOfAndWrites) {
+  History h(2, 2);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, 1);
+  h.push_write(1, 1, 2);
+  EXPECT_EQ(h.ops_of(0).size(), 1u);
+  EXPECT_EQ(h.ops_of(1).size(), 2u);
+  EXPECT_EQ(h.writes().size(), 2u);
+  EXPECT_EQ(h.writes_on(1), (std::vector<OpIndex>{2}));
+}
+
+TEST(History, ProjectionIPlusW) {
+  History h(2, 2);
+  h.push_write(0, 0, 1);  // 0
+  h.push_read(0, 0, 1);   // 1
+  h.push_write(1, 1, 2);  // 2
+  h.push_read(1, 1, 2);   // 3
+  EXPECT_EQ(h.projection_i_plus_w(0), (std::vector<OpIndex>{0, 1, 2}));
+  EXPECT_EQ(h.projection_i_plus_w(1), (std::vector<OpIndex>{0, 2, 3}));
+}
+
+TEST(History, ResolveByUniqueValue) {
+  History h(2, 1);
+  h.push_write(0, 0, 42);
+  h.push_read(1, 0, 42);
+  const auto src = h.resolve_read_from();
+  EXPECT_EQ(src[1], 0);
+  EXPECT_EQ(src[0], kNoOp);
+}
+
+TEST(History, ResolveByProvenanceBeatsValueAmbiguity) {
+  History h(3, 1);
+  const auto w1 = h.push_write(0, 0, 7);
+  const auto w2 = h.push_write(1, 0, 7);  // same value!
+  h.push_read(2, 0, 7, h.op(w2).write_id);
+  const auto src = h.resolve_read_from();
+  EXPECT_EQ(src[2], w2);
+  (void)w1;
+}
+
+TEST(History, AmbiguousValueWithoutProvenanceThrows) {
+  History h(3, 1);
+  h.push_write(0, 0, 7);
+  h.push_write(1, 0, 7);
+  h.push_read(2, 0, 7);  // ambiguous
+  EXPECT_FALSE(h.read_from_resolvable());
+  EXPECT_THROW((void)h.resolve_read_from(), std::logic_error);
+}
+
+TEST(History, UnwrittenValueThrows) {
+  History h(1, 1);
+  h.push_read(0, 0, 9);
+  EXPECT_FALSE(h.read_from_resolvable());
+}
+
+TEST(History, BottomReadResolvesToNoOp) {
+  History h(1, 1);
+  h.push_read(0, 0, kBottom);
+  const auto src = h.resolve_read_from();
+  EXPECT_EQ(src[0], kNoOp);
+  EXPECT_TRUE(h.read_from_resolvable());
+}
+
+TEST(History, ToStringShowsPerProcessRows) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, kBottom);
+  const auto s = h.to_string();
+  EXPECT_NE(s.find("p0: w0(x0)1"), std::string::npos);
+  EXPECT_NE(s.find("p1: r1(x0)⊥"), std::string::npos);
+}
+
+TEST(History, IntervalsStored) {
+  History h(1, 1);
+  const auto w = h.push_write(0, 0, 1);
+  h.set_interval(w, TimePoint{3}, TimePoint{9});
+  EXPECT_EQ(h.op(w).invoked, TimePoint{3});
+  EXPECT_EQ(h.op(w).responded, TimePoint{9});
+}
+
+TEST(Operation, ToStringFormats) {
+  Operation op;
+  op.kind = Operation::Kind::kWrite;
+  op.proc = 2;
+  op.var = 1;
+  op.value = 5;
+  EXPECT_EQ(op.to_string(), "w2(x1)5");
+  op.kind = Operation::Kind::kRead;
+  op.value = kBottom;
+  EXPECT_EQ(op.to_string(), "r2(x1)⊥");
+}
+
+}  // namespace
+}  // namespace pardsm::hist

@@ -1,0 +1,186 @@
+// Order-relation builders (Definitions 5-11) on hand-crafted histories.
+
+#include <gtest/gtest.h>
+
+#include "history/orders.h"
+
+namespace pardsm::hist {
+namespace {
+
+/// h0: w(x)1 ; r(x)1 ; w(y)2 ; r(z)3?  — builder helper below.
+History two_proc_history() {
+  // p0: w0(x)1, w0(y)2 ; p1: r1(x)1, w1(z)3, r1(z)3
+  History h(2, 3);
+  h.push_write(0, 0, 1);
+  h.push_write(0, 1, 2);
+  h.push_read(1, 0, 1);
+  h.push_write(1, 2, 3);
+  h.push_read(1, 2, 3);
+  return h;
+}
+
+TEST(Orders, ProgramOrderIsPerProcessTotal) {
+  const auto h = two_proc_history();
+  const auto po = program_order(h);
+  EXPECT_TRUE(po.has(0, 1));   // w0(x) before w0(y)
+  EXPECT_TRUE(po.has(2, 3));   // r1(x) before w1(z)
+  EXPECT_TRUE(po.has(2, 4));
+  EXPECT_TRUE(po.has(3, 4));
+  EXPECT_FALSE(po.has(0, 2));  // cross-process
+  EXPECT_FALSE(po.has(1, 0));  // no reverse
+}
+
+TEST(Orders, ReadFromLinksWriterToReader) {
+  const auto h = two_proc_history();
+  const auto ro = read_from_order(h);
+  EXPECT_TRUE(ro.has(0, 2));  // w0(x)1 -> r1(x)1
+  EXPECT_TRUE(ro.has(3, 4));  // w1(z)3 -> r1(z)3
+  EXPECT_EQ(ro.edge_count(), 2u);
+}
+
+TEST(Orders, CausalityIsClosed) {
+  const auto h = two_proc_history();
+  const auto co = causality_order(h);
+  // w0(x)1 -> r1(x)1 -> w1(z)3  implies w0(x)1 -> w1(z)3.
+  EXPECT_TRUE(co.has(0, 3));
+  EXPECT_TRUE(co.has(0, 4));
+}
+
+TEST(Orders, ReadOfBottomHasNoSource) {
+  History h(1, 1);
+  h.push_read(0, 0, kBottom);
+  const auto ro = read_from_order(h);
+  EXPECT_EQ(ro.edge_count(), 0u);
+}
+
+// -------- Lazy program order, Definition 5 ------------------------------
+TEST(Orders, LazyReadsOnDifferentVariablesArePermutable) {
+  History h(1, 2);
+  h.push_read(0, 0, kBottom);
+  h.push_read(0, 1, kBottom);
+  const auto li = lazy_program_order(h);
+  EXPECT_FALSE(li.has(0, 1));
+  EXPECT_FALSE(li.has(1, 0));
+}
+
+TEST(Orders, LazyReadsSameVariableStayOrdered) {
+  History h(1, 1);
+  h.push_read(0, 0, kBottom);
+  h.push_read(0, 0, kBottom);
+  const auto li = lazy_program_order(h);
+  EXPECT_TRUE(li.has(0, 1));
+}
+
+TEST(Orders, LazyReadBeforeAnyWriteStaysOrdered) {
+  History h(1, 2);
+  h.push_read(0, 0, kBottom);
+  h.push_write(0, 1, 5);
+  const auto li = lazy_program_order(h);
+  EXPECT_TRUE(li.has(0, 1));
+}
+
+TEST(Orders, LazyWriteThenReadDifferentVarPermutable) {
+  History h(1, 2);
+  h.push_write(0, 0, 5);
+  h.push_read(0, 1, kBottom);
+  const auto li = lazy_program_order(h);
+  EXPECT_FALSE(li.has(0, 1));
+}
+
+TEST(Orders, LazyWriteWritePaperVsLiteral) {
+  History h(1, 2);
+  h.push_write(0, 0, 5);
+  h.push_write(0, 1, 6);
+  const auto paper = lazy_program_order(h, LazyMode::kPaperConsistent);
+  const auto literal = lazy_program_order(h, LazyMode::kLiteral);
+  EXPECT_TRUE(paper.has(0, 1));    // writes stay ordered (figures' reading)
+  EXPECT_FALSE(literal.has(0, 1)); // literal Definition 5
+}
+
+TEST(Orders, LazyWriteThenSameVarOpOrderedInBothModes) {
+  History h(1, 1);
+  h.push_write(0, 0, 5);
+  h.push_read(0, 0, 5);
+  for (auto mode : {LazyMode::kPaperConsistent, LazyMode::kLiteral}) {
+    const auto li = lazy_program_order(h, mode);
+    EXPECT_TRUE(li.has(0, 1));
+  }
+}
+
+TEST(Orders, LazyTransitivityThroughMiddleOp) {
+  // w(x) ->li r(x) ->li w(y) gives w(x) ->li w(y) even in literal mode.
+  History h(1, 2);
+  h.push_write(0, 0, 5);
+  h.push_read(0, 0, 5);
+  h.push_write(0, 1, 6);
+  const auto li = lazy_program_order(h, LazyMode::kLiteral);
+  EXPECT_TRUE(li.has(0, 2));
+}
+
+// -------- Lazy writes-before, Definition 8 -------------------------------
+TEST(Orders, LazyWritesBeforeBasic) {
+  // p0: w(x)1 ; r(x)1 ; w(y)2.   p1: r(y)2.
+  // w(x)1 ->li w(y)2 (through the read), and r1(y)2 reads from w(y)2,
+  // hence w(x)1 ->lwb r1(y)2.
+  History h(2, 2);
+  h.push_write(0, 0, 1);
+  h.push_read(0, 0, 1);
+  h.push_write(0, 1, 2);
+  h.push_read(1, 1, 2);
+  const auto lwb = lazy_writes_before(h, LazyMode::kLiteral);
+  EXPECT_TRUE(lwb.has(0, 3));
+  // The source write itself is NOT lwb-related to its reader (Definition 8
+  // requires o1 ->li o', and ->li is irreflexive).
+  EXPECT_FALSE(lwb.has(2, 3));
+}
+
+TEST(Orders, LazySemiCausalIncludesLwbChains) {
+  History h(2, 2);
+  h.push_write(0, 0, 1);
+  h.push_read(0, 0, 1);
+  h.push_write(0, 1, 2);
+  h.push_read(1, 1, 2);
+  h.push_write(1, 0, 3);
+  const auto lsc = lazy_semi_causal_order(h);
+  // w0(x)1 ->lwb r1(y)2 ->li w1(x)3.
+  EXPECT_TRUE(lsc.has(0, 4));
+}
+
+// -------- PRAM and slow ---------------------------------------------------
+TEST(Orders, PramIsNotTransitivelyClosed) {
+  // p0: w(x)1. p1: r(x)1, w(y)2. p2: r(y)2.
+  History h(3, 2);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, 1);
+  h.push_write(1, 1, 2);
+  h.push_read(2, 1, 2);
+  const auto pram = pram_relation(h);
+  EXPECT_TRUE(pram.has(0, 1));   // read-from
+  EXPECT_TRUE(pram.has(1, 2));   // program order
+  EXPECT_TRUE(pram.has(2, 3));   // read-from
+  EXPECT_FALSE(pram.has(0, 3));  // no transitivity (Definition 11)
+  const auto co = causality_order(h);
+  EXPECT_TRUE(co.has(0, 3));     // causality closes the chain
+}
+
+TEST(Orders, SlowOrdersOnlySameVariableProgramPairs) {
+  History h(1, 2);
+  h.push_write(0, 0, 1);
+  h.push_write(0, 1, 2);
+  h.push_write(0, 0, 3);
+  const auto slow = slow_relation(h);
+  EXPECT_TRUE(slow.has(0, 2));   // same variable
+  EXPECT_FALSE(slow.has(0, 1));  // different variables
+  EXPECT_FALSE(slow.has(1, 2));
+}
+
+TEST(Orders, ConcurrentHelper) {
+  const auto h = two_proc_history();
+  const auto co = causality_order(h);
+  // w0(y)2 (op 1) and r1(x)1 (op 2): 1 does not reach 2 and vice versa.
+  EXPECT_TRUE(concurrent(co, 1, 2));
+  EXPECT_FALSE(concurrent(co, 0, 2));
+}
+
+}  // namespace
+}  // namespace pardsm::hist

@@ -1,0 +1,187 @@
+// The paper's Figures 3-6, classified by the exact checkers.
+//
+// These tests pin the headline qualitative results of Sections 4 and 5:
+// the example histories must be admitted / rejected by exactly the
+// criteria the paper states.
+
+#include <gtest/gtest.h>
+
+#include "history/canned.h"
+#include "history/checkers.h"
+#include "history/orders.h"
+
+namespace pardsm::hist {
+namespace {
+
+bool admitted(const History& h, Criterion c,
+              LazyMode mode = LazyMode::kPaperConsistent) {
+  CheckOptions opts;
+  opts.lazy_mode = mode;
+  const auto r = check_history(h, c, opts);
+  EXPECT_TRUE(r.definitive) << "budget exhausted for " << to_string(c);
+  return r.consistent;
+}
+
+// ---------------------------------------------------------------- Figure 4
+TEST(PaperHistories, Fig4IsLazyCausalButNotCausal) {
+  const auto ex = paper::fig4_lazy_causal_not_causal();
+  EXPECT_FALSE(admitted(ex.history, Criterion::kCausal));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kLazyCausal));
+}
+
+TEST(PaperHistories, Fig4WeakerCriteriaAdmit) {
+  const auto ex = paper::fig4_lazy_causal_not_causal();
+  EXPECT_TRUE(admitted(ex.history, Criterion::kLazySemiCausal));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kPram));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kSlow));
+}
+
+TEST(PaperHistories, Fig4IsNotSequential) {
+  const auto ex = paper::fig4_lazy_causal_not_causal();
+  EXPECT_FALSE(admitted(ex.history, Criterion::kSequential));
+}
+
+// The key step of the paper's Fig 4 discussion: w1(x)a 7->lco r3(y)c holds,
+// yet r3(y)c and r3(x)⊥ are concurrent w.r.t. 7->lco, breaking the chain.
+TEST(PaperHistories, Fig4LcoChainBreaksAtFinalRead) {
+  const auto ex = paper::fig4_lazy_causal_not_causal();
+  const auto& h = ex.history;
+  const Relation lco = lazy_causality_order(h);
+  // Op indices: 0:w0(x)a 1:r0(x)a 2:w0(y)b 3:r1(y)b 4:w1(y)c 5:r2(y)c
+  // 6:r2(x)⊥.
+  EXPECT_TRUE(lco.has(0, 5));             // w1(x)a 7->lco r3(y)c
+  EXPECT_TRUE(concurrent(lco, 5, 6));     // r3(y)c ||_lco r3(x)⊥
+  EXPECT_FALSE(lco.has(0, 6));            // w1(x)a not 7->lco r3(x)⊥
+
+  // Under full causality the chain closes (program order is total).
+  const Relation co = causality_order(h);
+  EXPECT_TRUE(co.has(0, 6));
+}
+
+// ---------------------------------------------------------------- Figure 5
+TEST(PaperHistories, Fig5IsNotLazyCausal) {
+  const auto ex = paper::fig5_not_lazy_causal();
+  EXPECT_FALSE(admitted(ex.history, Criterion::kLazyCausal));
+  EXPECT_FALSE(admitted(ex.history, Criterion::kCausal));
+}
+
+TEST(PaperHistories, Fig5IsLazySemiCausalAndPram) {
+  const auto ex = paper::fig5_not_lazy_causal();
+  EXPECT_TRUE(admitted(ex.history, Criterion::kLazySemiCausal));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kPram));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kSlow));
+}
+
+// The dependency the paper derives: r3(y)c ->li w3(x)d, hence
+// w1(x)a 7->lco w3(x)d.
+TEST(PaperHistories, Fig5LcoChainReachesTheWrite) {
+  const auto ex = paper::fig5_not_lazy_causal();
+  const auto& h = ex.history;
+  const Relation lco = lazy_causality_order(h);
+  // Ops: 0:w0(x)a 1:r0(x)a 2:w0(y)b 3:r1(y)b 4:w1(y)c 5:r2(y)c 6:w2(x)d
+  // 7:r3(x)d 8:r3(x)a
+  EXPECT_TRUE(lco.has(5, 6));  // r3(y)c ->li w3(x)d (read before write)
+  EXPECT_TRUE(lco.has(0, 6));  // w1(x)a 7->lco w3(x)d
+}
+
+// ---------------------------------------------------------------- Figure 6
+TEST(PaperHistories, Fig6IsNotLazySemiCausal) {
+  const auto ex = paper::fig6_not_lazy_semi_causal();
+  EXPECT_FALSE(admitted(ex.history, Criterion::kLazySemiCausal));
+  EXPECT_FALSE(admitted(ex.history, Criterion::kLazyCausal));
+  EXPECT_FALSE(admitted(ex.history, Criterion::kCausal));
+}
+
+TEST(PaperHistories, Fig6IsPramConsistent) {
+  const auto ex = paper::fig6_not_lazy_semi_causal();
+  EXPECT_TRUE(admitted(ex.history, Criterion::kPram));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kSlow));
+}
+
+// The lwb chain of the paper: w1(x)a ->lwb r2(y)b and w2(y)e ->lwb r3(z)c,
+// which with ->li steps yields w1(x)a 7->lsc w3(x)d.
+TEST(PaperHistories, Fig6LwbChain) {
+  const auto ex = paper::fig6_not_lazy_semi_causal();
+  const auto& h = ex.history;
+  // Ops: 0:w0(x)a 1:r0(x)a 2:w0(y)b 3:r1(y)b 4:w1(y)e 5:w1(z)c 6:r2(z)c
+  // 7:w2(x)d 8:r3(x)d 9:r3(x)a
+  const Relation lwb = lazy_writes_before(h);
+  EXPECT_TRUE(lwb.has(0, 3));  // w1(x)a ->lwb r2(y)b  (via w1(y)b)
+  EXPECT_TRUE(lwb.has(4, 6));  // w2(y)e ->lwb r3(z)c  (via w2(z)c)
+
+  const Relation lsc = lazy_semi_causal_order(h);
+  EXPECT_TRUE(lsc.has(0, 7));  // w1(x)a 7->lsc w3(x)d
+}
+
+// Ablation: under the *literal* reading of Definition 5 (no write→write
+// ordering across variables) the Figure 6 lwb chain cannot be derived at
+// p2 (w2(y)e and w2(z)c become permutable), so the history is admitted.
+// This documents why the kPaperConsistent reading is the default.
+TEST(PaperHistories, Fig6LiteralDef5AdmitsTheHistory) {
+  const auto ex = paper::fig6_not_lazy_semi_causal();
+  const Relation lwb = lazy_writes_before(ex.history, LazyMode::kLiteral);
+  EXPECT_FALSE(lwb.has(4, 6));
+  EXPECT_TRUE(admitted(ex.history, Criterion::kLazySemiCausal,
+                       LazyMode::kLiteral));
+}
+
+// ---------------------------------------------------------------- Figure 3
+TEST(PaperHistories, Fig3ChainHistoryIsCausal) {
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const auto ex = paper::fig3_dependency_chain(k, paper::ChainEnd::kRead);
+    EXPECT_TRUE(admitted(ex.history, Criterion::kCausal)) << ex.name;
+  }
+}
+
+TEST(PaperHistories, Fig3WriteEndIsCausal) {
+  const auto ex = paper::fig3_dependency_chain(3, paper::ChainEnd::kWrite);
+  EXPECT_TRUE(admitted(ex.history, Criterion::kCausal));
+}
+
+// The necessity argument of Theorem 1: if the final read ignores the
+// chain-initial write (returns ⊥), causal consistency is violated...
+TEST(PaperHistories, Fig3StaleReadViolatesCausal) {
+  const auto ex = paper::fig3_dependency_chain(3, paper::ChainEnd::kStaleRead);
+  EXPECT_FALSE(admitted(ex.history, Criterion::kCausal));
+}
+
+// ...but PRAM admits the stale read: the chain crosses a hoop, and PRAM
+// (Theorem 2) never propagates dependencies along hoops.
+TEST(PaperHistories, Fig3StaleReadIsPramConsistent) {
+  const auto ex = paper::fig3_dependency_chain(3, paper::ChainEnd::kStaleRead);
+  EXPECT_TRUE(admitted(ex.history, Criterion::kPram));
+}
+
+// ------------------------------------------------------- cross-cutting
+// Every example's read-from must resolve exactly (unique values).
+TEST(PaperHistories, AllExamplesResolve) {
+  for (const auto& ex : paper::all_examples()) {
+    EXPECT_TRUE(ex.history.read_from_resolvable()) << ex.name;
+    EXPECT_GT(ex.history.size(), 0u) << ex.name;
+    EXPECT_EQ(ex.distribution.size(), ex.history.process_count()) << ex.name;
+  }
+}
+
+// The criterion lattice must hold on every example: if a stronger
+// criterion admits a history, every weaker one does too.
+TEST(PaperHistories, LatticeHoldsOnExamples) {
+  for (const auto& ex : paper::all_examples()) {
+    std::vector<std::pair<Criterion, bool>> verdicts;
+    for (Criterion c : all_criteria()) {
+      verdicts.emplace_back(c, admitted(ex.history, c));
+    }
+    for (const auto& [stronger, ok_s] : verdicts) {
+      if (!ok_s) continue;
+      for (const auto& [weaker, ok_w] : verdicts) {
+        if (implies(stronger, weaker)) {
+          EXPECT_TRUE(ok_w) << ex.name << ": " << to_string(stronger)
+                            << " admitted but " << to_string(weaker)
+                            << " did not";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pardsm::hist

@@ -1,0 +1,112 @@
+// Relation (bitset digraph) unit tests.
+
+#include <gtest/gtest.h>
+
+#include "history/relation.h"
+
+namespace pardsm::hist {
+namespace {
+
+TEST(Relation, AddAndHas) {
+  Relation r(5);
+  EXPECT_FALSE(r.has(0, 1));
+  r.add(0, 1);
+  EXPECT_TRUE(r.has(0, 1));
+  EXPECT_FALSE(r.has(1, 0));
+  EXPECT_EQ(r.edge_count(), 1u);
+}
+
+TEST(Relation, WorksBeyond64Elements) {
+  const std::size_t n = 130;
+  Relation r(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) r.add(i, i + 1);
+  r.close();
+  EXPECT_TRUE(r.has(0, n - 1));
+  EXPECT_FALSE(r.has(n - 1, 0));
+  EXPECT_EQ(r.edge_count(), n * (n - 1) / 2);
+}
+
+TEST(Relation, ClosureChains) {
+  Relation r(4);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(2, 3);
+  EXPECT_FALSE(r.has(0, 3));
+  r.close();
+  EXPECT_TRUE(r.has(0, 2));
+  EXPECT_TRUE(r.has(0, 3));
+  EXPECT_TRUE(r.has(1, 3));
+  EXPECT_FALSE(r.has(3, 0));
+}
+
+TEST(Relation, MergeUnions) {
+  Relation a(3), b(3);
+  a.add(0, 1);
+  b.add(1, 2);
+  a.merge(b);
+  EXPECT_TRUE(a.has(0, 1));
+  EXPECT_TRUE(a.has(1, 2));
+}
+
+TEST(Relation, AcyclicityDetection) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  EXPECT_TRUE(r.is_acyclic());
+  r.add(2, 0);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(Relation, SelfLoopIsACycle) {
+  Relation r(2);
+  r.add(1, 1);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(Relation, TopologicalOrderRespectsEdges) {
+  Relation r(5);
+  r.add(3, 1);
+  r.add(1, 4);
+  r.add(0, 2);
+  const auto order = r.topological_order();
+  ASSERT_EQ(order.size(), 5u);
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[3], pos[1]);
+  EXPECT_LT(pos[1], pos[4]);
+  EXPECT_LT(pos[0], pos[2]);
+}
+
+TEST(Relation, RestrictToSubset) {
+  Relation r(5);
+  r.add(0, 2);
+  r.add(2, 4);
+  r.add(1, 3);
+  const Relation sub = r.restrict_to({0, 2, 4});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_TRUE(sub.has(0, 1));   // 0 -> 2
+  EXPECT_TRUE(sub.has(1, 2));   // 2 -> 4
+  EXPECT_FALSE(sub.has(0, 2));  // not closed
+}
+
+TEST(Relation, SuccessorsAndEdges) {
+  Relation r(4);
+  r.add(1, 0);
+  r.add(1, 3);
+  EXPECT_EQ(r.successors(1), (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(r.edges().size(), 2u);
+  EXPECT_EQ(r.to_string(), "1->0 1->3");
+}
+
+TEST(Relation, EqualityAndClosureCopy) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  const Relation closed = r.closure();
+  EXPECT_FALSE(r.has(0, 2));
+  EXPECT_TRUE(closed.has(0, 2));
+  EXPECT_NE(r, closed);
+}
+
+}  // namespace
+}  // namespace pardsm::hist

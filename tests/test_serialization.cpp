@@ -1,0 +1,173 @@
+// Serialization finder (Definition 1 search) unit tests.
+
+#include <gtest/gtest.h>
+
+#include "history/orders.h"
+#include "history/serialization.h"
+
+namespace pardsm::hist {
+namespace {
+
+std::vector<OpIndex> all_ops(const History& h) {
+  std::vector<OpIndex> out;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out.push_back(static_cast<OpIndex>(i));
+  }
+  return out;
+}
+
+TEST(Serialization, TrivialSingleWrite) {
+  History h(1, 1);
+  h.push_write(0, 0, 1);
+  const auto r = find_serialization(h, all_ops(h), program_order(h));
+  EXPECT_EQ(r.verdict, SearchVerdict::kSerializable);
+  EXPECT_TRUE(is_legal_serialization(h, all_ops(h), r.order,
+                                     program_order(h)));
+}
+
+TEST(Serialization, ReadMustFollowItsWrite) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, 1);
+  const auto r = find_serialization(h, all_ops(h), program_order(h));
+  ASSERT_EQ(r.verdict, SearchVerdict::kSerializable);
+  EXPECT_EQ(r.order, (std::vector<OpIndex>{0, 1}));
+}
+
+TEST(Serialization, BottomReadMustComeFirst) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, kBottom);
+  const auto r = find_serialization(h, all_ops(h), Relation(h.size()));
+  ASSERT_EQ(r.verdict, SearchVerdict::kSerializable);
+  EXPECT_EQ(r.order, (std::vector<OpIndex>{1, 0}));
+}
+
+TEST(Serialization, BottomReadAfterForcedWriteIsRefuted) {
+  // Constraint forces the write before the ⊥-read: impossible.
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, kBottom);
+  Relation c(h.size());
+  c.add(0, 1);
+  const auto r = find_serialization(h, all_ops(h), c);
+  EXPECT_EQ(r.verdict, SearchVerdict::kNotSerializable);
+  EXPECT_TRUE(r.refuted_by_propagation);  // forced-edge cycle, no search
+}
+
+TEST(Serialization, InterveningWriteIsRefuted) {
+  // w(x)1 ; w(x)2 ordered, and a read of 1 forced after w(x)2.
+  History h(2, 1);
+  h.push_write(0, 0, 1);   // op 0
+  h.push_write(0, 0, 2);   // op 1 (program order after op 0)
+  h.push_read(1, 0, 1);    // op 2 reads the OLD value
+  Relation c = program_order(h);
+  c.add(1, 2);  // read forced after the overwrite
+  const auto r = find_serialization(h, all_ops(h), c);
+  EXPECT_EQ(r.verdict, SearchVerdict::kNotSerializable);
+}
+
+TEST(Serialization, InterleavingFound) {
+  // Classic: two writers, one reader sees old-then-new of different vars.
+  History h(3, 2);
+  h.push_write(0, 0, 1);      // w0(x)1
+  h.push_write(1, 1, 2);      // w1(y)2
+  h.push_read(2, 0, 1);       // r2(x)1
+  h.push_read(2, 1, kBottom); // r2(y)⊥ : y's write must come after
+  const auto r = find_serialization(h, all_ops(h), program_order(h));
+  ASSERT_EQ(r.verdict, SearchVerdict::kSerializable);
+  EXPECT_TRUE(
+      is_legal_serialization(h, all_ops(h), r.order, program_order(h)));
+}
+
+TEST(Serialization, FreshReadOrderingConflictRefuted) {
+  // p2 reads x=2 then x=1 while the constraint orders w(x)1 before w(x)2:
+  // after w2 is placed, w1's value can never be the latest again.
+  History h(3, 1);
+  h.push_write(0, 0, 1);  // op 0
+  h.push_write(0, 0, 2);  // op 1, program order 0 -> 1
+  h.push_read(2, 0, 2);   // op 2
+  h.push_read(2, 0, 1);   // op 3, program order 2 -> 3
+  const auto r = find_serialization(h, all_ops(h), program_order(h));
+  EXPECT_EQ(r.verdict, SearchVerdict::kNotSerializable);
+}
+
+TEST(Serialization, ConcurrentWritesBothOrdersWork) {
+  // No constraint: both (1,2) placements possible; reader of 1 decides.
+  History h(3, 1);
+  h.push_write(0, 0, 1);
+  h.push_write(1, 0, 2);
+  h.push_read(2, 0, 2);
+  const auto r = find_serialization(h, all_ops(h), Relation(h.size()));
+  ASSERT_EQ(r.verdict, SearchVerdict::kSerializable);
+  // The last write before the read must be value 2 (op 1).
+  const auto pos = [&](OpIndex op) {
+    return std::find(r.order.begin(), r.order.end(), op) - r.order.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(Serialization, SubsetSerializationIgnoresOutsideOps) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);  // op 0
+  h.push_write(1, 0, 2);  // op 1
+  h.push_read(0, 0, 1);   // op 2
+  // Serialize only p0's projection {0, 2}: trivially fine.
+  const std::vector<OpIndex> subset{0, 2};
+  const auto r = find_serialization(h, subset, program_order(h));
+  EXPECT_EQ(r.verdict, SearchVerdict::kSerializable);
+}
+
+TEST(Serialization, ReadWhoseSourceIsOutsideSubsetIsRefuted) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);  // op 0
+  h.push_read(1, 0, 1);   // op 1 reads from op 0
+  const std::vector<OpIndex> subset{1};  // source excluded
+  const auto r = find_serialization(h, subset, Relation(h.size()));
+  EXPECT_EQ(r.verdict, SearchVerdict::kNotSerializable);
+}
+
+TEST(Serialization, BudgetExhaustionReportsUnknown) {
+  // A large, heavily concurrent instance with a 1-state budget.
+  History h(6, 3);
+  for (ProcessId p = 0; p < 6; ++p) {
+    for (int i = 0; i < 3; ++i) {
+      h.push_write(p, static_cast<VarId>(i), p * 10 + i + 1);
+    }
+  }
+  SearchOptions options;
+  options.max_states = 1;
+  const auto r =
+      find_serialization(h, all_ops(h), Relation(h.size()), options);
+  EXPECT_EQ(r.verdict, SearchVerdict::kUnknown);
+}
+
+TEST(Serialization, WitnessValidatorRejectsBadOrders) {
+  History h(2, 1);
+  h.push_write(0, 0, 1);
+  h.push_read(1, 0, 1);
+  const Relation po = program_order(h);
+  EXPECT_FALSE(is_legal_serialization(h, all_ops(h), {1, 0}, po));
+  EXPECT_FALSE(is_legal_serialization(h, all_ops(h), {0}, po));
+  EXPECT_TRUE(is_legal_serialization(h, all_ops(h), {0, 1}, po));
+}
+
+TEST(Serialization, LargerHistoryStillExact) {
+  // 4 processes × 5 ops with real conflicts still decide quickly.
+  History h(4, 2);
+  h.push_write(0, 0, 1);
+  h.push_write(0, 1, 2);
+  h.push_write(1, 0, 3);
+  h.push_read(1, 1, 2);
+  h.push_write(2, 1, 4);
+  h.push_read(2, 0, 3);
+  h.push_read(3, 0, 3);
+  h.push_read(3, 1, 4);
+  h.push_write(3, 0, 5);
+  h.push_read(0, 0, 1);
+  const auto r = find_serialization(h, all_ops(h), program_order(h));
+  EXPECT_NE(r.verdict, SearchVerdict::kUnknown);
+}
+
+}  // namespace
+}  // namespace pardsm::hist

@@ -1,0 +1,286 @@
+// simnet substrate unit tests: RNG, event queue, latency models, channel
+// semantics, stats, trace, simulator determinism.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simnet/event_queue.h"
+#include "simnet/latency.h"
+#include "simnet/network.h"
+#include "simnet/rng.h"
+#include "simnet/simulator.h"
+#include "simnet/trace.h"
+
+namespace pardsm {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c;
+  }
+  Rng d(8);
+  bool all_equal = true;
+  Rng e(7);
+  for (int i = 0; i < 10; ++i) {
+    if (d() != e()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(11);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+// ------------------------------------------------------------ EventQueue
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint{20}, [&] { fired.push_back(2); });
+  q.schedule(TimePoint{10}, [&] { fired.push_back(1); });
+  q.schedule(TimePoint{20}, [&] { fired.push_back(3); });  // same time: FIFO
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  q.schedule(TimePoint{5}, [] {});
+  EXPECT_EQ(q.next_time(), TimePoint{5});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Latency
+TEST(Latency, ConstantAlwaysSame) {
+  ConstantLatency lat(millis(3));
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(lat.sample(0, 1, rng), millis(3));
+  }
+}
+
+TEST(Latency, UniformWithinBounds) {
+  UniformLatency lat(millis(2), millis(9));
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = lat.sample(0, 1, rng);
+    EXPECT_GE(d, millis(2));
+    EXPECT_LE(d, millis(9));
+  }
+}
+
+TEST(Latency, ExponentialTailBaseAndCap) {
+  ExponentialTailLatency lat(millis(1), millis(2), millis(10));
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = lat.sample(0, 1, rng);
+    EXPECT_GE(d, millis(1));
+    EXPECT_LE(d, millis(11));
+  }
+}
+
+TEST(Latency, MatrixPerPair) {
+  MatrixLatency lat({{millis(0), millis(5)}, {millis(7), millis(0)}});
+  Rng rng(1);
+  EXPECT_EQ(lat.sample(0, 1, rng), millis(5));
+  EXPECT_EQ(lat.sample(1, 0, rng), millis(7));
+}
+
+// ---------------------------------------------------------------- Network
+TEST(Network, FifoClampsDeliveryOrder) {
+  ChannelOptions ch;
+  ch.fifo = true;
+  Network net(2, ch, std::make_unique<UniformLatency>(millis(1), millis(50)),
+              Rng(5));
+  TimePoint last{-1};
+  for (int i = 0; i < 50; ++i) {
+    const auto deliveries = net.plan_delivery(0, 1, TimePoint{i});
+    ASSERT_EQ(deliveries.size(), 1u);
+    EXPECT_GT(deliveries[0], last);
+    last = deliveries[0];
+  }
+}
+
+TEST(Network, NonFifoMayReorder) {
+  ChannelOptions ch;
+  ch.fifo = false;
+  Network net(2, ch, std::make_unique<UniformLatency>(millis(1), millis(50)),
+              Rng(5));
+  bool reordered = false;
+  TimePoint last{-1};
+  for (int i = 0; i < 100; ++i) {
+    const auto deliveries = net.plan_delivery(0, 1, TimePoint{i});
+    if (deliveries[0] <= last) reordered = true;
+    last = deliveries[0];
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, DropProbabilityDropsSome) {
+  ChannelOptions ch;
+  ch.drop_probability = 0.5;
+  Network net(2, ch, nullptr, Rng(6));
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    delivered += static_cast<int>(net.plan_delivery(0, 1, TimePoint{i}).size());
+  }
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  EXPECT_GT(net.dropped_count(), 0u);
+}
+
+TEST(Network, DuplicateProbabilityDuplicatesSome) {
+  ChannelOptions ch;
+  ch.duplicate_probability = 0.5;
+  Network net(2, ch, nullptr, Rng(7));
+  int copies = 0;
+  for (int i = 0; i < 100; ++i) {
+    copies += static_cast<int>(net.plan_delivery(0, 1, TimePoint{i}).size());
+  }
+  EXPECT_GT(copies, 100);
+}
+
+TEST(Network, SeverAndHeal) {
+  Network net(2, {}, nullptr, Rng(8));
+  net.sever(0, 1);
+  EXPECT_TRUE(net.plan_delivery(0, 1, TimePoint{0}).empty());
+  EXPECT_FALSE(net.plan_delivery(1, 0, TimePoint{0}).empty());  // one way
+  net.heal(0, 1);
+  EXPECT_FALSE(net.plan_delivery(0, 1, TimePoint{1}).empty());
+}
+
+// -------------------------------------------------------------- Simulator
+namespace {
+struct Echo final : Endpoint {
+  std::vector<std::uint64_t> received;
+  void on_message(const Message& m) override { received.push_back(m.id); }
+};
+struct Ping final : MessageBody {};
+}  // namespace
+
+TEST(Simulator, DeliversAndCounts) {
+  Simulator sim;
+  Echo a, b;
+  const ProcessId pa = sim.add_endpoint(&a);
+  const ProcessId pb = sim.add_endpoint(&b);
+  sim.schedule_at(kTimeZero, [&] {
+    MessageMeta meta;
+    meta.kind = "PING";
+    meta.control_bytes = 4;
+    meta.vars_mentioned = {0};
+    sim.send(pa, pb, std::make_shared<Ping>(), meta);
+  });
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(sim.stats().traffic(pa).msgs_sent, 1u);
+  EXPECT_EQ(sim.stats().traffic(pb).msgs_received, 1u);
+  EXPECT_EQ(sim.stats().exposure(pb, 0), 1u);
+  EXPECT_TRUE(sim.stats().processes_exposed_to(0).count(pb));
+}
+
+TEST(Simulator, TimersFireInOrder) {
+  struct T final : Endpoint {
+    std::vector<TimerTag> tags;
+    void on_message(const Message&) override {}
+    void on_timer(TimerTag t) override { tags.push_back(t); }
+  };
+  Simulator sim;
+  T t;
+  const ProcessId p = sim.add_endpoint(&t);
+  sim.set_timer(p, millis(5), 2);
+  sim.set_timer(p, millis(1), 1);
+  sim.run();
+  EXPECT_EQ(t.tags, (std::vector<TimerTag>{1, 2}));
+  EXPECT_EQ(sim.now(), kTimeZero + millis(5));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  Echo a;
+  const ProcessId p = sim.add_endpoint(&a);
+  sim.set_timer(p, millis(10), 1);
+  EXPECT_FALSE(sim.run_until(kTimeZero + millis(5)));
+  EXPECT_TRUE(sim.run_until(kTimeZero + millis(20)));
+}
+
+TEST(Simulator, TraceRecordsWhenEnabled) {
+  Simulator sim;
+  Echo a, b;
+  const ProcessId pa = sim.add_endpoint(&a);
+  const ProcessId pb = sim.add_endpoint(&b);
+  sim.trace().set_enabled(true);
+  sim.schedule_at(kTimeZero, [&] {
+    sim.send(pa, pb, std::make_shared<Ping>(), MessageMeta{"PING", 0, 0, {}});
+  });
+  sim.run();
+  const auto entries = sim.trace().entries();
+  ASSERT_EQ(entries.size(), 2u);  // SEND + DELV
+  EXPECT_EQ(entries[0].type, TraceEntry::Type::kSend);
+  EXPECT_EQ(entries[1].type, TraceEntry::Type::kDeliver);
+  std::ostringstream os;
+  sim.trace().dump(os);
+  EXPECT_NE(os.str().find("SEND"), std::string::npos);
+}
+
+TEST(Simulator, MaxEventsGuardTrips) {
+  SimOptions options;
+  options.max_events = 10;
+  Simulator sim(std::move(options));
+  struct Loop final : Endpoint {
+    Simulator* sim = nullptr;
+    ProcessId self = 0;
+    void on_message(const Message&) override {}
+    void on_timer(TimerTag) override { sim->set_timer(self, millis(1), 0); }
+  };
+  Loop loop;
+  loop.sim = &sim;
+  loop.self = sim.add_endpoint(&loop);
+  sim.set_timer(loop.self, millis(1), 0);
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pardsm

@@ -1,0 +1,77 @@
+// Vector clock unit tests.
+
+#include <gtest/gtest.h>
+
+#include "mcs/vector_clock.h"
+
+namespace pardsm::mcs {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock vc(4);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(vc.at(p), 0);
+  EXPECT_EQ(vc.wire_bytes(), 32u);
+}
+
+TEST(VectorClock, IncrementAndSet) {
+  VectorClock vc(3);
+  vc.increment(1);
+  vc.increment(1);
+  vc.set(2, 7);
+  EXPECT_EQ(vc.at(0), 0);
+  EXPECT_EQ(vc.at(1), 2);
+  EXPECT_EQ(vc.at(2), 7);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.at(0), 5);
+  EXPECT_EQ(a.at(1), 4);
+  EXPECT_EQ(a.at(2), 2);
+}
+
+TEST(VectorClock, LeqIsComponentwise) {
+  VectorClock a(2), b(2);
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(1, 3);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, ReadyFromRequiresExactNextFromSender) {
+  VectorClock local(3);
+  // Sender p1's first message: msg[1] == 1, others <= local.
+  VectorClock msg(3);
+  msg.set(1, 1);
+  EXPECT_TRUE(local.ready_from(msg, 1));
+  // Skipping a message from the sender is not ready.
+  VectorClock msg2(3);
+  msg2.set(1, 2);
+  EXPECT_FALSE(local.ready_from(msg2, 1));
+  // A dependency on an undelivered third-party write is not ready.
+  VectorClock msg3(3);
+  msg3.set(1, 1);
+  msg3.set(2, 1);
+  EXPECT_FALSE(local.ready_from(msg3, 1));
+  // After catching up on p2 it becomes ready.
+  local.set(2, 1);
+  EXPECT_TRUE(local.ready_from(msg3, 1));
+}
+
+TEST(VectorClock, EqualityAndToString) {
+  VectorClock a(2), b(2);
+  EXPECT_EQ(a, b);
+  a.increment(0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string(), "[1,0]");
+}
+
+}  // namespace
+}  // namespace pardsm::mcs
