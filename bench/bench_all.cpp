@@ -1,0 +1,110 @@
+// bench_all — run every bench binary and merge their JSON results.
+//
+//   $ ./bench/bench_all [--quick] [--out BENCH_ALL.json]
+//
+// Each bench_* binary understands --quick (skip google-benchmark timings,
+// print the paper artifact and record counters only) and
+// --json=<path> (where to write its BENCH_<name>.json).  bench_all invokes
+// the siblings living next to its own binary, then splices the per-bench
+// JSON files into one results document, so the perf trajectory of the
+// repo is a single machine-readable artifact per run.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+constexpr std::array kBenches = {
+    "bench_fig1_sharegraph",    "bench_fig2_hoops",
+    "bench_fig3_depchain",      "bench_fig456_checkers",
+    "bench_fig789_bellman_ford", "bench_theorem1_relevance",
+    "bench_theorem2_pram",      "bench_control_overhead",
+    "bench_latency",            "bench_checkers_scaling",
+    "bench_oblivious_apps",     "bench_open_question",
+};
+
+std::string self_dir() {
+  std::array<char, 4096> buf{};
+  const auto n = ::readlink("/proc/self/exe", buf.data(), buf.size() - 1);
+  std::string path = n > 0 ? std::string(buf.data(), static_cast<std::size_t>(n)) : ".";
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_ALL.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_all [--quick] [--out BENCH_ALL.json]\n";
+      return 2;
+    }
+  }
+
+  const std::string dir = self_dir();
+  std::vector<std::string> merged;
+  int failures = 0;
+
+  for (const char* name : kBenches) {
+    const std::string json = "BENCH_" + std::string(name).substr(6) + ".json";
+    std::string cmd = dir + "/" + name + " --json=" + json;
+    if (quick) cmd += " --quick";
+    std::cout << "[bench_all] " << name << (quick ? " (quick)" : "") << "\n";
+    std::cout.flush();
+    const int status = std::system(cmd.c_str());
+    const std::string body = read_file(json);
+    if (status != 0 || body.empty()) {
+      std::cerr << "[bench_all] FAILED: " << name;
+      if (WIFSIGNALED(status)) {
+        std::cerr << " (signal " << WTERMSIG(status) << ")";
+      } else {
+        std::cerr << " (exit " << WEXITSTATUS(status) << ")";
+      }
+      std::cerr << '\n';
+      ++failures;
+      continue;
+    }
+    merged.push_back(body);
+  }
+
+  std::ofstream os(out);
+  os << "{\n  \"schema\": \"pardsm-bench-v1\",\n  \"quick\": "
+     << (quick ? "true" : "false") << ",\n  \"benches\": [\n";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    os << merged[i];
+    if (i + 1 < merged.size()) os << ",";
+    os << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+
+  std::cout << "[bench_all] wrote " << out << " (" << merged.size() << "/"
+            << kBenches.size() << " benches)\n";
+  return failures == 0 ? 0 : 1;
+}

@@ -29,7 +29,7 @@ History recorded_history(std::size_t ops_per_process, std::uint64_t seed) {
       .history;
 }
 
-void print_table() {
+void print_table(bu::Harness& harness) {
   bu::banner("S4: exact checker cost vs history size (causal criterion)");
   bu::row({"ops/proc", "|O_H|", "verdict", "check-ms"});
   for (std::size_t ops : {4u, 8u, 12u, 16u, 20u}) {
@@ -41,6 +41,13 @@ void print_table() {
              bu::num(static_cast<std::uint64_t>(h.size())),
              result.consistent ? "consistent" : "violated",
              bu::num(ms, 2)});
+    harness.record(
+        {.label = "causal-ops" + std::to_string(ops),
+         .protocol = "causal-partial-naive",
+         .distribution = "random-r2-4p3v",
+         .ops = h.size(),
+         .extra = {{"check_ms", ms},
+                   {"consistent", result.consistent ? 1.0 : 0.0}}});
   }
   std::cout << "(forced-edge propagation keeps protocol-generated histories "
                "near-linear; adversarial instances can still explode — the "
@@ -82,8 +89,11 @@ BENCHMARK(BM_OrderConstruction);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "checkers_scaling");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

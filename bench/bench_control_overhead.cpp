@@ -34,7 +34,7 @@ std::vector<Script> write_heavy_scripts(const graph::Distribution& dist,
   return make_random_scripts(dist, spec);
 }
 
-void sweep(const std::string& label,
+void sweep(bu::Harness& h, const std::string& label,
            const std::function<graph::Distribution(std::size_t)>& topo) {
   bu::banner("S1 control overhead on " + label);
   bu::row({"protocol", "n", "msgs/write", "ctrl-B/write", "predicted",
@@ -62,6 +62,24 @@ void sweep(const std::string& label,
                        1),
                bu::num(model.control_bytes_per_write, 1),
                bu::num(model.recipients_outside_clique, 2)});
+      h.record(
+          {.label = label + "-n" + std::to_string(n),
+           .protocol = to_string(kind),
+           .distribution = dist.name,
+           .ops = run.history.size(),
+           .messages = run.total_traffic.msgs_sent,
+           .bytes = run.total_traffic.wire_bytes_sent(),
+           .sim_time_ms = static_cast<double>(run.finished_at.us) / 1000.0,
+           .extra = {{"writes", static_cast<double>(writes)},
+                     {"msgs_per_write",
+                      static_cast<double>(run.total_traffic.msgs_sent) /
+                          static_cast<double>(writes)},
+                     {"ctrl_bytes_per_write",
+                      static_cast<double>(
+                          run.total_traffic.control_bytes_sent) /
+                          static_cast<double>(writes)},
+                     {"predicted_ctrl_bytes_per_write",
+                      model.control_bytes_per_write}}});
     }
   }
   std::cout << "(prediction assumes uniform write load; sequencer/atomic "
@@ -98,16 +116,18 @@ BENCHMARK(BM_PredictModel);
 }  // namespace
 
 int main(int argc, char** argv) {
-  sweep("rings (every variable hooped)",
-        [](std::size_t n) { return graph::topo::ring(n); });
-  sweep("random r=3 distributions", [](std::size_t n) {
+  bu::Harness h(&argc, argv, "control_overhead");
+  sweep(h, "rings", [](std::size_t n) { return graph::topo::ring(n); });
+  sweep(h, "random-r3", [](std::size_t n) {
     return graph::topo::random_replication(n, 2 * n, std::min<std::size_t>(3, n),
                                            17);
   });
-  sweep("open chains (hoop-free)", [](std::size_t n) {
+  sweep(h, "open-chain", [](std::size_t n) {
     return graph::topo::open_chain(n);
   });
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

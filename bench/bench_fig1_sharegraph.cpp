@@ -15,7 +15,7 @@ namespace {
 using namespace pardsm;
 using namespace pardsm::graph;
 
-void print_fig1() {
+void print_fig1(benchutil::Harness& h) {
   benchutil::banner("Figure 1: share graph of X_i={x1,x2}, X_j={x1}, X_k={x2}");
   const ShareGraph sg(topo::fig1());
   std::cout << sg.to_dot();
@@ -27,6 +27,26 @@ void print_fig1() {
   }
   std::cout << "edges: " << sg.edge_count()
             << " (paper: (i,j) labelled x1; (i,k) labelled x2)\n";
+  h.record({.label = "fig1",
+            .distribution = "fig1",
+            .extra = {{"edges", static_cast<double>(sg.edge_count())},
+                      {"processes", static_cast<double>(sg.process_count())}}});
+
+  // Construction cost across topology families (the same shapes the
+  // google-benchmark section times, recorded once for the JSON trail).
+  for (std::size_t n : {32u, 128u, 256u}) {
+    const auto dist = topo::random_replication(n, 2 * n, 4, 7);
+    double ms = 0;
+    std::size_t edges = 0;
+    ms = benchutil::time_ms([&] {
+      const ShareGraph g(dist);
+      edges = g.edge_count();
+    });
+    h.record({.label = "construct-random-" + std::to_string(n),
+              .distribution = dist.name,
+              .extra = {{"edges", static_cast<double>(edges)},
+                        {"wall_ms", ms}}});
+  }
 }
 
 void BM_ShareGraphConstructRandom(benchmark::State& state) {
@@ -74,8 +94,11 @@ BENCHMARK(BM_LabelQuery);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  benchutil::Harness h(&argc, argv, "fig1_sharegraph");
+  print_fig1(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

@@ -19,7 +19,7 @@ using namespace pardsm;
 using namespace pardsm::graph;
 namespace bu = pardsm::benchutil;
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("E2: x-hoop enumeration vs polynomial membership (x = var 0)");
   bu::row({"topology", "n", "hoops", "truncated", "enum-ms", "flow-ms",
            "|R(x)|"});
@@ -50,6 +50,13 @@ void print_table() {
              e.truncated ? "YES" : "no", bu::num(enum_ms, 3),
              bu::num(flow_ms, 3),
              bu::num(static_cast<std::uint64_t>(rel.size()))});
+    h.record({.label = c.name,
+              .distribution = c.dist.name,
+              .extra = {{"hoops", static_cast<double>(e.hoops.size())},
+                        {"truncated", e.truncated ? 1.0 : 0.0},
+                        {"enum_ms", enum_ms},
+                        {"flow_ms", flow_ms},
+                        {"relevant", static_cast<double>(rel.size())}}});
   }
   std::cout << "(expected shape: enumeration cost explodes on dense random "
                "graphs;\n flow-based membership stays polynomial — §3.3)\n";
@@ -94,8 +101,11 @@ BENCHMARK(BM_HoopExists)->Range(8, 64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "fig2_hoops");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

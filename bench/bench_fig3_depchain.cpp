@@ -20,7 +20,7 @@ Distribution to_dist(const hist::paper::Example& ex) {
   return Distribution{ex.name, ex.history.var_count(), ex.distribution};
 }
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("E3: x-dependency chain detection along the Fig-3 hoop");
   bu::row({"hoop length k", "causal chain", "chain ops", "PRAM chain",
            "detect-ms"});
@@ -38,6 +38,13 @@ void print_table() {
              bu::yesno(causal.found),
              bu::num(static_cast<std::uint64_t>(causal.ops.size())),
              pram.found ? "YES(!)" : "no  (thm 2)", bu::num(ms, 3)});
+    h.record({.label = "fig3-k" + std::to_string(k),
+              .distribution = ex.name,
+              .ops = ex.history.size(),
+              .extra = {{"causal_chain", causal.found ? 1.0 : 0.0},
+                        {"chain_ops", static_cast<double>(causal.ops.size())},
+                        {"pram_chain", pram.found ? 1.0 : 0.0},
+                        {"detect_ms", ms}}});
   }
 
   bu::banner("Fig 3 witness (k = 3)");
@@ -86,8 +93,11 @@ BENCHMARK(BM_GeneratingEdges);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "fig3_depchain");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

@@ -17,7 +17,7 @@ using namespace pardsm;
 using namespace pardsm::apps;
 namespace bu = pardsm::benchutil;
 
-void print_fig8_table() {
+void print_fig8_table(bu::Harness& h) {
   bu::banner("E8: Figure 8 network, Figure 7 algorithm, per protocol");
   bu::row({"protocol", "distances ok", "msgs", "ctrl-bytes", "payload",
            "sim-ms", "polls"});
@@ -31,6 +31,20 @@ void print_fig8_table() {
              bu::num(r.total_traffic.payload_bytes_sent),
              bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1),
              bu::num(r.barrier_polls)});
+    h.record(
+        {.label = "fig8",
+         .protocol = mcs::to_string(kind),
+         .distribution = "fig8",
+         .ops = r.history.size(),
+         .messages = r.total_traffic.msgs_sent,
+         .bytes = r.total_traffic.wire_bytes_sent(),
+         .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+         .extra = {{"correct", r.matches_reference ? 1.0 : 0.0},
+                   {"ctrl_bytes",
+                    static_cast<double>(r.total_traffic.control_bytes_sent)},
+                   {"payload_bytes",
+                    static_cast<double>(r.total_traffic.payload_bytes_sent)},
+                   {"polls", static_cast<double>(r.barrier_polls)}}});
   }
   std::cout << "(expected: all correct; pram-partial minimizes control "
                "bytes — §5/§6)\n";
@@ -42,7 +56,7 @@ void print_fig8_table() {
                "readers see predecessors' writes in program order)\n";
 }
 
-void print_scaling_table() {
+void print_scaling_table(bu::Harness& h) {
   bu::banner("E7 scaling: random networks, PRAM vs causal-partial-naive");
   bu::row({"n", "protocol", "ok", "msgs", "ctrl-bytes", "sim-ms"});
   for (std::size_t n : {6u, 10u, 14u}) {
@@ -57,6 +71,17 @@ void print_scaling_table() {
                bu::num(r.total_traffic.msgs_sent),
                bu::num(r.total_traffic.control_bytes_sent),
                bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
+      h.record(
+          {.label = "random-n" + std::to_string(n),
+           .protocol = mcs::to_string(kind),
+           .distribution = "random-network-" + std::to_string(n),
+           .ops = r.history.size(),
+           .messages = r.total_traffic.msgs_sent,
+           .bytes = r.total_traffic.wire_bytes_sent(),
+           .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+           .extra = {{"correct", r.matches_reference ? 1.0 : 0.0},
+                     {"ctrl_bytes", static_cast<double>(
+                                        r.total_traffic.control_bytes_sent)}}});
     }
   }
   std::cout << "(expected: the causal/PRAM control-byte gap widens with "
@@ -92,9 +117,12 @@ BENCHMARK(BM_BellmanFordRandom)->DenseRange(6, 18, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig8_table();
-  print_scaling_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "fig789_bellman_ford");
+  print_fig8_table(h);
+  print_scaling_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

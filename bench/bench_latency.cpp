@@ -58,7 +58,7 @@ Latencies measure(ProtocolKind kind, Duration lo, Duration hi) {
   return out;
 }
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("S2: operation latency per protocol (network: uniform 2-10ms)");
   bu::row({"protocol", "read-ms", "write-ms", "wait-free?"});
   for (auto kind : all_protocols()) {
@@ -69,6 +69,13 @@ void print_table() {
                            kind != ProtocolKind::kProcessorPartial;
     bu::row({to_string(kind), bu::num(lat.mean_read_ms, 2),
              bu::num(lat.mean_write_ms, 2), wait_free ? "yes" : "no"});
+    h.record({.label = "uniform-2-10ms",
+              .protocol = to_string(kind),
+              .distribution = "random-r3-6p5v",
+              .ops = lat.reads + lat.writes,
+              .extra = {{"mean_read_ms", lat.mean_read_ms},
+                        {"mean_write_ms", lat.mean_write_ms},
+                        {"wait_free", wait_free ? 1.0 : 0.0}}});
   }
   std::cout << "(expected: 0.00 for wait-free protocols; ~1 RTT for "
                "atomic reads/writes and sequencer writes)\n";
@@ -81,6 +88,13 @@ void print_table() {
                              millis(hi));
     bu::row({std::to_string(lo) + "-" + std::to_string(hi),
              bu::num(lat.mean_read_ms, 2)});
+    h.record({.label = "atomic-home-net-" + std::to_string(lo) + "-" +
+                       std::to_string(hi) + "ms",
+              .protocol = to_string(ProtocolKind::kAtomicHome),
+              .distribution = "random-r3-6p5v",
+              .ops = lat.reads + lat.writes,
+              .extra = {{"mean_read_ms", lat.mean_read_ms},
+                        {"mean_write_ms", lat.mean_write_ms}}});
   }
   std::cout << "(expected: read latency tracks the RTT — no locality)\n";
 }
@@ -114,8 +128,11 @@ BENCHMARK_CAPTURE(BM_LatencyRun, atomic, ProtocolKind::kAtomicHome);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "latency");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

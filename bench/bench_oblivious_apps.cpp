@@ -14,7 +14,7 @@ using namespace pardsm;
 using namespace pardsm::apps;
 namespace bu = pardsm::benchutil;
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("S3: oblivious computations on weak memories");
   bu::row({"application", "config", "correct", "msgs", "sim-ms"});
 
@@ -24,12 +24,20 @@ void print_table() {
       const auto a = random_matrix(n, 9, 1);
       const auto b = random_matrix(n, 9, 2);
       const auto r = run_matrix_product(a, b, p);
-      bu::row({"matrix-product (PRAM)",
-               std::to_string(n) + "x" + std::to_string(n) + "/p" +
-                   std::to_string(p),
+      const std::string config = std::to_string(n) + "x" + std::to_string(n) +
+                                 "/p" + std::to_string(p);
+      bu::row({"matrix-product (PRAM)", config,
                bu::yesno(r.matches_reference),
                bu::num(r.total_traffic.msgs_sent),
                bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
+      h.record(
+          {.label = "matrix-product-" + config,
+           .protocol = "pram-partial",
+           .distribution = "block-rows-p" + std::to_string(p),
+           .messages = r.total_traffic.msgs_sent,
+           .bytes = r.total_traffic.wire_bytes_sent(),
+           .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+           .extra = {{"correct", r.matches_reference ? 1.0 : 0.0}}});
     }
   }
 
@@ -37,11 +45,18 @@ void print_table() {
            {"ABCBDAB", "BDCABA"},
            {"DISTRIBUTEDSHARED", "PARTIALREPLICATION"}}) {
     const auto r = run_wavefront_lcs(s, t);
-    bu::row({"wavefront-LCS (PRAM)",
-             std::to_string(s.size()) + "x" + std::to_string(t.size()),
-             bu::yesno(r.matches_reference),
+    const std::string config =
+        std::to_string(s.size()) + "x" + std::to_string(t.size());
+    bu::row({"wavefront-LCS (PRAM)", config, bu::yesno(r.matches_reference),
              bu::num(r.total_traffic.msgs_sent),
              bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
+    h.record({.label = "wavefront-lcs-" + config,
+              .protocol = "pram-partial",
+              .distribution = "wavefront",
+              .messages = r.total_traffic.msgs_sent,
+              .bytes = r.total_traffic.wire_bytes_sent(),
+              .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+              .extra = {{"correct", r.matches_reference ? 1.0 : 0.0}}});
   }
 
   for (std::size_t n : {4u, 8u, 12u}) {
@@ -50,6 +65,13 @@ void print_table() {
     bu::row({"async-jacobi (slow mem)", "n=" + std::to_string(n),
              bu::yesno(r.converged), bu::num(r.total_traffic.msgs_sent),
              bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
+    h.record({.label = "async-jacobi-n" + std::to_string(n),
+              .protocol = "slow-partial",
+              .distribution = "jacobi-contraction",
+              .messages = r.total_traffic.msgs_sent,
+              .bytes = r.total_traffic.wire_bytes_sent(),
+              .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+              .extra = {{"converged", r.converged ? 1.0 : 0.0}}});
   }
   std::cout << "(expected: all correct — matrix product, dynamic "
                "programming and asynchronous iterations are the oblivious "
@@ -87,8 +109,11 @@ BENCHMARK(BM_AsyncJacobi)->DenseRange(4, 12, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "oblivious_apps");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

@@ -36,7 +36,7 @@ RunResult run(ProtocolKind kind, const graph::Distribution& dist) {
   return run_workload(kind, dist, scripts, std::move(options));
 }
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("OQ: criteria vs efficiency vs latency (ring-8, hoop-rich)");
   bu::row({"protocol", "PRAM ok", "cache ok", "leak>C(x)", "wr-lat-ms",
            "ctrl-B/msg"});
@@ -60,17 +60,29 @@ void print_table() {
         ++writes;
       }
     }
+    const double wr_lat_ms =
+        writes ? wr_total / 1000.0 / static_cast<double>(writes) : 0.0;
     bu::row({to_string(kind), bu::yesno(pram_ok), bu::yesno(cache_ok),
              bu::num(static_cast<std::uint64_t>(
                  report.vars_leaking_past_clique)),
-             bu::num(writes ? wr_total / 1000.0 /
-                                  static_cast<double>(writes)
-                            : 0.0,
-                     2),
+             bu::num(wr_lat_ms, 2),
              bu::num(static_cast<double>(
                          r.total_traffic.control_bytes_sent) /
                          static_cast<double>(r.total_traffic.msgs_sent),
                      1)});
+    h.record(
+        {.label = "ring-8",
+         .protocol = to_string(kind),
+         .distribution = dist.name,
+         .ops = r.history.size(),
+         .messages = r.total_traffic.msgs_sent,
+         .bytes = r.total_traffic.wire_bytes_sent(),
+         .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+         .extra = {{"pram_ok", pram_ok ? 1.0 : 0.0},
+                   {"cache_ok", cache_ok ? 1.0 : 0.0},
+                   {"leak_past_clique",
+                    static_cast<double>(report.vars_leaking_past_clique)},
+                   {"write_latency_ms", wr_lat_ms}}});
   }
   std::cout
       << "(expected: processor-partial passes BOTH checkers with zero "
@@ -95,8 +107,11 @@ BENCHMARK_CAPTURE(BM_Run, processor, ProtocolKind::kProcessorPartial);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "open_question");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

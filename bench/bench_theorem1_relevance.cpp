@@ -33,7 +33,7 @@ std::vector<Script> exhaustive_scripts(const graph::Distribution& dist) {
   return scripts;
 }
 
-void print_table() {
+void print_table(bu::Harness& h) {
   const std::vector<graph::Distribution> corpus = {
       graph::topo::chain_with_hoop(6),
       graph::topo::star(5),
@@ -68,6 +68,22 @@ void print_table() {
                bu::num(static_cast<std::uint64_t>(
                    report.vars_leaking_past_relevant)),
                bu::yesno(report.efficient())});
+      h.record(
+          {.label = dist.name,
+           .protocol = to_string(kind),
+           .distribution = dist.name,
+           .ops = run.history.size(),
+           .messages = run.total_traffic.msgs_sent,
+           .bytes = run.total_traffic.wire_bytes_sent(),
+           .sim_time_ms = static_cast<double>(run.finished_at.us) / 1000.0,
+           .extra = {{"sum_clique", static_cast<double>(sum_c)},
+                     {"sum_relevant", static_cast<double>(sum_r)},
+                     {"sum_observed", static_cast<double>(observed)},
+                     {"leak_past_clique",
+                      static_cast<double>(report.vars_leaking_past_clique)},
+                     {"leak_past_relevant",
+                      static_cast<double>(report.vars_leaking_past_relevant)},
+                     {"efficient", report.efficient() ? 1.0 : 0.0}}});
     }
   }
 }
@@ -100,8 +116,11 @@ BENCHMARK_CAPTURE(BM_WorkloadAdhocVsNaive, adhoc,
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "theorem1_relevance");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

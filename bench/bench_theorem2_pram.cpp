@@ -18,7 +18,7 @@ using namespace pardsm;
 using namespace pardsm::mcs;
 namespace bu = pardsm::benchutil;
 
-void print_table() {
+void print_table(bu::Harness& h) {
   bu::banner("T2: PRAM on rings of growing size (every var has a hoop)");
   bu::row({"n", "ctrl-bytes/msg", "leak>C(x)", "pram-chain?", "efficient?"});
   for (std::size_t n : {4u, 8u, 16u, 32u}) {
@@ -52,6 +52,19 @@ void print_table() {
                  report.vars_leaking_past_clique)),
              chain ? "YES(!)" : "no",
              bu::yesno(report.efficient())});
+    h.record(
+        {.label = "ring-" + std::to_string(n),
+         .protocol = to_string(ProtocolKind::kPramPartial),
+         .distribution = dist.name,
+         .ops = run.history.size(),
+         .messages = run.total_traffic.msgs_sent,
+         .bytes = run.total_traffic.wire_bytes_sent(),
+         .sim_time_ms = static_cast<double>(run.finished_at.us) / 1000.0,
+         .extra = {{"ctrl_bytes_per_msg", per_msg},
+                   {"leak_past_clique",
+                    static_cast<double>(report.vars_leaking_past_clique)},
+                   {"pram_chain", chain ? 1.0 : 0.0},
+                   {"efficient", report.efficient() ? 1.0 : 0.0}}});
   }
   std::cout << "(expected: ctrl-bytes/msg constant at 24; zero leaks; no "
                "chains — Theorem 2)\n";
@@ -75,6 +88,18 @@ void print_table() {
              bu::num(static_cast<std::uint64_t>(
                  report.vars_leaking_past_clique)),
              bu::yesno(report.efficient())});
+    h.record(
+        {.label = "ring-" + std::to_string(n),
+         .protocol = to_string(ProtocolKind::kCausalPartialNaive),
+         .distribution = dist.name,
+         .ops = run.history.size(),
+         .messages = run.total_traffic.msgs_sent,
+         .bytes = run.total_traffic.wire_bytes_sent(),
+         .sim_time_ms = static_cast<double>(run.finished_at.us) / 1000.0,
+         .extra = {{"ctrl_bytes_per_msg", per_msg},
+                   {"leak_past_clique",
+                    static_cast<double>(report.vars_leaking_past_clique)},
+                   {"efficient", report.efficient() ? 1.0 : 0.0}}});
   }
   std::cout << "(expected: ctrl-bytes/msg grows ~8n; every variable "
                "leaks)\n";
@@ -109,8 +134,11 @@ BENCHMARK(BM_NaiveCausalRun)->Range(4, 64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bu::Harness h(&argc, argv, "theorem2_pram");
+  print_table(h);
+  if (!h.quick()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return h.write_json();
 }

@@ -1,15 +1,28 @@
 // Shared helpers for the reproduction benches.
 //
 // Every bench binary prints the rows/series of the paper artifact it
-// regenerates (EXPERIMENTS.md records them), then runs its
+// regenerates (EXPERIMENTS.md records them), records the same rows as
+// machine-readable results through a Harness, then runs its
 // google-benchmark timings.
+//
+// Unified harness contract (bench_all relies on it):
+//   --quick        skip the google-benchmark timing section
+//   --json=PATH    where to write results (default BENCH_<name>.json)
+//
+// JSON schema (pardsm-bench-v1): one object per bench with a `results`
+// array; each result row carries protocol, distribution, ops, messages,
+// bytes and sim_time_ms, plus bench-specific `extra` key/value pairs.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pardsm::benchutil {
@@ -45,5 +58,107 @@ double time_ms(F&& fn) {
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - begin).count();
 }
+
+/// One machine-readable result row.  Fields that do not apply to a bench
+/// stay at their defaults ("-" / 0); bench-specific values go in `extra`.
+struct Result {
+  std::string label;         ///< row identifier (figure row, case name)
+  std::string protocol = "-";
+  std::string distribution = "-";
+  std::uint64_t ops = 0;       ///< application operations in the run
+  std::uint64_t messages = 0;  ///< protocol messages sent
+  std::uint64_t bytes = 0;     ///< wire bytes sent (control + payload)
+  double sim_time_ms = 0.0;    ///< simulated time to quiescence
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Per-binary bench harness: strips the unified flags from argv (so
+/// benchmark::Initialize never sees them), collects Result rows, and
+/// writes BENCH_<name>.json on write_json().
+class Harness {
+ public:
+  Harness(int* argc, char** argv, std::string name)
+      : name_(std::move(name)), json_path_("BENCH_" + name_ + ".json") {
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        quick_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = arg.substr(7);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argv[kept] = nullptr;
+    *argc = kept;
+  }
+
+  [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void record(Result r) { results_.push_back(std::move(r)); }
+
+  /// Write the collected rows; returns a process exit code.
+  [[nodiscard]] int write_json() const {
+    std::ofstream os(json_path_);
+    if (!os) {
+      std::cerr << "bench " << name_ << ": cannot write " << json_path_
+                << '\n';
+      return 1;
+    }
+    os << "    {\n      \"bench\": \"" << json_escape(name_)
+       << "\",\n      \"schema\": \"pardsm-bench-v1\",\n      \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const Result& r = results_[i];
+      os << "        {\"label\": \"" << json_escape(r.label)
+         << "\", \"protocol\": \"" << json_escape(r.protocol)
+         << "\", \"distribution\": \"" << json_escape(r.distribution)
+         << "\", \"ops\": " << r.ops << ", \"messages\": " << r.messages
+         << ", \"bytes\": " << r.bytes << ", \"sim_time_ms\": " << std::fixed
+         << std::setprecision(3) << r.sim_time_ms;
+      for (const auto& [key, value] : r.extra) {
+        os << ", \"" << json_escape(key) << "\": " << std::fixed
+           << std::setprecision(3) << value;
+      }
+      os << "}";
+      if (i + 1 < results_.size()) os << ",";
+      os << "\n";
+    }
+    os << "      ]\n    }\n";
+    std::cout << "wrote " << json_path_ << " (" << results_.size()
+              << " results)\n";
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool quick_ = false;
+  std::vector<Result> results_;
+};
 
 }  // namespace pardsm::benchutil

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify + quick bench sweep.  This is what CI runs and what a
+# contributor should run before pushing:
+#
+#   ./ci.sh              # build + ctest + bench_all --quick
+#   BUILD_DIR=out ./ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")"
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== test =="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+echo "== bench (quick) =="
+(cd "$BUILD_DIR" && ./bench/bench_all --quick --out BENCH_ALL.json)
+python3 - "$BUILD_DIR/BENCH_ALL.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = sum(len(b["results"]) for b in doc["benches"])
+assert doc["schema"] == "pardsm-bench-v1" and doc["benches"], doc.keys()
+print(f"BENCH_ALL.json ok: {len(doc['benches'])} benches, {rows} result rows")
+EOF
+
+echo "== done =="
