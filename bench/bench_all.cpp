@@ -1,6 +1,6 @@
 // bench_all — run every bench binary and merge their JSON results.
 //
-//   $ ./bench/bench_all [--quick] [--out BENCH_ALL.json]
+//   $ ./bench/bench_all [--quick] [--out BENCH_ALL.json] [--baseline OLD.json]
 //
 // Each bench_* binary understands --quick (skip google-benchmark timings,
 // print the paper artifact and record counters only) and
@@ -8,12 +8,20 @@
 // the siblings living next to its own binary, then splices the per-bench
 // JSON files into one results document, so the perf trajectory of the
 // repo is a single machine-readable artifact per run.
+//
+// --baseline compares the freshly produced document against an earlier
+// BENCH_ALL.json: rows are matched on (bench, label, protocol,
+// distribution) and the wall_ns speedup is printed per row plus a
+// geometric-mean summary.  The parser is deliberately minimal — it reads
+// the line-oriented format this harness itself emits, not arbitrary JSON.
 
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -48,11 +56,77 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
+/// Value of a `"key": "string"` field on `line`, or "" if absent.
+std::string string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto begin = pos + needle.size();
+  const auto end = line.find('"', begin);
+  return end == std::string::npos ? std::string{} : line.substr(begin, end - begin);
+}
+
+/// Value of a `"key": 123` numeric field on `line`, or -1 if absent.
+double number_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return -1.0;
+  return std::atof(line.c_str() + pos + needle.size());
+}
+
+/// wall_ns per (bench, label, protocol, distribution) row of a BENCH_ALL
+/// document (rows without a wall_ns measurement are skipped).
+std::map<std::string, double> wall_ns_by_row(const std::string& doc) {
+  std::map<std::string, double> out;
+  std::istringstream in(doc);
+  std::string line;
+  std::string bench;
+  while (std::getline(in, line)) {
+    const std::string b = string_field(line, "bench");
+    if (!b.empty()) bench = b;
+    const std::string label = string_field(line, "label");
+    if (label.empty()) continue;
+    const double wall_ns = number_field(line, "wall_ns");
+    if (wall_ns <= 0) continue;
+    const std::string key = bench + " | " + label + " | " +
+                            string_field(line, "protocol") + " | " +
+                            string_field(line, "distribution");
+    out[key] = wall_ns;
+  }
+  return out;
+}
+
+void diff_against_baseline(const std::string& baseline_doc,
+                           const std::string& current_doc) {
+  const auto before = wall_ns_by_row(baseline_doc);
+  const auto after = wall_ns_by_row(current_doc);
+  std::printf("\n%-72s %12s %12s %8s\n", "row (bench | label | protocol | dist)",
+              "old ns", "new ns", "speedup");
+  double log_sum = 0;
+  std::size_t matched = 0;
+  for (const auto& [key, new_ns] : after) {
+    const auto it = before.find(key);
+    if (it == before.end()) continue;
+    const double speedup = it->second / new_ns;
+    std::printf("%-72s %12.0f %12.0f %7.2fx\n", key.c_str(), it->second,
+                new_ns, speedup);
+    log_sum += std::log(speedup);
+    ++matched;
+  }
+  if (matched == 0) {
+    std::cout << "[bench_all] baseline: no matching wall_ns rows\n";
+    return;
+  }
+  std::printf("[bench_all] baseline: %zu rows matched, geomean speedup %.2fx\n",
+              matched, std::exp(log_sum / static_cast<double>(matched)));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out = "BENCH_ALL.json";
+  std::string baseline;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -61,8 +135,13 @@ int main(int argc, char** argv) {
       out = arg.substr(6);
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline = arg.substr(11);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
     } else {
-      std::cerr << "usage: bench_all [--quick] [--out BENCH_ALL.json]\n";
+      std::cerr << "usage: bench_all [--quick] [--out BENCH_ALL.json] "
+                   "[--baseline OLD.json]\n";
       return 2;
     }
   }
@@ -93,18 +172,30 @@ int main(int argc, char** argv) {
     merged.push_back(body);
   }
 
-  std::ofstream os(out);
-  os << "{\n  \"schema\": \"pardsm-bench-v1\",\n  \"quick\": "
-     << (quick ? "true" : "false") << ",\n  \"benches\": [\n";
+  std::ostringstream doc;
+  doc << "{\n  \"schema\": \"pardsm-bench-v2\",\n  \"quick\": "
+      << (quick ? "true" : "false") << ",\n  \"benches\": [\n";
   for (std::size_t i = 0; i < merged.size(); ++i) {
-    os << merged[i];
-    if (i + 1 < merged.size()) os << ",";
-    os << "\n";
+    doc << merged[i];
+    if (i + 1 < merged.size()) doc << ",";
+    doc << "\n";
   }
-  os << "  ]\n}\n";
+  doc << "  ]\n}\n";
+
+  std::ofstream os(out);
+  os << doc.str();
   os.close();
 
   std::cout << "[bench_all] wrote " << out << " (" << merged.size() << "/"
             << kBenches.size() << " benches)\n";
+
+  if (!baseline.empty()) {
+    const std::string baseline_doc = read_file(baseline);
+    if (baseline_doc.empty()) {
+      std::cerr << "[bench_all] cannot read baseline " << baseline << '\n';
+      return 1;
+    }
+    diff_against_baseline(baseline_doc, doc.str());
+  }
   return failures == 0 ? 0 : 1;
 }

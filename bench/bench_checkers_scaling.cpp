@@ -46,6 +46,7 @@ void print_table(bu::Harness& harness) {
          .protocol = "causal-partial-naive",
          .distribution = "random-r2-4p3v",
          .ops = h.size(),
+         .wall_ns = static_cast<std::uint64_t>(ms * 1e6),
          .extra = {{"check_ms", ms},
                    {"consistent", result.consistent ? 1.0 : 0.0}}});
   }

@@ -51,6 +51,10 @@ void sweep(bu::Harness& h, const std::string& label,
       }
       if (writes == 0) continue;
       const auto run = run_workload(kind, dist, scripts, {});
+      // wall_ns times a second, warm run of the identical (deterministic)
+      // workload so the row measures the engine, not cold-start noise.
+      const std::uint64_t wall_ns =
+          bu::time_ns([&] { (void)run_workload(kind, dist, scripts, {}); });
       const auto model = core::predict(kind, dist);
       bu::row({to_string(kind), bu::num(static_cast<std::uint64_t>(n)),
                bu::num(static_cast<double>(run.total_traffic.msgs_sent) /
@@ -70,6 +74,7 @@ void sweep(bu::Harness& h, const std::string& label,
            .messages = run.total_traffic.msgs_sent,
            .bytes = run.total_traffic.wire_bytes_sent(),
            .sim_time_ms = static_cast<double>(run.finished_at.us) / 1000.0,
+           .wall_ns = wall_ns,
            .extra = {{"writes", static_cast<double>(writes)},
                      {"msgs_per_write",
                       static_cast<double>(run.total_traffic.msgs_sent) /

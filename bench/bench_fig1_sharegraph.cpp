@@ -44,6 +44,7 @@ void print_fig1(benchutil::Harness& h) {
     });
     h.record({.label = "construct-random-" + std::to_string(n),
               .distribution = dist.name,
+              .wall_ns = static_cast<std::uint64_t>(ms * 1e6),
               .extra = {{"edges", static_cast<double>(edges)},
                         {"wall_ms", ms}}});
   }

@@ -52,6 +52,7 @@ void print_table(bu::Harness& h) {
              bu::num(static_cast<std::uint64_t>(rel.size()))});
     h.record({.label = c.name,
               .distribution = c.dist.name,
+              .wall_ns = static_cast<std::uint64_t>((enum_ms + flow_ms) * 1e6),
               .extra = {{"hoops", static_cast<double>(e.hoops.size())},
                         {"truncated", e.truncated ? 1.0 : 0.0},
                         {"enum_ms", enum_ms},

@@ -41,6 +41,7 @@ void print_table(bu::Harness& h) {
     h.record({.label = "fig3-k" + std::to_string(k),
               .distribution = ex.name,
               .ops = ex.history.size(),
+              .wall_ns = static_cast<std::uint64_t>(ms * 1e6),
               .extra = {{"causal_chain", causal.found ? 1.0 : 0.0},
                         {"chain_ops", static_cast<double>(causal.ops.size())},
                         {"pram_chain", pram.found ? 1.0 : 0.0},

@@ -62,7 +62,9 @@ void print_table(bu::Harness& h) {
   bu::banner("S2: operation latency per protocol (network: uniform 2-10ms)");
   bu::row({"protocol", "read-ms", "write-ms", "wait-free?"});
   for (auto kind : all_protocols()) {
+    const bu::WallTimer timer;
     const auto lat = measure(kind, millis(2), millis(10));
+    const std::uint64_t wall_ns = timer.ns();
     const bool wait_free = kind != ProtocolKind::kAtomicHome &&
                            kind != ProtocolKind::kSequencerSC &&
                            kind != ProtocolKind::kCachePartial &&
@@ -73,6 +75,7 @@ void print_table(bu::Harness& h) {
               .protocol = to_string(kind),
               .distribution = "random-r3-6p5v",
               .ops = lat.reads + lat.writes,
+              .wall_ns = wall_ns,
               .extra = {{"mean_read_ms", lat.mean_read_ms},
                         {"mean_write_ms", lat.mean_write_ms},
                         {"wait_free", wait_free ? 1.0 : 0.0}}});
@@ -84,8 +87,10 @@ void print_table(bu::Harness& h) {
   bu::row({"net lo-hi (ms)", "read-ms"});
   for (auto [lo, hi] : std::vector<std::pair<int, int>>{
            {1, 2}, {2, 10}, {10, 30}, {30, 80}}) {
+    const bu::WallTimer timer;
     const auto lat = measure(ProtocolKind::kAtomicHome, millis(lo),
                              millis(hi));
+    const std::uint64_t wall_ns = timer.ns();
     bu::row({std::to_string(lo) + "-" + std::to_string(hi),
              bu::num(lat.mean_read_ms, 2)});
     h.record({.label = "atomic-home-net-" + std::to_string(lo) + "-" +
@@ -93,6 +98,7 @@ void print_table(bu::Harness& h) {
               .protocol = to_string(ProtocolKind::kAtomicHome),
               .distribution = "random-r3-6p5v",
               .ops = lat.reads + lat.writes,
+              .wall_ns = wall_ns,
               .extra = {{"mean_read_ms", lat.mean_read_ms},
                         {"mean_write_ms", lat.mean_write_ms}}});
   }

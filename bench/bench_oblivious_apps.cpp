@@ -23,7 +23,9 @@ void print_table(bu::Harness& h) {
       if (p > n) continue;
       const auto a = random_matrix(n, 9, 1);
       const auto b = random_matrix(n, 9, 2);
+      const bu::WallTimer timer;
       const auto r = run_matrix_product(a, b, p);
+      const std::uint64_t wall_ns = timer.ns();
       const std::string config = std::to_string(n) + "x" + std::to_string(n) +
                                  "/p" + std::to_string(p);
       bu::row({"matrix-product (PRAM)", config,
@@ -37,6 +39,7 @@ void print_table(bu::Harness& h) {
            .messages = r.total_traffic.msgs_sent,
            .bytes = r.total_traffic.wire_bytes_sent(),
            .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+           .wall_ns = wall_ns,
            .extra = {{"correct", r.matches_reference ? 1.0 : 0.0}}});
     }
   }
@@ -44,7 +47,9 @@ void print_table(bu::Harness& h) {
   for (const auto& [s, t] : std::vector<std::pair<std::string, std::string>>{
            {"ABCBDAB", "BDCABA"},
            {"DISTRIBUTEDSHARED", "PARTIALREPLICATION"}}) {
+    const bu::WallTimer timer;
     const auto r = run_wavefront_lcs(s, t);
+    const std::uint64_t wall_ns = timer.ns();
     const std::string config =
         std::to_string(s.size()) + "x" + std::to_string(t.size());
     bu::row({"wavefront-LCS (PRAM)", config, bu::yesno(r.matches_reference),
@@ -56,12 +61,15 @@ void print_table(bu::Harness& h) {
               .messages = r.total_traffic.msgs_sent,
               .bytes = r.total_traffic.wire_bytes_sent(),
               .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+              .wall_ns = wall_ns,
               .extra = {{"correct", r.matches_reference ? 1.0 : 0.0}}});
   }
 
   for (std::size_t n : {4u, 8u, 12u}) {
     const auto problem = JacobiProblem::contraction(n, n);
+    const bu::WallTimer timer;
     const auto r = run_async_jacobi(problem);
+    const std::uint64_t wall_ns = timer.ns();
     bu::row({"async-jacobi (slow mem)", "n=" + std::to_string(n),
              bu::yesno(r.converged), bu::num(r.total_traffic.msgs_sent),
              bu::num(static_cast<double>(r.finished_at.us) / 1000.0, 1)});
@@ -71,6 +79,7 @@ void print_table(bu::Harness& h) {
               .messages = r.total_traffic.msgs_sent,
               .bytes = r.total_traffic.wire_bytes_sent(),
               .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+              .wall_ns = wall_ns,
               .extra = {{"converged", r.converged ? 1.0 : 0.0}}});
   }
   std::cout << "(expected: all correct — matrix product, dynamic "

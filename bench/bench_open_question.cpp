@@ -45,7 +45,9 @@ void print_table(bu::Harness& h) {
        {ProtocolKind::kPramPartial, ProtocolKind::kCachePartial,
         ProtocolKind::kProcessorPartial, ProtocolKind::kCausalPartialNaive,
         ProtocolKind::kSequencerSC}) {
+    const bu::WallTimer timer;
     const auto r = run(kind, dist);
+    const std::uint64_t wall_ns = timer.ns();
     const auto report =
         core::analyze_run(dist, r.observed_relevant, r.total_traffic);
     const bool pram_ok =
@@ -78,6 +80,7 @@ void print_table(bu::Harness& h) {
          .messages = r.total_traffic.msgs_sent,
          .bytes = r.total_traffic.wire_bytes_sent(),
          .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
+         .wall_ns = wall_ns,
          .extra = {{"pram_ok", pram_ok ? 1.0 : 0.0},
                    {"cache_ok", cache_ok ? 1.0 : 0.0},
                    {"leak_past_clique",

@@ -9,9 +9,11 @@
 //   --quick        skip the google-benchmark timing section
 //   --json=PATH    where to write results (default BENCH_<name>.json)
 //
-// JSON schema (pardsm-bench-v1): one object per bench with a `results`
+// JSON schema (pardsm-bench-v2): one object per bench with a `results`
 // array; each result row carries protocol, distribution, ops, messages,
-// bytes and sim_time_ms, plus bench-specific `extra` key/value pairs.
+// bytes, sim_time_ms, wall_ns (real time spent producing the row, 0 when
+// not measured) and ops_per_sec (derived, 0 when not applicable), plus
+// bench-specific `extra` key/value pairs.
 #pragma once
 
 #include <chrono>
@@ -59,6 +61,32 @@ double time_ms(F&& fn) {
   return std::chrono::duration<double, std::milli>(end - begin).count();
 }
 
+/// Wall-clock of a closure in nanoseconds (for Result::wall_ns).
+template <typename F>
+std::uint64_t time_ns(F&& fn) {
+  const auto begin = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+/// Running wall-clock: construct before the work, read ns() after.
+class WallTimer {
+ public:
+  WallTimer() : begin_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+};
+
 /// One machine-readable result row.  Fields that do not apply to a bench
 /// stay at their defaults ("-" / 0); bench-specific values go in `extra`.
 struct Result {
@@ -69,7 +97,14 @@ struct Result {
   std::uint64_t messages = 0;  ///< protocol messages sent
   std::uint64_t bytes = 0;     ///< wire bytes sent (control + payload)
   double sim_time_ms = 0.0;    ///< simulated time to quiescence
+  std::uint64_t wall_ns = 0;   ///< real time spent producing this row
   std::vector<std::pair<std::string, double>> extra;
+
+  /// Application operations per wall-clock second (0 when unmeasured).
+  [[nodiscard]] double ops_per_sec() const {
+    if (wall_ns == 0 || ops == 0) return 0.0;
+    return static_cast<double>(ops) * 1e9 / static_cast<double>(wall_ns);
+  }
 };
 
 inline std::string json_escape(const std::string& s) {
@@ -131,7 +166,7 @@ class Harness {
       return 1;
     }
     os << "    {\n      \"bench\": \"" << json_escape(name_)
-       << "\",\n      \"schema\": \"pardsm-bench-v1\",\n      \"results\": [\n";
+       << "\",\n      \"schema\": \"pardsm-bench-v2\",\n      \"results\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];
       os << "        {\"label\": \"" << json_escape(r.label)
@@ -139,7 +174,9 @@ class Harness {
          << "\", \"distribution\": \"" << json_escape(r.distribution)
          << "\", \"ops\": " << r.ops << ", \"messages\": " << r.messages
          << ", \"bytes\": " << r.bytes << ", \"sim_time_ms\": " << std::fixed
-         << std::setprecision(3) << r.sim_time_ms;
+         << std::setprecision(3) << r.sim_time_ms << ", \"wall_ns\": "
+         << r.wall_ns << ", \"ops_per_sec\": " << std::fixed
+         << std::setprecision(1) << r.ops_per_sec();
       for (const auto& [key, value] : r.extra) {
         os << ", \"" << json_escape(key) << "\": " << std::fixed
            << std::setprecision(3) << value;

@@ -25,8 +25,11 @@ python3 - "$BUILD_DIR/BENCH_ALL.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rows = sum(len(b["results"]) for b in doc["benches"])
-assert doc["schema"] == "pardsm-bench-v1" and doc["benches"], doc.keys()
-print(f"BENCH_ALL.json ok: {len(doc['benches'])} benches, {rows} result rows")
+assert doc["schema"] == "pardsm-bench-v2" and doc["benches"], doc.keys()
+timed = [r for b in doc["benches"] for r in b["results"] if r.get("wall_ns", 0) > 0]
+total_ms = sum(r["wall_ns"] for r in timed) / 1e6
+print(f"BENCH_ALL.json ok: {len(doc['benches'])} benches, {rows} result rows, "
+      f"{len(timed)} timed rows ({total_ms:.1f} ms wall)")
 EOF
 
 echo "== done =="

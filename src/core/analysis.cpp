@@ -53,7 +53,11 @@ std::string EfficiencyReport::to_table() const {
      << std::setw(8) << "|R(x)|" << std::setw(10) << "observed"
      << std::setw(12) << "in-C(x)?" << "in-R(x)?\n";
   for (const auto& vr : per_var) {
-    os << std::left << std::setw(6) << ("x" + std::to_string(vr.var))
+    // Two-step append (not `"x" + std::to_string(...)`): avoids GCC 12's
+    // -Wrestrict false positive on operator+(const char*, string&&).
+    std::string var_label = "x";
+    var_label += std::to_string(vr.var);
+    os << std::left << std::setw(6) << var_label
        << std::setw(8) << vr.clique.size() << std::setw(8)
        << vr.theorem1_relevant.size() << std::setw(10) << vr.observed.size()
        << std::setw(12) << (vr.within_clique() ? "yes" : "NO")

@@ -65,11 +65,7 @@ hist::History System::history() const { return recorder_->history(); }
 const NetworkStats& System::stats() const { return sim_->stats(); }
 
 std::vector<std::set<ProcessId>> System::observed_relevance() const {
-  std::vector<std::set<ProcessId>> out(config_.distribution.var_count);
-  for (std::size_t x = 0; x < out.size(); ++x) {
-    out[x] = sim_->stats().processes_exposed_to(static_cast<VarId>(x));
-  }
-  return out;
+  return sim_->stats().exposure_sets(config_.distribution.var_count);
 }
 
 mcs::McsProcess& System::process(ProcessId p) {

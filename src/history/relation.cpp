@@ -1,7 +1,5 @@
 #include "history/relation.h"
 
-#include <sstream>
-
 #include "simnet/check.h"
 
 namespace pardsm::hist {
@@ -134,14 +132,18 @@ std::vector<std::size_t> Relation::successors(std::size_t a) const {
 }
 
 std::string Relation::to_string() const {
-  std::ostringstream os;
+  // One reserved buffer, appended in place (edge lists can be O(n^2)).
+  std::string out;
+  out.reserve(edge_count() * 8);
   bool first = true;
   for (const auto& [a, b] : edges()) {
-    if (!first) os << ' ';
+    if (!first) out += ' ';
     first = false;
-    os << a << "->" << b;
+    out += std::to_string(a);
+    out += "->";
+    out += std::to_string(b);
   }
-  return os.str();
+  return out;
 }
 
 }  // namespace pardsm::hist

@@ -36,6 +36,13 @@ struct Refresh final : MessageBody {
   WriteId id{};
 };
 
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kReadReqKind("RREQ");
+const KindId kReadRspKind("RRSP");
+const KindId kWriteReqKind("WREQ");
+const KindId kWriteAckKind("WACK");
+const KindId kRefreshKind("RFSH");
+
 }  // namespace
 
 AtomicHomeProcess::AtomicHomeProcess(ProcessId self,
@@ -44,7 +51,7 @@ AtomicHomeProcess::AtomicHomeProcess(ProcessId self,
     : McsProcess(self, dist, recorder) {}
 
 ProcessId AtomicHomeProcess::home_of(VarId x) const {
-  const auto replicas = distribution().replicas_of(x);
+  const auto& replicas = replicas_of(x);
   PARDSM_CHECK(!replicas.empty(), "variable with no replicas");
   return replicas.front();
 }
@@ -59,14 +66,13 @@ void AtomicHomeProcess::read(VarId x, ReadCallback done) {
   }
   ++mutable_stats().remote_reads;
   const std::uint64_t rpc = next_rpc_++;
-  pending_reads_[rpc] = std::move(done);
-  rpc_invoked_[rpc] = now();
+  pending_reads_[rpc] = PendingRead{std::move(done), now()};
 
   auto body = std::make_shared<ReadRequest>();
   body->x = x;
   body->rpc = rpc;
   MessageMeta meta;
-  meta.kind = "RREQ";
+  meta.kind = kReadReqKind;
   meta.control_bytes = 8 + 8;
   meta.vars_mentioned = {x};
   transport().send(id(), home, std::move(body), meta);
@@ -87,11 +93,11 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
     refresh->v = v;
     refresh->id = wid;
     MessageMeta meta;
-    meta.kind = "RFSH";
+    meta.kind = kRefreshKind;
     meta.control_bytes = 16 + 8;
     meta.payload_bytes = 8;
     meta.vars_mentioned = {x};
-    for (ProcessId q : distribution().replicas_of(x)) {
+    for (ProcessId q : replicas_of(x)) {
       if (q != id()) transport().send(id(), q, refresh, meta);
     }
     done();
@@ -113,7 +119,7 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
   body->id = wid;
   body->rpc = rpc;
   MessageMeta meta;
-  meta.kind = "WREQ";
+  meta.kind = kWriteReqKind;
   meta.control_bytes = 16 + 8 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
@@ -130,7 +136,7 @@ void AtomicHomeProcess::on_message(const Message& m) {
     reply->source = s.source;
     reply->rpc = rr->rpc;
     MessageMeta meta;
-    meta.kind = "RRSP";
+    meta.kind = kReadRspKind;
     meta.control_bytes = 16 + 8 + 8;
     meta.payload_bytes = 8;
     meta.vars_mentioned = {rr->x};
@@ -140,13 +146,11 @@ void AtomicHomeProcess::on_message(const Message& m) {
   if (const auto* reply = m.as<ReadReply>()) {
     auto it = pending_reads_.find(reply->rpc);
     if (it == pending_reads_.end()) return;  // duplicated reply
-    auto done = std::move(it->second);
+    PendingRead pending = std::move(it->second);
     pending_reads_.erase(it);
-    const TimePoint invoked = rpc_invoked_[reply->rpc];
-    rpc_invoked_.erase(reply->rpc);
-    recorder().record_read(id(), reply->x, reply->v, reply->source, invoked,
-                           now());
-    done(reply->v);
+    recorder().record_read(id(), reply->x, reply->v, reply->source,
+                           pending.invoked, now());
+    pending.done(reply->v);
     return;
   }
   if (const auto* wr = m.as<WriteRequest>()) {
@@ -163,18 +167,18 @@ void AtomicHomeProcess::on_message(const Message& m) {
     refresh->v = wr->v;
     refresh->id = wr->id;
     MessageMeta rmeta;
-    rmeta.kind = "RFSH";
+    rmeta.kind = kRefreshKind;
     rmeta.control_bytes = 16 + 8;
     rmeta.payload_bytes = 8;
     rmeta.vars_mentioned = {wr->x};
-    for (ProcessId q : distribution().replicas_of(wr->x)) {
+    for (ProcessId q : replicas_of(wr->x)) {
       if (q != id() && q != m.from) transport().send(id(), q, refresh, rmeta);
     }
     auto ack = std::make_shared<WriteAck>();
     ack->x = wr->x;
     ack->rpc = wr->rpc;
     MessageMeta meta;
-    meta.kind = "WACK";
+    meta.kind = kWriteAckKind;
     meta.control_bytes = 8 + 8;
     meta.vars_mentioned = {wr->x};
     transport().send(id(), m.from, std::move(ack), meta);

@@ -39,6 +39,10 @@ class AtomicHomeProcess final : public McsProcess {
   [[nodiscard]] ProcessId home_of(VarId x) const;
 
  private:
+  struct PendingRead {
+    ReadCallback done;
+    TimePoint invoked{};
+  };
   struct PendingWrite {
     VarId x = kNoVar;
     Value v = kBottom;
@@ -49,9 +53,8 @@ class AtomicHomeProcess final : public McsProcess {
 
   std::int64_t next_write_seq_ = 0;
   std::uint64_t next_rpc_ = 1;
-  std::map<std::uint64_t, ReadCallback> pending_reads_;
+  std::map<std::uint64_t, PendingRead> pending_reads_;
   std::map<std::uint64_t, PendingWrite> pending_writes_;
-  std::map<std::uint64_t, TimePoint> rpc_invoked_;
   /// Home-side duplicate suppression: writes already applied here.
   std::set<WriteId> applied_ids_;
 };

@@ -6,13 +6,21 @@
 
 namespace pardsm::mcs {
 
+namespace {
+
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kWriteReqKind("CWRQ");
+const KindId kCommitKind("CCMT");
+
+}  // namespace
+
 CachePartialProcess::CachePartialProcess(ProcessId self,
                                          const graph::Distribution& dist,
                                          HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder) {}
 
 ProcessId CachePartialProcess::home_of(VarId x) const {
-  const auto replicas = distribution().replicas_of(x);
+  const auto& replicas = replicas_of(x);
   PARDSM_CHECK(!replicas.empty(), "variable with no replicas");
   return replicas.front();
 }
@@ -51,7 +59,7 @@ void CachePartialProcess::write(VarId x, Value v, WriteCallback done) {
   body->prior_counts = priors;
 
   MessageMeta meta;
-  meta.kind = "CWRQ";
+  meta.kind = kWriteReqKind;
   meta.control_bytes = 16 + 8 + 8 + 16 * priors.size();
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
@@ -81,12 +89,12 @@ void CachePartialProcess::sequence(
   body->prior_counts = prior_counts;
 
   MessageMeta meta;
-  meta.kind = "CCMT";
+  meta.kind = kCommitKind;
   meta.control_bytes = 16 + 8 + 8 + 8 + 8 + 16 * prior_counts.size();
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
 
-  for (ProcessId q : distribution().replicas_of(x)) {
+  for (ProcessId q : replicas_of(x)) {
     if (q == id()) continue;
     transport().send(id(), q, body, meta);
   }

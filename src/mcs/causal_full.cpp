@@ -24,6 +24,9 @@ std::vector<VarId> all_vars(const graph::Distribution& dist) {
   return out;
 }
 
+/// Message kind, interned once so the send path never hits the table.
+const KindId kUpdateKind("CUPD");
+
 }  // namespace
 
 CausalFullProcess::CausalFullProcess(ProcessId self,
@@ -53,7 +56,7 @@ void CausalFullProcess::write(VarId x, Value v, WriteCallback done) {
   body->vc = vc_;
 
   MessageMeta meta;
-  meta.kind = "CUPD";
+  meta.kind = kUpdateKind;
   meta.control_bytes = vc_.wire_bytes() + 16 /*write id*/ + 8 /*var*/;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};

@@ -6,17 +6,28 @@ namespace pardsm::mcs {
 
 namespace {
 
-/// Hoop-routed causal message.  `deps` holds the sender's seen-counters
-/// restricted to variables the receiver tracks; `var_seq` is the
-/// per-(writer, x) sequence number of this write (1-based).
+/// The writer's seen-counters at send time, in VarId order.
+using DepSnapshot = std::vector<std::pair<VarId, std::vector<std::int64_t>>>;
+
+/// Hoop-routed causal message.  `deps` is the sender's full pre-write
+/// dependency snapshot, shared by every copy of the multicast (one copy
+/// per write instead of one per recipient); receivers only consult the
+/// entries they track, and the control-byte accounting counts only those
+/// entries — exactly the bytes a real implementation would put on the
+/// wire for that recipient.  `var_seq` is the per-(writer, x) sequence
+/// number of this write (1-based).
 struct AdHocMsg final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   bool has_value = false;
   WriteId id{};
   std::int64_t var_seq = 0;
-  std::vector<std::pair<VarId, std::vector<std::int64_t>>> deps;
+  std::shared_ptr<const DepSnapshot> deps;
 };
+
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kUpdateKind("AUPD");
+const KindId kNotifyKind("ANOT");
 
 }  // namespace
 
@@ -61,17 +72,24 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
   const WriteId wid{id(), next_write_seq_++};
   const TimePoint t = now();
 
-  // Dependency snapshot BEFORE counting this write.
-  const auto snapshot = seen_;  // cheap at our variable counts
+  // Dependencies are the counters BEFORE counting this write, so `seen_`
+  // is left untouched until every message is built (avoids snapshotting
+  // the whole map per write).
   auto& own = seen_.at(x);
-  const std::int64_t var_seq = ++own[static_cast<std::size_t>(id())];
+  const std::int64_t var_seq = own[static_cast<std::size_t>(id())] + 1;
 
   mutable_store().put(x, v, wid);
   recorder().record_write(id(), x, v, wid, t, t);
   ++mutable_stats().writes;
 
   const auto& relevant = analysis_->relevant[static_cast<std::size_t>(x)];
-  const auto& dist = distribution();
+
+  // One shared snapshot per write (VarId order = map order); each
+  // recipient's meta still charges only the entries that recipient
+  // tracks.
+  auto deps = std::make_shared<DepSnapshot>();
+  deps->reserve(seen_.size());
+  for (const auto& [y, counts] : seen_) deps->emplace_back(y, counts);
 
   for (ProcessId q : relevant) {
     if (q == id()) continue;
@@ -81,19 +99,20 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
     body->x = x;
     body->id = wid;
     body->var_seq = var_seq;
-    body->has_value = dist.holds(q, x);
+    body->has_value = clique_holds(q, x);
     if (body->has_value) body->v = v;
+    body->deps = deps;
 
-    // deps: snapshot restricted to variables q also tracks.
+    // Control bytes: pre-write counters restricted to variables q also
+    // tracks.
     std::uint64_t dep_bytes = 0;
-    for (const auto& [y, counts] : snapshot) {
+    for (const auto& [y, counts] : *deps) {
       if (!std::binary_search(q_tracks.begin(), q_tracks.end(), y)) continue;
-      body->deps.emplace_back(y, counts);
       dep_bytes += 8 + 8 * counts.size();
     }
 
     MessageMeta meta;
-    meta.kind = body->has_value ? "AUPD" : "ANOT";
+    meta.kind = body->has_value ? kUpdateKind : kNotifyKind;
     meta.control_bytes = 16 /*write id*/ + 8 /*var*/ + 8 /*var_seq*/ +
                          dep_bytes;
     meta.payload_bytes = body->has_value ? 8 : 0;
@@ -101,6 +120,7 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
 
     transport().send(id(), q, std::move(body), meta);
   }
+  own[static_cast<std::size_t>(id())] = var_seq;
   done();
 }
 
@@ -125,8 +145,9 @@ bool CausalPartialAdHocProcess::ready(const Message& m) const {
   if (it->second[static_cast<std::size_t>(m.from)] != u->var_seq - 1) {
     return false;
   }
-  // Dependency domination for every variable we track.
-  for (const auto& [y, counts] : u->deps) {
+  // Dependency domination for every variable we track (entries of the
+  // shared snapshot we do not track carry no constraint for us).
+  for (const auto& [y, counts] : *u->deps) {
     auto mine = seen_.find(y);
     if (mine == seen_.end()) continue;  // not tracked here: not our concern
     for (std::size_t k = 0; k < counts.size(); ++k) {

@@ -16,6 +16,10 @@ struct PartialCausalMsg final : MessageBody {
   VectorClock vc;
 };
 
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kUpdateKind("PUPD");
+const KindId kNotifyKind("PNOT");
+
 }  // namespace
 
 CausalPartialNaiveProcess::CausalPartialNaiveProcess(
@@ -49,20 +53,19 @@ void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
   notify->v = kBottom;
 
   MessageMeta upd_meta;
-  upd_meta.kind = "PUPD";
+  upd_meta.kind = kUpdateKind;
   upd_meta.control_bytes = vc_.wire_bytes() + 16 + 8;
   upd_meta.payload_bytes = 8;
   upd_meta.vars_mentioned = {x};
 
   MessageMeta not_meta = upd_meta;
-  not_meta.kind = "PNOT";
+  not_meta.kind = kNotifyKind;
   not_meta.payload_bytes = 0;
 
-  const auto& dist = distribution();
   const auto n = static_cast<ProcessId>(transport().process_count());
   for (ProcessId q = 0; q < n; ++q) {
     if (q == id()) continue;
-    if (dist.holds(q, x)) {
+    if (clique_holds(q, x)) {
       transport().send(id(), q, update, upd_meta);
     } else {
       transport().send(id(), q, notify, not_meta);

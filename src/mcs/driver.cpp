@@ -99,18 +99,13 @@ RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
   }
 
   RunResult result;
-  result.history = recorder.history();
+  result.history = recorder.take_history();
   result.total_traffic = sim.stats().total();
-  for (std::size_t p = 0; p < processes.size(); ++p) {
-    result.per_process_traffic.push_back(
-        sim.stats().traffic(static_cast<ProcessId>(p)));
-    result.protocol_stats.push_back(processes[p]->stats());
+  result.per_process_traffic = sim.stats().per_process_snapshot();
+  for (const auto& proc : processes) {
+    result.protocol_stats.push_back(proc->stats());
   }
-  result.observed_relevant.resize(dist.var_count);
-  for (std::size_t x = 0; x < dist.var_count; ++x) {
-    result.observed_relevant[x] =
-        sim.stats().processes_exposed_to(static_cast<VarId>(x));
-  }
+  result.observed_relevant = sim.stats().exposure_sets(dist.var_count);
   result.finished_at = sim.now();
   result.events = sim.events_fired();
   return result;
@@ -192,18 +187,13 @@ RunResult run_workload_threaded(ProtocolKind kind,
   }
 
   RunResult result;
-  result.history = recorder.history();
+  result.history = recorder.take_history();
   result.total_traffic = rt.stats().total();
-  for (std::size_t p = 0; p < processes.size(); ++p) {
-    result.per_process_traffic.push_back(
-        rt.stats().traffic(static_cast<ProcessId>(p)));
-    result.protocol_stats.push_back(processes[p]->stats());
+  result.per_process_traffic = rt.stats().per_process_snapshot();
+  for (const auto& proc : processes) {
+    result.protocol_stats.push_back(proc->stats());
   }
-  result.observed_relevant.resize(dist.var_count);
-  for (std::size_t x = 0; x < dist.var_count; ++x) {
-    result.observed_relevant[x] =
-        rt.stats().processes_exposed_to(static_cast<VarId>(x));
-  }
+  result.observed_relevant = rt.stats().exposure_sets(dist.var_count);
   return result;
 }
 

@@ -65,6 +65,8 @@ std::vector<std::unique_ptr<McsProcess>> make_processes(
         break;
     }
   }
+  const auto cliques = std::make_shared<const CliqueTable>(dist);
+  for (auto& proc : out) proc->use_clique_table(cliques);
   return out;
 }
 

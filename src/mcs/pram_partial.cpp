@@ -10,12 +10,16 @@ struct PramUpdate final : MessageBody {
   WriteId id{};
 };
 
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kUpdateKind("PRAM");
+
 }  // namespace
 
 PramPartialProcess::PramPartialProcess(ProcessId self,
                                        const graph::Distribution& dist,
                                        HistoryRecorder& recorder)
-    : McsProcess(self, dist, recorder) {}
+    : McsProcess(self, dist, recorder),
+      last_applied_(dist.process_count(), -1) {}
 
 void PramPartialProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
@@ -35,12 +39,12 @@ void PramPartialProcess::write(VarId x, Value v, WriteCallback done) {
   body->id = wid;
 
   MessageMeta meta;
-  meta.kind = "PRAM";
+  meta.kind = kUpdateKind;
   meta.control_bytes = 16 /*write id*/ + 8 /*var*/;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
 
-  for (ProcessId q : distribution().replicas_of(x)) {
+  for (ProcessId q : replicas_of(x)) {
     if (q == id()) continue;
     transport().send(id(), q, body, meta);
   }
@@ -53,9 +57,9 @@ void PramPartialProcess::on_message(const Message& m) {
   PARDSM_CHECK(replicates(u->x), "pram: update for unreplicated variable");
   // Ignore duplicated (hence stale: originals arrive FIFO) copies — an old
   // value must never overwrite a newer one from the same writer.
-  auto [it, inserted] = last_applied_.try_emplace(m.from, -1);
-  if (u->id.seq <= it->second) return;
-  it->second = u->id.seq;
+  auto& last = last_applied_[static_cast<std::size_t>(m.from)];
+  if (u->id.seq <= last) return;
+  last = u->id.seq;
   mutable_store().put(u->x, u->v, u->id);
   ++mutable_stats().updates_applied;
 }

@@ -13,7 +13,7 @@
 // this from observed traffic.
 #pragma once
 
-#include <map>
+#include <vector>
 
 #include "mcs/protocol.h"
 
@@ -34,10 +34,10 @@ class PramPartialProcess final : public McsProcess {
 
  private:
   std::int64_t next_write_seq_ = 0;
-  /// Duplicate suppression: highest writer-seq applied per sender.  FIFO
-  /// channels deliver originals in order; a duplicated copy arrives late
-  /// and must not overwrite newer state.
-  std::map<ProcessId, std::int64_t> last_applied_;
+  /// Duplicate suppression: highest writer-seq applied per sender (dense,
+  /// -1 = nothing applied).  FIFO channels deliver originals in order; a
+  /// duplicated copy arrives late and must not overwrite newer state.
+  std::vector<std::int64_t> last_applied_;
 };
 
 }  // namespace pardsm::mcs

@@ -12,7 +12,7 @@ ProcessorPartialProcess::ProcessorPartialProcess(
 std::map<ProcessId, std::int64_t> ProcessorPartialProcess::prior_counts_for(
     VarId x) {
   std::map<ProcessId, std::int64_t> priors;
-  for (ProcessId q : distribution().replicas_of(x)) {
+  for (ProcessId q : replicas_of(x)) {
     priors[q] = sent_to_[q];
     ++sent_to_[q];
   }

@@ -12,9 +12,11 @@
 // call would deadlock the event loop) and under the thread runtime.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mcs/recorder.h"
 #include "mcs/replica_store.h"
@@ -41,6 +43,40 @@ struct ProtocolStats {
   std::uint64_t max_buffer_depth = 0;
 };
 
+/// Immutable var → C(x) table, built in one pass over the distribution
+/// (O(Σ|X_i|)).  Protocols consult C(x) on every write, and
+/// Distribution::replicas_of allocates a fresh vector per call — far too
+/// expensive for the hot path.  One table is shared by all processes of a
+/// system (make_processes injects it).
+class CliqueTable {
+ public:
+  explicit CliqueTable(const graph::Distribution& dist) {
+    cliques_.resize(dist.var_count);
+    for (std::size_t p = 0; p < dist.per_process.size(); ++p) {
+      for (VarId x : dist.per_process[p]) {
+        PARDSM_CHECK(x >= 0 && static_cast<std::size_t>(x) < dist.var_count,
+                     "CliqueTable: variable id out of range");
+        cliques_[static_cast<std::size_t>(x)].push_back(
+            static_cast<ProcessId>(p));  // p ascending → sorted
+      }
+    }
+    // A process listing x twice must appear in C(x) once, exactly as
+    // Distribution::replicas_of reports it.
+    for (auto& clique : cliques_) {
+      clique.erase(std::unique(clique.begin(), clique.end()), clique.end());
+    }
+  }
+
+  [[nodiscard]] const std::vector<ProcessId>& clique(VarId x) const {
+    PARDSM_CHECK(x >= 0 && static_cast<std::size_t>(x) < cliques_.size(),
+                 "CliqueTable: bad variable");
+    return cliques_[static_cast<std::size_t>(x)];
+  }
+
+ private:
+  std::vector<std::vector<ProcessId>> cliques_;
+};
+
 /// Base class of every memory-consistency protocol instance (one per
 /// process).
 class McsProcess : public Endpoint {
@@ -54,6 +90,12 @@ class McsProcess : public Endpoint {
         dist_(dist),
         recorder_(recorder),
         store_(dist.per_process.at(static_cast<std::size_t>(self))) {}
+
+  /// Share one clique table across all processes of a system (the factory
+  /// calls this; a process constructed stand-alone builds its own lazily).
+  void use_clique_table(std::shared_ptr<const CliqueTable> table) {
+    cliques_ = std::move(table);
+  }
 
   /// Wire the transport (after runtime registration).
   void attach(Transport& transport) { transport_ = &transport; }
@@ -89,6 +131,17 @@ class McsProcess : public Endpoint {
   [[nodiscard]] const graph::Distribution& distribution() const {
     return dist_;
   }
+  /// C(x) as a sorted list from the cached table (no allocation per call,
+  /// unlike Distribution::replicas_of).
+  [[nodiscard]] const std::vector<ProcessId>& replicas_of(VarId x) const {
+    if (!cliques_) cliques_ = std::make_shared<CliqueTable>(dist_);
+    return cliques_->clique(x);
+  }
+  /// True if process q replicates x (binary search of the cached C(x)).
+  [[nodiscard]] bool clique_holds(ProcessId q, VarId x) const {
+    const auto& c = replicas_of(x);
+    return std::binary_search(c.begin(), c.end(), q);
+  }
   [[nodiscard]] HistoryRecorder& recorder() { return recorder_; }
   [[nodiscard]] ReplicaStore& mutable_store() { return store_; }
   [[nodiscard]] ProtocolStats& mutable_stats() { return pstats_; }
@@ -112,6 +165,8 @@ class McsProcess : public Endpoint {
   ReplicaStore store_;
   ProtocolStats pstats_;
   Transport* transport_ = nullptr;
+  /// Shared (or lazily self-built) C(x) table; mutable for the lazy path.
+  mutable std::shared_ptr<const CliqueTable> cliques_;
 };
 
 /// The protocols implemented in this repository.  The last two are the

@@ -22,6 +22,11 @@ hist::History HistoryRecorder::history() const {
   return history_;
 }
 
+hist::History HistoryRecorder::take_history() {
+  std::lock_guard lock(mu_);
+  return std::move(history_);
+}
+
 std::size_t HistoryRecorder::size() const {
   std::lock_guard lock(mu_);
   return history_.size();

@@ -31,6 +31,10 @@ class HistoryRecorder {
   /// Snapshot of the history so far (copy; safe after the run finished).
   [[nodiscard]] hist::History history() const;
 
+  /// Move the history out (no copy).  The recorder is empty afterwards —
+  /// only for drivers that are done with it.
+  [[nodiscard]] hist::History take_history();
+
   /// Number of recorded operations.
   [[nodiscard]] std::size_t size() const;
 

@@ -1,33 +1,38 @@
 #include "mcs/replica_store.h"
 
+#include <algorithm>
+
 #include "simnet/check.h"
 
 namespace pardsm::mcs {
 
-ReplicaStore::ReplicaStore(const std::vector<VarId>& vars) {
-  for (VarId x : vars) data_.emplace(x, Stored{});
+ReplicaStore::ReplicaStore(const std::vector<VarId>& vars) : vars_(vars) {
+  std::sort(vars_.begin(), vars_.end());
+  vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+  VarId max_var = -1;
+  for (VarId x : vars_) {
+    PARDSM_CHECK(x >= 0, "ReplicaStore: negative variable id");
+    max_var = std::max(max_var, x);
+  }
+  slot_of_.assign(static_cast<std::size_t>(max_var + 1), -1);
+  data_.resize(vars_.size());
+  for (std::size_t slot = 0; slot < vars_.size(); ++slot) {
+    slot_of_[static_cast<std::size_t>(vars_[slot])] =
+        static_cast<std::int32_t>(slot);
+  }
 }
 
 const Stored& ReplicaStore::get(VarId x) const {
-  auto it = data_.find(x);
-  PARDSM_CHECK(it != data_.end(),
-               "ReplicaStore::get: variable not replicated here");
-  return it->second;
+  const std::int32_t slot = slot_of(x);
+  PARDSM_CHECK(slot >= 0, "ReplicaStore::get: variable not replicated here");
+  return data_[static_cast<std::size_t>(slot)];
 }
 
 void ReplicaStore::put(VarId x, Value value, WriteId source) {
-  auto it = data_.find(x);
-  PARDSM_CHECK(it != data_.end(),
-               "ReplicaStore::put: variable not replicated here");
-  it->second = Stored{value, source};
+  const std::int32_t slot = slot_of(x);
+  PARDSM_CHECK(slot >= 0, "ReplicaStore::put: variable not replicated here");
+  data_[static_cast<std::size_t>(slot)] = Stored{value, source};
   ++version_;
-}
-
-std::vector<VarId> ReplicaStore::vars() const {
-  std::vector<VarId> out;
-  out.reserve(data_.size());
-  for (const auto& [x, stored] : data_) out.push_back(x);
-  return out;
 }
 
 }  // namespace pardsm::mcs

@@ -4,9 +4,13 @@
 // (partial replication) or of every variable (full replication).  Stored
 // values carry the WriteId of the write that produced them, so that reads
 // recorded into histories have an exact read-from source.
+//
+// Storage is dense: values live in a flat slot array and a VarId → slot
+// table (built once from the distribution) turns every get/put into two
+// indexed loads — no tree walk per protocol read/write.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "simnet/ids.h"
@@ -26,7 +30,7 @@ class ReplicaStore {
   explicit ReplicaStore(const std::vector<VarId>& vars = {});
 
   /// True if x is locally replicated.
-  [[nodiscard]] bool holds(VarId x) const { return data_.count(x) > 0; }
+  [[nodiscard]] bool holds(VarId x) const { return slot_of(x) >= 0; }
 
   /// Current content of x.  Requires holds(x).
   [[nodiscard]] const Stored& get(VarId x) const;
@@ -35,13 +39,21 @@ class ReplicaStore {
   void put(VarId x, Value value, WriteId source);
 
   /// Locally replicated variables (sorted).
-  [[nodiscard]] std::vector<VarId> vars() const;
+  [[nodiscard]] std::vector<VarId> vars() const { return vars_; }
 
   /// Number of applied puts (diagnostics).
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
  private:
-  std::map<VarId, Stored> data_;
+  /// Slot of x, or -1 when x is not replicated here.
+  [[nodiscard]] std::int32_t slot_of(VarId x) const {
+    const auto xi = static_cast<std::size_t>(x);
+    return x >= 0 && xi < slot_of_.size() ? slot_of_[xi] : -1;
+  }
+
+  std::vector<Stored> data_;          ///< one slot per replicated variable
+  std::vector<std::int32_t> slot_of_; ///< VarId → slot, -1 = not held
+  std::vector<VarId> vars_;           ///< sorted replicated variables
   std::uint64_t version_ = 0;
 };
 

@@ -20,6 +20,10 @@ struct WriteCommit final : MessageBody {
   TimePoint invoked{};
 };
 
+/// Message kinds, interned once so the send path never hits the table.
+const KindId kWriteReqKind("WREQ");
+const KindId kCommitKind("WCMT");
+
 }  // namespace
 
 SequencerScProcess::SequencerScProcess(ProcessId self,
@@ -50,7 +54,7 @@ void SequencerScProcess::write(VarId x, Value v, WriteCallback done) {
   body->invoked = t;
 
   MessageMeta meta;
-  meta.kind = "WREQ";
+  meta.kind = kWriteReqKind;
   meta.control_bytes = 16 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
@@ -73,12 +77,12 @@ void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
   body->invoked = invoked;
 
   MessageMeta meta;
-  meta.kind = "WCMT";
+  meta.kind = kCommitKind;
   meta.control_bytes = 16 + 8 + 8 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
 
-  for (ProcessId q : distribution().replicas_of(x)) {
+  for (ProcessId q : replicas_of(x)) {
     if (q == id()) continue;
     transport().send(id(), q, body, meta);
   }

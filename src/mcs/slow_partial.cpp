@@ -24,6 +24,9 @@ Duration jitter(ProcessId writer, VarId x, std::int64_t seq) {
   return micros(static_cast<std::int64_t>(h % 300));
 }
 
+/// Message kind, interned once so the send path never hits the table.
+const KindId kUpdateKind("SLOW");
+
 }  // namespace
 
 SlowPartialProcess::SlowPartialProcess(ProcessId self,
@@ -50,12 +53,12 @@ void SlowPartialProcess::write(VarId x, Value v, WriteCallback done) {
   body->var_seq = ++my_var_seq_[x];
 
   MessageMeta meta;
-  meta.kind = "SLOW";
+  meta.kind = kUpdateKind;
   meta.control_bytes = 16 + 8 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
 
-  for (ProcessId q : distribution().replicas_of(x)) {
+  for (ProcessId q : replicas_of(x)) {
     if (q == id()) continue;
     transport().send(id(), q, body, meta);
   }

@@ -1,7 +1,6 @@
 #include "mcs/vector_clock.h"
 
 #include <algorithm>
-#include <sstream>
 
 #include "simnet/check.h"
 
@@ -36,14 +35,17 @@ bool VectorClock::ready_from(const VectorClock& msg, ProcessId sender) const {
 }
 
 std::string VectorClock::to_string() const {
-  std::ostringstream os;
-  os << '[';
+  // One reserved buffer, appended in place: this renders on every traced
+  // message of the causal protocols, so no stringstream churn.
+  std::string out;
+  out.reserve(2 + entries_.size() * 12);
+  out += '[';
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (i > 0) os << ',';
-    os << entries_[i];
+    if (i > 0) out += ',';
+    out += std::to_string(entries_[i]);
   }
-  os << ']';
-  return os.str();
+  out += ']';
+  return out;
 }
 
 }  // namespace pardsm::mcs

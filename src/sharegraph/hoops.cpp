@@ -1,7 +1,6 @@
 #include "sharegraph/hoops.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "simnet/check.h"
 
@@ -89,87 +88,128 @@ namespace {
 /// becomes u_in -> u_out with capacity 1; clique vertices connect directly
 /// to the sink with capacity 1 (so two paths must end at distinct clique
 /// members); v is the source with capacity 2.
-bool two_disjoint_paths(const ShareGraph& sg, VarId x, ProcessId v,
-                        const std::vector<bool>& in_clique) {
-  const std::size_t n = sg.process_count();
-  // Node ids: u_in = 2u, u_out = 2u+1, sink = 2n.
-  const int sink = static_cast<int>(2 * n);
+///
+/// The flow network is identical for every candidate v of the same
+/// variable except for the capacity through v itself, so it is built ONCE
+/// per (sg, x) and reused: each query bumps v's internal capacity, runs at
+/// most two augmentations and restores the capacities in place.  This
+/// turns hoop_members from O(candidates · graph-build) allocations into a
+/// single build — the dominant cost of StaticRelevance::analyze on large
+/// random topologies.
+class DisjointPathFinder {
+ public:
+  DisjointPathFinder(const ShareGraph& sg, VarId x,
+                     const std::vector<bool>& in_clique) {
+    const std::size_t n = sg.process_count();
+    // Node ids: u_in = 2u, u_out = 2u+1, sink = 2n.
+    sink_ = static_cast<int>(2 * n);
+    adj_.assign(2 * n + 1, {});
+    internal_edge_.assign(n, -1);
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto pu = static_cast<ProcessId>(u);
+      internal_edge_[u] =
+          static_cast<int>(adj_[2 * u].size());  // in -> out edge index
+      if (in_clique[u]) {
+        // Clique member: in == out for our purposes; capacity 1 to the
+        // sink.
+        add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), 1);
+        add_edge(static_cast<int>(2 * u + 1), sink_, 1);
+      } else {
+        add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), 1);
+      }
+      for (ProcessId w : sg.neighbours(pu)) {
+        if (!edge_usable(sg, pu, w, x)) continue;
+        // Directed u_out -> w_in; the reverse direction is added when w is
+        // processed.  Intermediates must be non-clique, but edges into
+        // clique members are allowed (they terminate a path).  Candidates
+        // are never clique members, so clique vertices get no out-edges.
+        if (in_clique[u]) continue;
+        add_edge(static_cast<int>(2 * u + 1),
+                 static_cast<int>(2 * static_cast<std::size_t>(w)), 1);
+      }
+    }
+    initial_caps_.reserve(adj_.size());
+    for (const auto& edges : adj_) {
+      for (const Edge& e : edges) initial_caps_.push_back(e.cap);
+    }
+    prev_node_.resize(adj_.size());
+    prev_edge_.resize(adj_.size());
+  }
+
+  /// Two vertex-disjoint v→C(x) paths?  `v` must be a non-clique vertex.
+  bool two_disjoint_from(ProcessId v) {
+    const auto vi = static_cast<std::size_t>(v);
+    adj_[2 * vi][static_cast<std::size_t>(internal_edge_[vi])].cap = 2;
+    const int source = static_cast<int>(2 * vi);  // v_in
+    int flow = 0;
+    while (flow < 2 && augment(source)) ++flow;
+    // Restore the pristine capacities for the next candidate.
+    std::size_t i = 0;
+    for (auto& edges : adj_) {
+      for (Edge& e : edges) e.cap = initial_caps_[i++];
+    }
+    return flow >= 2;
+  }
+
+ private:
   struct Edge {
     int to;
     int cap;
     int rev;  // index of reverse edge in adj[to]
   };
-  std::vector<std::vector<Edge>> adj(2 * n + 1);
-  auto add_edge = [&](int a, int b, int cap) {
-    adj[static_cast<std::size_t>(a)].push_back(
-        {b, cap, static_cast<int>(adj[static_cast<std::size_t>(b)].size())});
-    adj[static_cast<std::size_t>(b)].push_back(
-        {a, 0,
-         static_cast<int>(adj[static_cast<std::size_t>(a)].size()) - 1});
-  };
 
-  for (std::size_t u = 0; u < n; ++u) {
-    const auto pu = static_cast<ProcessId>(u);
-    if (in_clique[u]) {
-      // Clique member: in == out for our purposes; capacity 1 to the sink.
-      add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), 1);
-      add_edge(static_cast<int>(2 * u + 1), sink, 1);
-    } else {
-      const int cap = (pu == v) ? 2 : 1;
-      add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), cap);
-    }
-    for (ProcessId w : sg.neighbours(pu)) {
-      if (!edge_usable(sg, pu, w, x)) continue;
-      // Directed u_out -> w_in; the reverse direction is added when w is
-      // processed.  Intermediates must be non-clique, but edges into clique
-      // members are allowed (they terminate a path).
-      if (in_clique[u] && pu != v) continue;  // paths may not pass through
-                                              // other clique members
-      add_edge(static_cast<int>(2 * u + 1),
-               static_cast<int>(2 * static_cast<std::size_t>(w)), 1);
-    }
+  void add_edge(int a, int b, int cap) {
+    adj_[static_cast<std::size_t>(a)].push_back(
+        {b, cap, static_cast<int>(adj_[static_cast<std::size_t>(b)].size())});
+    adj_[static_cast<std::size_t>(b)].push_back(
+        {a, 0,
+         static_cast<int>(adj_[static_cast<std::size_t>(a)].size()) - 1});
   }
 
-  const int source = static_cast<int>(
-      2 * static_cast<std::size_t>(v));  // v_in (capacity 2 through v)
-  int flow = 0;
-  while (flow < 2) {
-    // BFS for an augmenting path.
-    std::vector<int> prev_node(2 * n + 1, -1);
-    std::vector<int> prev_edge(2 * n + 1, -1);
-    std::queue<int> bfs;
-    bfs.push(source);
-    prev_node[static_cast<std::size_t>(source)] = source;
-    while (!bfs.empty() &&
-           prev_node[static_cast<std::size_t>(sink)] == -1) {
-      const int u = bfs.front();
-      bfs.pop();
-      const auto& edges = adj[static_cast<std::size_t>(u)];
+  /// One BFS augmenting step; true if a source→sink path was found.
+  bool augment(int source) {
+    std::fill(prev_node_.begin(), prev_node_.end(), -1);
+    std::fill(prev_edge_.begin(), prev_edge_.end(), -1);
+    bfs_.clear();
+    bfs_.push_back(source);
+    prev_node_[static_cast<std::size_t>(source)] = source;
+    for (std::size_t head = 0;
+         head < bfs_.size() && prev_node_[static_cast<std::size_t>(sink_)] == -1;
+         ++head) {
+      const int u = bfs_[head];
+      const auto& edges = adj_[static_cast<std::size_t>(u)];
       for (std::size_t e = 0; e < edges.size(); ++e) {
         if (edges[e].cap <= 0) continue;
         const int to = edges[e].to;
-        if (prev_node[static_cast<std::size_t>(to)] != -1) continue;
-        prev_node[static_cast<std::size_t>(to)] = u;
-        prev_edge[static_cast<std::size_t>(to)] = static_cast<int>(e);
-        bfs.push(to);
+        if (prev_node_[static_cast<std::size_t>(to)] != -1) continue;
+        prev_node_[static_cast<std::size_t>(to)] = u;
+        prev_edge_[static_cast<std::size_t>(to)] = static_cast<int>(e);
+        bfs_.push_back(to);
       }
     }
-    if (prev_node[static_cast<std::size_t>(sink)] == -1) break;
-    // Augment by 1.
-    int u = sink;
+    if (prev_node_[static_cast<std::size_t>(sink_)] == -1) return false;
+    int u = sink_;
     while (u != source) {
-      const int pu = prev_node[static_cast<std::size_t>(u)];
-      auto& e = adj[static_cast<std::size_t>(pu)]
-                   [static_cast<std::size_t>(prev_edge[static_cast<std::size_t>(u)])];
+      const int pu = prev_node_[static_cast<std::size_t>(u)];
+      auto& e =
+          adj_[static_cast<std::size_t>(pu)]
+              [static_cast<std::size_t>(prev_edge_[static_cast<std::size_t>(u)])];
       e.cap -= 1;
-      adj[static_cast<std::size_t>(u)][static_cast<std::size_t>(e.rev)].cap +=
+      adj_[static_cast<std::size_t>(u)][static_cast<std::size_t>(e.rev)].cap +=
           1;
       u = pu;
     }
-    ++flow;
+    return true;
   }
-  return flow >= 2;
-}
+
+  int sink_ = 0;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> internal_edge_;  ///< per vertex: index of in→out edge
+  std::vector<int> initial_caps_;   ///< pristine caps in adjacency order
+  std::vector<int> prev_node_;
+  std::vector<int> prev_edge_;
+  std::vector<int> bfs_;
+};
 
 }  // namespace
 
@@ -182,9 +222,10 @@ bool hoop_exists(const ShareGraph& sg, VarId x) {
   // A hoop with one intermediate exists iff some non-clique vertex has two
   // disjoint paths to distinct clique members; checking every non-clique
   // vertex is sufficient (any hoop has at least one intermediate).
+  DisjointPathFinder finder(sg, x, in_clique);
   for (std::size_t v = 0; v < n; ++v) {
     if (in_clique[v]) continue;
-    if (two_disjoint_paths(sg, x, static_cast<ProcessId>(v), in_clique)) {
+    if (finder.two_disjoint_from(static_cast<ProcessId>(v))) {
       return true;
     }
   }
@@ -198,9 +239,10 @@ std::set<ProcessId> hoop_members(const ShareGraph& sg, VarId x) {
     in_clique[static_cast<std::size_t>(p)] = true;
   }
   std::set<ProcessId> members;
+  DisjointPathFinder finder(sg, x, in_clique);
   for (std::size_t v = 0; v < n; ++v) {
     if (in_clique[v]) continue;
-    if (two_disjoint_paths(sg, x, static_cast<ProcessId>(v), in_clique)) {
+    if (finder.two_disjoint_from(static_cast<ProcessId>(v))) {
       members.insert(static_cast<ProcessId>(v));
     }
   }

@@ -1,26 +1,95 @@
 #include "simnet/event_queue.h"
 
+#include <utility>
+
 #include "simnet/check.h"
 
 namespace pardsm {
 
+Event& EventQueue::alloc(TimePoint when, Event::Type type) {
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Event& e = pool_[slot];
+  e.type = type;
+  e.when = when;
+  e.seq = next_seq_++;
+  e.slot = slot;
+  heap_.push_back(HeapEntry{when, e.seq, slot});
+  sift_up(heap_.size() - 1);
+  return e;
+}
+
 void EventQueue::schedule(TimePoint when, std::function<void()> fn) {
-  heap_.push(Event{when, next_seq_++, std::move(fn)});
+  Event& e = alloc(when, Event::Type::kClosure);
+  e.fire = std::move(fn);
+}
+
+void EventQueue::schedule_deliver(TimePoint when, Message msg) {
+  Event& e = alloc(when, Event::Type::kDeliver);
+  e.msg = std::move(msg);
+}
+
+void EventQueue::schedule_timer(TimePoint when, ProcessId who,
+                                std::uint64_t tag) {
+  Event& e = alloc(when, Event::Type::kTimer);
+  e.timer_who = who;
+  e.timer_tag = tag;
 }
 
 TimePoint EventQueue::next_time() const {
   PARDSM_CHECK(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 Event EventQueue::pop() {
+  Event out = std::move(pop_ref());
+  release(pool_[out.slot]);
+  return out;
+}
+
+Event& EventQueue::pop_ref() {
   PARDSM_CHECK(!heap_.empty(), "pop on empty queue");
-  // priority_queue::top returns const&; we must copy then pop.  The
-  // std::function move is the expensive part, so copy via const_cast-free
-  // pattern: take a copy of top, then pop.
-  Event e = heap_.top();
-  heap_.pop();
-  return e;
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return pool_[top.slot];
+}
+
+void EventQueue::release(Event& e) {
+  // Drop payload resources now rather than when the slot is reused.
+  e.msg.body.reset();
+  e.fire = nullptr;
+  free_.push_back(e.slot);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t smallest = left;
+    if (right < n && earlier(heap_[right], heap_[left])) smallest = right;
+    if (!earlier(heap_[smallest], heap_[i])) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
 }
 
 }  // namespace pardsm

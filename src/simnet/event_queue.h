@@ -1,31 +1,66 @@
-// Discrete-event priority queue.
+// Discrete-event priority queue with pooled typed events.
 //
 // Events are ordered by (time, insertion sequence), which makes simulation
 // runs fully deterministic: ties are broken by insertion order, never by
 // container internals.
+//
+// The hot path of every benchmark is schedule-deliver/pop, so the queue is
+// engineered to be allocation-free per event in steady state:
+//
+//   * Events are *typed* (Deliver / Timer / Closure) instead of captured
+//     std::function closures; a delivery carries its Message in place and
+//     a timer is two integers.  Closures remain only for the rare driver-
+//     injection path (ScriptedClient, tests).
+//   * Event payloads live in a free-list pool of stable slots (a deque, so
+//     scheduling from inside a firing handler never invalidates anything).
+//     The pool grows to the peak queue depth once and is then reused.
+//   * The priority queue itself is an explicit binary heap over 24-byte
+//     (when, seq, slot) entries — sift operations move handles, never the
+//     event payload, and popping detaches the payload with a move.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "simnet/ids.h"
+#include "simnet/message.h"
 #include "simnet/sim_time.h"
 
 namespace pardsm {
 
 /// A scheduled simulation event.
 struct Event {
+  enum class Type : std::uint8_t { kClosure, kDeliver, kTimer };
+
+  Type type = Type::kClosure;
   TimePoint when{};
-  std::uint64_t seq = 0;  ///< tie-breaker: insertion order
+  std::uint64_t seq = 0;      ///< tie-breaker: insertion order
+  std::uint32_t slot = 0;     ///< pool slot (for EventQueue::release)
+
+  /// kDeliver payload: the message, stored in place (no indirection).
+  Message msg;
+
+  /// kTimer payload.
+  ProcessId timer_who = kNoProcess;
+  std::uint64_t timer_tag = 0;
+
+  /// kClosure payload.
   std::function<void()> fire;
 };
 
-/// Min-heap of events keyed by (when, seq).
+/// Min-heap of pooled events keyed by (when, seq).
 class EventQueue {
  public:
-  /// Schedule `fn` to run at absolute time `when`.
+  /// Schedule `fn` to run at absolute time `when` (driver/test path).
   void schedule(TimePoint when, std::function<void()> fn);
+
+  /// Schedule delivery of `msg` at `when` (allocation-free in steady state).
+  void schedule_deliver(TimePoint when, Message msg);
+
+  /// Schedule a timer callback for process `who` at `when`.
+  void schedule_timer(TimePoint when, ProcessId who, std::uint64_t tag);
 
   /// True if no events remain.
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -36,21 +71,50 @@ class EventQueue {
   /// Time of the next event; only valid when !empty().
   [[nodiscard]] TimePoint next_time() const;
 
-  /// Remove and return the next event.  Only valid when !empty().
+  /// Remove and return the next event.  Only valid when !empty().  The
+  /// returned Event owns its payload; its pool slot is recycled
+  /// immediately.
   Event pop();
+
+  /// In-place variant of pop(): removes the next event from the heap but
+  /// leaves the payload in its pooled slot, returning a reference that
+  /// stays valid across schedule_* calls (slots are deque-stable and this
+  /// one is not recycled until release()).  Saves the payload move on the
+  /// hottest path.
+  Event& pop_ref();
+
+  /// Recycle the slot of an event obtained via pop_ref().
+  void release(Event& e);
 
   /// Total number of events ever scheduled (diagnostics).
   [[nodiscard]] std::uint64_t scheduled_total() const { return next_seq_; }
 
+  /// Pool slots ever allocated (== peak queue depth; tests assert reuse).
+  [[nodiscard]] std::size_t pool_slots() const { return pool_.size(); }
+
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return b.when < a.when;
-      return b.seq < a.seq;
-    }
+  /// What the binary heap actually stores and moves.
+  struct HeapEntry {
+    TimePoint when{};
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  /// Take a slot from the free list (growing the pool if exhausted), stamp
+  /// (type, when, seq) and push its heap entry.  Caller fills the payload.
+  Event& alloc(TimePoint when, Event::Type type);
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::deque<Event> pool_;            ///< stable payload slots
+  std::vector<std::uint32_t> free_;   ///< recycled slot indices
+  std::vector<HeapEntry> heap_;       ///< explicit binary min-heap
   std::uint64_t next_seq_ = 0;
 };
 

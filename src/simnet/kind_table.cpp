@@ -1,0 +1,76 @@
+#include "simnet/kind_table.h"
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+namespace {
+
+/// Global intern table.  Names live in a deque so string_views handed out
+/// by KindId::name() stay valid forever; the map keys view into the deque.
+struct Table {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, std::uint16_t> ids;
+  std::unordered_map<std::uint16_t, std::uint16_t> arq_of;
+
+  Table() {
+    names.emplace_back("");  // id 0: the empty kind
+    ids.emplace(names.back(), 0);
+  }
+
+  std::uint16_t intern_locked(std::string_view name) {
+    if (const auto it = ids.find(name); it != ids.end()) return it->second;
+    PARDSM_CHECK(names.size() < 0xFFFF, "kind table overflow");
+    names.emplace_back(name);
+    const auto id = static_cast<std::uint16_t>(names.size() - 1);
+    ids.emplace(names.back(), id);
+    return id;
+  }
+};
+
+Table& table() {
+  static Table t;
+  return t;
+}
+
+}  // namespace
+
+KindId::KindId(std::string_view name) {
+  auto& t = table();
+  std::lock_guard lock(t.mu);
+  id_ = t.intern_locked(name);
+}
+
+std::string_view KindId::name() const {
+  auto& t = table();
+  std::lock_guard lock(t.mu);
+  PARDSM_CHECK(id_ < t.names.size(), "KindId out of range");
+  return t.names[id_];
+}
+
+KindId arq_wrapped(KindId base) {
+  auto& t = table();
+  std::lock_guard lock(t.mu);
+  if (const auto it = t.arq_of.find(base.id_); it != t.arq_of.end()) {
+    return KindId(it->second, 0);
+  }
+  PARDSM_CHECK(base.id_ < t.names.size(), "KindId out of range");
+  const std::string wrapped = "ARQ:" + t.names[base.id_];
+  const std::uint16_t id = t.intern_locked(wrapped);
+  t.arq_of.emplace(base.id_, id);
+  return KindId(id, 0);
+}
+
+std::size_t kind_table_size() {
+  auto& t = table();
+  std::lock_guard lock(t.mu);
+  return t.names.size();
+}
+
+}  // namespace pardsm

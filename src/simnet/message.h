@@ -5,15 +5,20 @@
 // cares about — how much *control information* travels and which variables
 // that information concerns — is declared explicitly in MessageMeta by the
 // sending protocol and audited by NetworkStats / the efficiency analyzer.
+//
+// MessageMeta is engineered to move through the event queue without heap
+// allocations: the kind tag is an interned 2-byte KindId and the mentioned
+// variables live in a small-buffer container (every protocol here mentions
+// 0-2 variables per message).
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <string>
-#include <vector>
 
 #include "simnet/ids.h"
+#include "simnet/kind_table.h"
 #include "simnet/sim_time.h"
+#include "simnet/small_vec.h"
 
 namespace pardsm {
 
@@ -25,8 +30,9 @@ class MessageBody {
 
 /// Accounting metadata attached to every message by the sending protocol.
 struct MessageMeta {
-  /// Short human-readable tag for traces, e.g. "UPD", "NOTIFY", "ACK".
-  std::string kind;
+  /// Interned tag for traces, e.g. "UPD", "NOTIFY", "ACK".  Assigning a
+  /// string literal interns it; hot paths should assign a cached KindId.
+  KindId kind;
 
   /// Bytes of protocol control information (timestamps, ids, clocks...).
   std::uint64_t control_bytes = 0;
@@ -37,7 +43,7 @@ struct MessageMeta {
   /// Variables about which this message carries *metadata*.  A process that
   /// receives a message mentioning x becomes observably x-relevant — the
   /// quantity Theorem 1 and Theorem 2 of the paper characterize.
-  std::vector<VarId> vars_mentioned;
+  SmallVec<VarId, 2> vars_mentioned;
 
   /// Total bytes on the wire (header modelled as 16 bytes).
   [[nodiscard]] std::uint64_t wire_bytes() const {

@@ -10,10 +10,12 @@ Network::Network(std::size_t n, ChannelOptions options,
       options_(options),
       latency_(latency ? std::move(latency)
                        : std::make_unique<ConstantLatency>(millis(1))),
-      rng_(rng) {}
+      rng_(rng),
+      last_delivery_(n * n, TimePoint{}),
+      severed_(n * n, 0) {}
 
-std::vector<TimePoint> Network::plan_delivery(ProcessId from, ProcessId to,
-                                              TimePoint send_time) {
+DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
+                                    TimePoint send_time) {
   PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_,
                "plan_delivery: bad sender");
   PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < n_,
@@ -24,31 +26,39 @@ std::vector<TimePoint> Network::plan_delivery(ProcessId from, ProcessId to,
     return {};
   }
 
-  std::vector<TimePoint> deliveries;
+  DeliveryPlan deliveries;
   const int copies = rng_.chance(options_.duplicate_probability) ? 2 : 1;
   for (int c = 0; c < copies; ++c) {
     TimePoint at = send_time + latency_->sample(from, to, rng_);
     if (options_.fifo) {
-      auto& last = last_delivery_[{from, to}];
+      TimePoint& last = last_delivery_[pair(from, to)];
       if (at <= last) at = last + micros(1);
       last = at;
     }
-    deliveries.push_back(at);
+    deliveries.push(at);
   }
   return deliveries;
 }
 
 void Network::sever(ProcessId from, ProcessId to) {
-  severed_[{from, to}] = true;
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
+                   static_cast<std::size_t>(to) < n_,
+               "sever: bad process");
+  severed_[pair(from, to)] = 1;
 }
 
 void Network::heal(ProcessId from, ProcessId to) {
-  severed_[{from, to}] = false;
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
+                   static_cast<std::size_t>(to) < n_,
+               "heal: bad process");
+  severed_[pair(from, to)] = 0;
 }
 
 bool Network::severed(ProcessId from, ProcessId to) const {
-  auto it = severed_.find({from, to});
-  return it != severed_.end() && it->second;
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
+                   static_cast<std::size_t>(to) < n_,
+               "severed: bad process");
+  return severed_[pair(from, to)] != 0;
 }
 
 }  // namespace pardsm

@@ -5,7 +5,8 @@
 // so channel semantics can be unit-tested in isolation.
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -30,6 +31,21 @@ struct ChannelOptions {
   double duplicate_probability = 0.0;
 };
 
+/// Delivery times of one sent message: empty if dropped, two entries if
+/// duplicated.  A fixed-capacity value type so planning a delivery never
+/// touches the heap.
+struct DeliveryPlan {
+  std::array<TimePoint, 2> at{};
+  std::uint8_t count = 0;
+
+  void push(TimePoint t) { at[count++] = t; }
+  [[nodiscard]] std::size_t size() const { return count; }
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] TimePoint operator[](std::size_t i) const { return at[i]; }
+  [[nodiscard]] const TimePoint* begin() const { return at.data(); }
+  [[nodiscard]] const TimePoint* end() const { return at.data() + count; }
+};
+
 /// Computes delivery schedules for messages.
 class Network {
  public:
@@ -38,12 +54,11 @@ class Network {
   Network(std::size_t n, ChannelOptions options,
           std::unique_ptr<LatencyModel> latency, Rng rng);
 
-  /// Decide the fate of one message sent at `send_time`: returns the list
-  /// of delivery times (empty if dropped, two entries if duplicated).
-  /// FIFO clamping guarantees strictly increasing delivery times per
-  /// directed pair when options.fifo is set.
-  std::vector<TimePoint> plan_delivery(ProcessId from, ProcessId to,
-                                       TimePoint send_time);
+  /// Decide the fate of one message sent at `send_time`.  FIFO clamping
+  /// guarantees strictly increasing delivery times per directed pair when
+  /// options.fifo is set.
+  DeliveryPlan plan_delivery(ProcessId from, ProcessId to,
+                             TimePoint send_time);
 
   [[nodiscard]] std::size_t process_count() const { return n_; }
   [[nodiscard]] const ChannelOptions& options() const { return options_; }
@@ -58,13 +73,19 @@ class Network {
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
  private:
+  /// Flat index of the directed pair (from, to).
+  [[nodiscard]] std::size_t pair(ProcessId from, ProcessId to) const {
+    return static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to);
+  }
+
   std::size_t n_;
   ChannelOptions options_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
-  /// Last planned delivery time per directed pair (FIFO clamp state).
-  std::map<std::pair<ProcessId, ProcessId>, TimePoint> last_delivery_;
-  std::map<std::pair<ProcessId, ProcessId>, bool> severed_;
+  /// Last planned delivery time per directed pair (FIFO clamp state),
+  /// dense so the per-send lookup is an indexed load, not a tree walk.
+  std::vector<TimePoint> last_delivery_;
+  std::vector<std::uint8_t> severed_;
   std::uint64_t dropped_ = 0;
 };
 

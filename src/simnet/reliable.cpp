@@ -13,6 +13,8 @@ struct DataFrame final : MessageBody {
   std::uint64_t seq = 0;  ///< per (sender, receiver) sequence, 1-based
   std::shared_ptr<const MessageBody> payload;
   MessageMeta payload_meta;
+  KindId wrapped_kind;  ///< "ARQ:"+kind, resolved once per frame so
+                        ///< (re)transmissions never touch the table lock
 };
 
 /// Acknowledgement: cumulative per directed pair.
@@ -23,6 +25,9 @@ struct AckFrame final : MessageBody {
 /// Timer tags: the ARQ layer owns the upper bit space so application tags
 /// pass through unchanged.
 constexpr TimerTag kArqTimerBit = 1ULL << 63;
+
+/// Cumulative-ack kind, interned once.
+const KindId kAckKind("ARQ:ACK");
 
 }  // namespace
 
@@ -41,6 +46,7 @@ class ReliableTransport::Shim final : public Endpoint {
     frame->seq = ++out.next_seq;
     frame->payload = std::move(body);
     frame->payload_meta = meta;
+    frame->wrapped_kind = arq_wrapped(meta.kind);
 
     out.unacked[frame->seq] = frame;
     transmit(to, frame);
@@ -49,7 +55,7 @@ class ReliableTransport::Shim final : public Endpoint {
 
   void transmit(ProcessId to, const std::shared_ptr<DataFrame>& frame) {
     MessageMeta meta = frame->payload_meta;
-    meta.kind = "ARQ:" + meta.kind;
+    meta.kind = frame->wrapped_kind;
     meta.control_bytes += 16;  // seq + ack piggyback space
     owner_.sim_.send(self_, to, frame, std::move(meta));
   }
@@ -94,7 +100,7 @@ class ReliableTransport::Shim final : public Endpoint {
     auto ack = std::make_shared<AckFrame>();
     ack->cumulative = in.delivered;
     MessageMeta ack_meta;
-    ack_meta.kind = "ARQ:ACK";
+    ack_meta.kind = kAckKind;
     ack_meta.control_bytes = 8;
     owner_.sim_.send(self_, m.from, std::move(ack), std::move(ack_meta));
   }

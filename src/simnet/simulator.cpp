@@ -1,5 +1,6 @@
 #include "simnet/simulator.h"
 
+#include <string>
 #include <utility>
 
 #include "simnet/check.h"
@@ -42,31 +43,36 @@ void Simulator::send(ProcessId from, ProcessId to,
   m.send_time = now_;
 
   stats_.on_send(m);
-  trace_.record({TraceEntry::Type::kSend, now_, from, to, m.id, m.meta.kind});
+  if (trace_.enabled()) {
+    trace_.record({TraceEntry::Type::kSend, now_, from, to, m.id,
+                   std::string(m.meta.kind.name())});
+  }
 
-  const auto deliveries = network_->plan_delivery(from, to, now_);
+  const DeliveryPlan deliveries = network_->plan_delivery(from, to, now_);
   if (deliveries.empty()) {
-    trace_.record({TraceEntry::Type::kDrop, now_, from, to, m.id, m.meta.kind});
+    if (trace_.enabled()) {
+      trace_.record({TraceEntry::Type::kDrop, now_, from, to, m.id,
+                     std::string(m.meta.kind.name())});
+    }
     return;
   }
-  for (TimePoint at : deliveries) {
+  // Duplicated messages need a copy per extra delivery; the last (and
+  // common, single-delivery) schedule moves the message straight into its
+  // pooled event slot — no allocation.
+  for (std::size_t i = 0; i + 1 < deliveries.size(); ++i) {
     Message copy = m;
-    copy.deliver_time = at;
-    queue_.schedule(at, [this, msg = std::move(copy)]() mutable {
-      deliver(std::move(msg));
-    });
+    copy.deliver_time = deliveries[i];
+    queue_.schedule_deliver(deliveries[i], std::move(copy));
   }
+  m.deliver_time = deliveries[deliveries.size() - 1];
+  queue_.schedule_deliver(m.deliver_time, std::move(m));
 }
 
 void Simulator::set_timer(ProcessId who, Duration delay, TimerTag tag) {
   PARDSM_CHECK(who >= 0 && static_cast<std::size_t>(who) < endpoints_.size(),
                "set_timer: bad process");
   PARDSM_CHECK(delay.us >= 0, "set_timer: negative delay");
-  queue_.schedule(now_ + delay, [this, who, tag] {
-    trace_.record({TraceEntry::Type::kTimer, now_, who, kNoProcess, tag,
-                   "timer"});
-    endpoints_[static_cast<std::size_t>(who)]->on_timer(tag);
-  });
+  queue_.schedule_timer(now_ + delay, who, tag);
 }
 
 void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
@@ -76,13 +82,32 @@ void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event e = queue_.pop();
+  // In-place access: the payload stays in its pooled slot while the
+  // handler runs (slots are stable, and this one is only recycled by the
+  // release below), so stepping never moves a Message.
+  Event& e = queue_.pop_ref();
   PARDSM_CHECK(e.when >= now_, "event queue went backwards");
   now_ = e.when;
   ++events_fired_;
   PARDSM_CHECK(events_fired_ <= options_.max_events,
                "simulation exceeded max_events — non-terminating protocol?");
-  e.fire();
+  switch (e.type) {
+    case Event::Type::kDeliver:
+      deliver(e.msg);
+      break;
+    case Event::Type::kTimer:
+      if (trace_.enabled()) {
+        trace_.record({TraceEntry::Type::kTimer, now_, e.timer_who,
+                       kNoProcess, e.timer_tag, "timer"});
+      }
+      endpoints_[static_cast<std::size_t>(e.timer_who)]->on_timer(
+          e.timer_tag);
+      break;
+    case Event::Type::kClosure:
+      e.fire();
+      break;
+  }
+  queue_.release(e);
   return true;
 }
 
@@ -98,10 +123,12 @@ bool Simulator::run_until(TimePoint deadline) {
   return queue_.empty();
 }
 
-void Simulator::deliver(Message m) {
+void Simulator::deliver(Message& m) {
   stats_.on_deliver(m);
-  trace_.record({TraceEntry::Type::kDeliver, now_, m.from, m.to, m.id,
-                 m.meta.kind});
+  if (trace_.enabled()) {
+    trace_.record({TraceEntry::Type::kDeliver, now_, m.from, m.to, m.id,
+                   std::string(m.meta.kind.name())});
+  }
   endpoints_[static_cast<std::size_t>(m.to)]->on_message(m);
 }
 

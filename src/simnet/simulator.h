@@ -76,7 +76,7 @@ class Simulator final : public Transport {
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
-  void deliver(Message m);
+  void deliver(Message& m);
 
   SimOptions options_;
   Rng rng_;

@@ -1,5 +1,7 @@
 #include "simnet/stats.h"
 
+#include <algorithm>
+
 #include "simnet/check.h"
 
 namespace pardsm {
@@ -31,7 +33,11 @@ void NetworkStats::on_deliver(const Message& m) {
   t.control_bytes_received += m.meta.control_bytes;
   t.payload_bytes_received += m.meta.payload_bytes;
   auto& exp = exposure_[static_cast<std::size_t>(m.to)];
-  for (VarId x : m.meta.vars_mentioned) ++exp[x];
+  for (VarId x : m.meta.vars_mentioned) {
+    const auto xi = static_cast<std::size_t>(x);
+    if (xi >= exp.size()) exp.resize(xi + 1, 0);  // rare: grows to max VarId
+    ++exp[xi];
+  }
 }
 
 ProcessTraffic NetworkStats::traffic(ProcessId p) const {
@@ -39,6 +45,11 @@ ProcessTraffic NetworkStats::traffic(ProcessId p) const {
   PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < per_process_.size(),
                "traffic: bad process");
   return per_process_[static_cast<std::size_t>(p)];
+}
+
+std::vector<ProcessTraffic> NetworkStats::per_process_snapshot() const {
+  std::lock_guard lock(mu_);
+  return per_process_;
 }
 
 ProcessTraffic NetworkStats::total() const {
@@ -60,17 +71,31 @@ std::uint64_t NetworkStats::exposure(ProcessId p, VarId x) const {
   PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < exposure_.size(),
                "exposure: bad process");
   const auto& exp = exposure_[static_cast<std::size_t>(p)];
-  auto it = exp.find(x);
-  return it == exp.end() ? 0 : it->second;
+  const auto xi = static_cast<std::size_t>(x);
+  return x >= 0 && xi < exp.size() ? exp[xi] : 0;
 }
 
 std::set<ProcessId> NetworkStats::processes_exposed_to(VarId x) const {
   std::lock_guard lock(mu_);
   std::set<ProcessId> out;
+  const auto xi = static_cast<std::size_t>(x);
   for (std::size_t p = 0; p < exposure_.size(); ++p) {
-    auto it = exposure_[p].find(x);
-    if (it != exposure_[p].end() && it->second > 0) {
+    if (xi < exposure_[p].size() && exposure_[p][xi] > 0) {
       out.insert(static_cast<ProcessId>(p));
+    }
+  }
+  return out;
+}
+
+std::vector<std::set<ProcessId>> NetworkStats::exposure_sets(
+    std::size_t var_count) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::set<ProcessId>> out(var_count);
+  for (std::size_t p = 0; p < exposure_.size(); ++p) {
+    const auto& exp = exposure_[p];
+    const std::size_t bound = std::min(var_count, exp.size());
+    for (std::size_t x = 0; x < bound; ++x) {
+      if (exp[x] > 0) out[x].insert(static_cast<ProcessId>(p));
     }
   }
   return out;
@@ -81,8 +106,9 @@ std::set<VarId> NetworkStats::variables_seen_by(ProcessId p) const {
   PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < exposure_.size(),
                "variables_seen_by: bad process");
   std::set<VarId> out;
-  for (const auto& [x, count] : exposure_[static_cast<std::size_t>(p)]) {
-    if (count > 0) out.insert(x);
+  const auto& exp = exposure_[static_cast<std::size_t>(p)];
+  for (std::size_t x = 0; x < exp.size(); ++x) {
+    if (exp[x] > 0) out.insert(static_cast<VarId>(x));
   }
   return out;
 }
@@ -97,7 +123,7 @@ std::uint64_t NetworkStats::messages_delivered() const {
 void NetworkStats::clear() {
   std::lock_guard lock(mu_);
   for (auto& t : per_process_) t = ProcessTraffic{};
-  for (auto& e : exposure_) e.clear();
+  for (auto& e : exposure_) e.assign(e.size(), 0);
 }
 
 }  // namespace pardsm

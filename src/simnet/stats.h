@@ -5,10 +5,14 @@
 // per-(process, variable) *exposure* — how often a process received
 // metadata mentioning a given variable.  The exposure table is exactly the
 // empirical version of the paper's "x-relevant" notion (DESIGN.md T1/T2).
+//
+// Exposure is a dense per-process counter array indexed by VarId (grown
+// lazily to the highest variable mentioned, then constant), so the
+// per-delivery update is an indexed increment — no associative containers
+// on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -49,6 +53,9 @@ class NetworkStats {
   /// Counters for process `p`.
   [[nodiscard]] ProcessTraffic traffic(ProcessId p) const;
 
+  /// Counters for every process in one pass (single lock).
+  [[nodiscard]] std::vector<ProcessTraffic> per_process_snapshot() const;
+
   /// Sum of counters over all processes.
   [[nodiscard]] ProcessTraffic total() const;
 
@@ -58,6 +65,11 @@ class NetworkStats {
   /// Set of processes with nonzero exposure to `x` — the *observed*
   /// x-relevant set (plus C(x) members that only send).
   [[nodiscard]] std::set<ProcessId> processes_exposed_to(VarId x) const;
+
+  /// processes_exposed_to for every variable in [0, var_count) in one
+  /// pass (single lock; what run-result collection wants).
+  [[nodiscard]] std::vector<std::set<ProcessId>> exposure_sets(
+      std::size_t var_count) const;
 
   /// Set of variables process `p` has been exposed to.
   [[nodiscard]] std::set<VarId> variables_seen_by(ProcessId p) const;
@@ -71,8 +83,9 @@ class NetworkStats {
  private:
   mutable std::mutex mu_;
   std::vector<ProcessTraffic> per_process_;
-  /// exposure_[p][x] = number of received messages mentioning x.
-  std::vector<std::map<VarId, std::uint64_t>> exposure_;
+  /// exposure_[p][x] = number of received messages mentioning x; each row
+  /// is dense over VarId, grown on first mention past its current size.
+  std::vector<std::vector<std::uint64_t>> exposure_;
 };
 
 }  // namespace pardsm

@@ -137,11 +137,14 @@ void ThreadRuntime::worker_loop(ProcessId self) {
              mb.timers.top().deadline <= std::chrono::steady_clock::now();
     };
 
-    if (!has_work()) {
+    // Re-pick the wait flavour on every wakeup: a timer armed after this
+    // thread parked in the untimed wait must convert the next wait into a
+    // deadline wait, or the deadline passes with nobody left to notify.
+    while (!has_work()) {
       if (mb.timers.empty()) {
-        mb.cv.wait(lock, has_work);
+        mb.cv.wait(lock);
       } else {
-        mb.cv.wait_until(lock, mb.timers.top().deadline, has_work);
+        mb.cv.wait_until(lock, mb.timers.top().deadline);
       }
     }
 

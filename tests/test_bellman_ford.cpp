@@ -149,7 +149,12 @@ TEST(BellmanFord, Fig9TableFormat) {
   // Every process appears with at least the initialization step and the
   // first iteration; steps end with the k-write.
   for (int p = 1; p <= 5; ++p) {
-    EXPECT_NE(table.find("p" + std::to_string(p) + ":"), std::string::npos);
+    // Two-step append: avoids GCC 12's -Wrestrict false positive on
+    // operator+(const char*, string&&).
+    std::string needle = "p";
+    needle += std::to_string(p);
+    needle += ":";
+    EXPECT_NE(table.find(needle), std::string::npos);
   }
   EXPECT_NE(table.find("step 0:"), std::string::npos);
   EXPECT_NE(table.find("step 1:"), std::string::npos);
