@@ -38,6 +38,7 @@ constexpr std::array kBenches = {
     "bench_theorem2_pram",      "bench_control_overhead",
     "bench_latency",            "bench_checkers_scaling",
     "bench_oblivious_apps",     "bench_open_question",
+    "bench_scenarios",
 };
 
 std::string self_dir() {

@@ -3,21 +3,41 @@
 # contributor should run before pushing:
 #
 #   ./ci.sh              # build + ctest + bench_all --quick
+#   SANITIZE=1 ./ci.sh   # ASan+UBSan build + ctest (no bench sweep) — the
+#                        # ARQ retransmit path and crash/recovery teardown
+#                        # are exactly where lifetime bugs hide
 #   BUILD_DIR=out ./ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")"
-BUILD_DIR="${BUILD_DIR:-build}"
+SANITIZE="${SANITIZE:-0}"
+if [ "$SANITIZE" != "0" ]; then
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== configure =="
-cmake -B "$BUILD_DIR" -S .
+if [ "$SANITIZE" != "0" ]; then
+  # Benches are skipped: google-benchmark timings under ASan measure the
+  # sanitizer, not the engine.  The full ctest suite (golden gates,
+  # property sweeps, scenario faults) runs instrumented.
+  cmake -B "$BUILD_DIR" -S . -DPARDSM_SANITIZE=ON -DPARDSM_BUILD_BENCHES=OFF
+else
+  cmake -B "$BUILD_DIR" -S .
+fi
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 echo "== test =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+if [ "$SANITIZE" != "0" ]; then
+  echo "== done (sanitized) =="
+  exit 0
+fi
 
 echo "== bench (quick) =="
 (cd "$BUILD_DIR" && ./bench/bench_all --quick --out BENCH_ALL.json)

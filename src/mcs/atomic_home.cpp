@@ -126,7 +126,7 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
   transport().send(id(), home, std::move(body), meta);
 }
 
-void AtomicHomeProcess::on_message(const Message& m) {
+void AtomicHomeProcess::handle_message(const Message& m) {
   if (const auto* rr = m.as<ReadRequest>()) {
     PARDSM_CHECK(home_of(rr->x) == id(), "read request at non-home");
     const Stored& s = mutable_store().get(rr->x);

@@ -30,13 +30,23 @@ class AtomicHomeProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override { return "atomic-home"; }
   [[nodiscard]] bool wait_free() const override { return false; }
 
   /// The home of variable x under this distribution.
   [[nodiscard]] ProcessId home_of(VarId x) const;
+
+ protected:
+  /// Standby copies of x are refreshed only by x's home, so a re-synced
+  /// copy served by the home rides the same FIFO channel as any backlog
+  /// and can safely be adopted (when this process *is* the home its copy
+  /// is authoritative; peers can never be ahead).
+  [[nodiscard]] bool resync_adoptable(VarId x, ProcessId responder,
+                                      const WriteId&) const override {
+    return responder == home_of(x);
+  }
 
  private:
   struct PendingRead {

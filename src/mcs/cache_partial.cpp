@@ -161,7 +161,7 @@ void CachePartialProcess::apply_commit(const Message& m) {
 
 void CachePartialProcess::on_applied(ProcessId) {}
 
-void CachePartialProcess::on_message(const Message& m) {
+void CachePartialProcess::handle_message(const Message& m) {
   if (const auto* req = m.as<detail::CacheWriteReq>()) {
     sequence(req->x, req->v, req->id, m.from, req->invoked, req->writer_seq,
              req->prior_counts);

@@ -32,7 +32,7 @@ class CachePartialProcess : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override { return "cache-partial"; }
   [[nodiscard]] bool wait_free() const override { return false; }
@@ -41,6 +41,15 @@ class CachePartialProcess : public McsProcess {
   [[nodiscard]] ProcessId home_of(VarId x) const;
 
  protected:
+  /// Commits for x reach this process only from x's home, so a re-synced
+  /// copy served by the home rides the same FIFO channel as any backlog
+  /// and can safely be adopted.  (The PC subclass re-vetoes: its
+  /// prior-count buffering is a delivery gate adoption must not jump.)
+  [[nodiscard]] bool resync_adoptable(VarId x, ProcessId responder,
+                                      const WriteId&) const override {
+    return responder == home_of(x);
+  }
+
   struct PendingWrite {
     VarId x = kNoVar;
     Value v = kBottom;

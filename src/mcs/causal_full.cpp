@@ -69,7 +69,7 @@ void CausalFullProcess::write(VarId x, Value v, WriteCallback done) {
   done();
 }
 
-void CausalFullProcess::on_message(const Message& m) {
+void CausalFullProcess::handle_message(const Message& m) {
   buffer_.push_back(m);
   mutable_stats().max_buffer_depth = std::max(
       mutable_stats().max_buffer_depth,

@@ -25,12 +25,20 @@ class CausalFullProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override { return "causal-full"; }
   [[nodiscard]] bool wait_free() const override { return true; }
 
   [[nodiscard]] const VectorClock& clock() const { return vc_; }
+
+ protected:
+  /// Full replication: every peer holds every variable, so re-sync always
+  /// has a source even when C(x) excludes this process.
+  [[nodiscard]] ProcessId resync_source(VarId) const override {
+    if (distribution().process_count() < 2) return kNoProcess;
+    return id() == 0 ? 1 : 0;
+  }
 
  private:
   struct Update;

@@ -124,7 +124,7 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
   done();
 }
 
-void CausalPartialAdHocProcess::on_message(const Message& m) {
+void CausalPartialAdHocProcess::handle_message(const Message& m) {
   buffer_.push_back(m);
   mutable_stats().max_buffer_depth = std::max(
       mutable_stats().max_buffer_depth,

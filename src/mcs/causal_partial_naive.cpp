@@ -74,7 +74,7 @@ void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
   done();
 }
 
-void CausalPartialNaiveProcess::on_message(const Message& m) {
+void CausalPartialNaiveProcess::handle_message(const Message& m) {
   buffer_.push_back(m);
   mutable_stats().max_buffer_depth = std::max(
       mutable_stats().max_buffer_depth,

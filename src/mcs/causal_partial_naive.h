@@ -27,7 +27,7 @@ class CausalPartialNaiveProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override {
     return "causal-partial-naive";

@@ -14,8 +14,21 @@ void ScriptedClient::start(TimePoint start) {
   sim_.schedule_at(start + script_.front().delay, [this] { issue(); });
 }
 
+void ScriptedClient::resume(TimePoint at) {
+  if (!stalled_) return;
+  PARDSM_CHECK(!process_.crashed(), "resume while the process is still down");
+  stalled_ = false;
+  sim_.schedule_at(at, [this] { issue(); });
+}
+
 void ScriptedClient::issue() {
   PARDSM_CHECK(next_ < script_.size(), "issue past end of script");
+  if (process_.crashed()) {
+    // The application fails with its process: hold this operation (and the
+    // client's place in the script) until the recovery hook resumes us.
+    stalled_ = true;
+    return;
+  }
   const ScriptOp& op = script_[next_];
   ++next_;
 
@@ -62,9 +75,99 @@ std::vector<Script> make_random_scripts(const graph::Distribution& dist,
   return scripts;
 }
 
+std::vector<Script> make_single_writer_scripts(const graph::Distribution& dist,
+                                               const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  const CliqueTable cliques(dist);
+  std::vector<Script> scripts(dist.process_count());
+  Value next_value = 1;
+  for (std::size_t p = 0; p < dist.process_count(); ++p) {
+    const auto& mine = dist.per_process[p];
+    if (mine.empty()) continue;
+    std::vector<VarId> writable;
+    for (VarId x : mine) {
+      if (cliques.clique(x).front() == static_cast<ProcessId>(p)) {
+        writable.push_back(x);
+      }
+    }
+    Script& script = scripts[p];
+    for (std::size_t i = 0; i < spec.ops_per_process; ++i) {
+      if (writable.empty() || rng.chance(spec.read_fraction)) {
+        const VarId x =
+            mine[static_cast<std::size_t>(rng.below(mine.size()))];
+        script.push_back(ScriptOp::read(x, spec.think_time));
+      } else {
+        const VarId x = writable[static_cast<std::size_t>(
+            rng.below(writable.size()))];
+        script.push_back(ScriptOp::write(x, next_value++, spec.think_time));
+      }
+    }
+  }
+  return scripts;
+}
+
+namespace {
+
+/// Per-process replica contents at quiescence (P6 compares them across
+/// fault scenarios).
+std::vector<std::vector<ReplicaEntry>> snapshot_replicas(
+    const std::vector<std::unique_ptr<McsProcess>>& processes) {
+  std::vector<std::vector<ReplicaEntry>> out;
+  out.reserve(processes.size());
+  for (const auto& proc : processes) {
+    std::vector<ReplicaEntry> mine;
+    for (VarId x : proc->store().vars()) {
+      const Stored& s = proc->store().get(x);
+      mine.push_back({x, s.value, s.source});
+    }
+    out.push_back(std::move(mine));
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+ScenarioRunResult run_impl(ProtocolKind kind, const graph::Distribution& dist,
+                           const std::vector<Script>& scripts,
+                           const Scenario& scenario, RunOptions options,
+                           bool reliable);
+
+}  // namespace
+
 RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
                        const std::vector<Script>& scripts,
                        RunOptions options) {
+  // One engine, two entry points: a plain workload is a scenario with an
+  // empty fault timeline (tests pin that the two paths are bit-identical).
+  // Deliberately raw even when the caller's ChannelOptions drop or
+  // duplicate: the fault-injection tests exercise protocol *safety* on an
+  // unrepaired channel, where lost completions are expected behaviour.
+  ScenarioRunResult r = run_impl(kind, dist, scripts, Scenario("lossless"),
+                                 std::move(options), /*reliable=*/false);
+  return static_cast<RunResult&&>(std::move(r));  // move-slice, no copy
+}
+
+ScenarioRunResult run_scenario(ProtocolKind kind,
+                               const graph::Distribution& dist,
+                               const std::vector<Script>& scripts,
+                               const Scenario& scenario, RunOptions options) {
+  // Any loss source — the timeline's or the ChannelOptions the caller
+  // seeded the channel with — needs the ARQ layer for liveness.
+  const bool reliable = scenario.faulty() ||
+                        options.channel.drop_probability > 0.0 ||
+                        options.channel.duplicate_probability > 0.0;
+  return run_impl(kind, dist, scripts, scenario, std::move(options),
+                  reliable);
+}
+
+namespace {
+
+ScenarioRunResult run_impl(ProtocolKind kind, const graph::Distribution& dist,
+                           const std::vector<Script>& scripts,
+                           const Scenario& scenario, RunOptions options,
+                           const bool reliable) {
   PARDSM_CHECK(scripts.size() == dist.process_count(),
                "one script per process required");
 
@@ -74,12 +177,19 @@ RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
   sim_options.latency = std::move(options.latency);
   Simulator sim(std::move(sim_options));
 
+  // Faulty runs go through the ARQ layer: the protocols assume reliable
+  // FIFO channels for liveness, and recovery traffic must be charged to
+  // the same ledger as everything else.
+  std::optional<ReliableTransport> rel;
+  if (reliable) rel.emplace(sim, options.reliable);
+
   HistoryRecorder recorder(dist.process_count(), dist.var_count);
   auto processes = make_processes(kind, dist, recorder);
   for (auto& proc : processes) {
-    const ProcessId assigned = sim.add_endpoint(proc.get());
+    const ProcessId assigned = reliable ? rel->add_endpoint(proc.get())
+                                        : sim.add_endpoint(proc.get());
     PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
-    proc->attach(sim);
+    proc->attach(reliable ? static_cast<Transport&>(*rel) : sim);
   }
 
   std::vector<std::unique_ptr<ScriptedClient>> clients;
@@ -87,18 +197,32 @@ RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
   for (std::size_t p = 0; p < processes.size(); ++p) {
     clients.push_back(
         std::make_unique<ScriptedClient>(*processes[p], sim, scripts[p]));
-    clients.back()->start(kTimeZero);
   }
 
+  // Apply the timeline before any client op is scheduled: events at t<=0
+  // take effect immediately, so a scenario that starts lossy is lossy for
+  // the very first message.
+  sim.ensure_network();
+  ScenarioHooks hooks;
+  hooks.on_crash = [&processes](ProcessId p, TimePoint) {
+    processes[static_cast<std::size_t>(p)]->crash();
+  };
+  hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
+    processes[static_cast<std::size_t>(p)]->recover();
+    clients[static_cast<std::size_t>(p)]->resume(at);
+  };
+  scenario.apply(sim, hooks);
+
+  for (auto& client : clients) client->start(kTimeZero);
   sim.run();
 
   for (const auto& client : clients) {
     PARDSM_CHECK(client->done(),
-                 "simulation quiesced before a client finished its script — "
-                 "protocol lost a completion");
+                 "run quiesced before a client finished its script — stuck "
+                 "protocol, unhealed fault or lost completion");
   }
 
-  RunResult result;
+  ScenarioRunResult result;
   result.history = recorder.take_history();
   result.total_traffic = sim.stats().total();
   result.per_process_traffic = sim.stats().per_process_snapshot();
@@ -106,10 +230,27 @@ RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
     result.protocol_stats.push_back(proc->stats());
   }
   result.observed_relevant = sim.stats().exposure_sets(dist.var_count);
+  result.final_replicas = snapshot_replicas(processes);
   result.finished_at = sim.now();
   result.events = sim.events_fired();
+
+  result.used_reliable_transport = reliable;
+  result.retransmissions = rel ? rel->retransmissions() : 0;
+  result.drops = sim.network().drop_counters();
+  for (const auto& proc : processes) {
+    const RecoveryStats& r = proc->recovery_stats();
+    result.crashes += r.crashes;
+    result.resync_messages +=
+        r.resync_requests_sent + r.resync_responses_served;
+    result.resync_bytes += r.resync_bytes;
+    result.resync_values_applied += r.resync_values_applied;
+    result.max_recovery_latency =
+        std::max(result.max_recovery_latency, proc->max_recovery_latency());
+  }
   return result;
 }
+
+}  // namespace
 
 namespace {
 
@@ -194,6 +335,7 @@ RunResult run_workload_threaded(ProtocolKind kind,
     result.protocol_stats.push_back(proc->stats());
   }
   result.observed_relevant = rt.stats().exposure_sets(dist.var_count);
+  result.final_replicas = snapshot_replicas(processes);
   return result;
 }
 

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "mcs/factory.h"
+#include "simnet/reliable.h"
+#include "simnet/scenario.h"
 #include "simnet/simulator.h"
 
 namespace pardsm::mcs {
@@ -38,6 +40,13 @@ struct ScriptOp {
 using Script = std::vector<ScriptOp>;
 
 /// Drives one McsProcess through its script (simulator runtime).
+///
+/// Crash-aware: the application is co-located with its MCS process, so
+/// while the process is down the client neither issues operations (an
+/// issue attempt stalls) nor loses its place in the script.  The scenario
+/// driver calls resume() from the recovery hook; an operation that was
+/// in flight at crash time simply completes late — its response is
+/// retransmitted by the ARQ layer — and the script continues from there.
 class ScriptedClient {
  public:
   ScriptedClient(McsProcess& process, Simulator& sim, Script script);
@@ -45,7 +54,12 @@ class ScriptedClient {
   /// Schedule the first operation at `start`.
   void start(TimePoint start);
 
+  /// Re-issue the stalled operation after the process recovered (no-op if
+  /// the client was not stalled).
+  void resume(TimePoint at);
+
   [[nodiscard]] bool done() const { return next_ >= script_.size(); }
+  [[nodiscard]] bool stalled() const { return stalled_; }
   [[nodiscard]] const std::vector<Value>& read_results() const {
     return reads_;
   }
@@ -58,6 +72,7 @@ class ScriptedClient {
   Script script_;
   std::size_t next_ = 0;
   std::vector<Value> reads_;
+  bool stalled_ = false;
 };
 
 /// Workload generation parameters.
@@ -73,6 +88,23 @@ struct WorkloadSpec {
 [[nodiscard]] std::vector<Script> make_random_scripts(
     const graph::Distribution& dist, const WorkloadSpec& spec);
 
+/// Random scripts where each variable has exactly one writer: the
+/// lowest-id member of C(x).  Every process still reads any of its
+/// variables.  With no write-write races, the final replica contents of a
+/// run are a pure function of the workload — what the differential
+/// convergence test (P6) compares across fault scenarios.
+[[nodiscard]] std::vector<Script> make_single_writer_scripts(
+    const graph::Distribution& dist, const WorkloadSpec& spec);
+
+/// Final (value, provenance) copy of one replicated variable.
+struct ReplicaEntry {
+  VarId x = kNoVar;
+  Value value = kBottom;
+  WriteId source{};
+
+  friend bool operator==(const ReplicaEntry&, const ReplicaEntry&) = default;
+};
+
 /// Result of a full system run.
 struct RunResult {
   hist::History history;
@@ -81,15 +113,21 @@ struct RunResult {
   /// observed_relevant[x] = processes that received metadata about x.
   std::vector<std::set<ProcessId>> observed_relevant;
   std::vector<ProtocolStats> protocol_stats;
+  /// Per-process replica contents at quiescence (sorted by VarId).
+  std::vector<std::vector<ReplicaEntry>> final_replicas;
   TimePoint finished_at{};
   std::uint64_t events = 0;
 };
 
-/// Options for run_workload.
+/// Options for run_workload / run_scenario.
 struct RunOptions {
   std::uint64_t sim_seed = 1;
   ChannelOptions channel;
   std::unique_ptr<LatencyModel> latency;  ///< null = constant 1ms
+  /// ARQ configuration for scenario runs routed through ReliableTransport
+  /// (ignored by run_workload).  The default effectively never gives up:
+  /// scenario liveness comes from healing timelines, not retransmit caps.
+  ReliableOptions reliable{millis(40), 1'000'000};
 };
 
 /// Execute `scripts` against a fresh system of `kind` over `dist` on the
@@ -98,6 +136,38 @@ struct RunOptions {
                                      const graph::Distribution& dist,
                                      const std::vector<Script>& scripts,
                                      RunOptions options = {});
+
+/// run_scenario result: the ordinary run outcome plus the fault ledger.
+struct ScenarioRunResult : RunResult {
+  /// True when the run was routed through ReliableTransport (any faulty
+  /// scenario); false for fault-free timelines on the raw simulator.
+  bool used_reliable_transport = false;
+  /// ARQ retransmissions across all senders.
+  std::uint64_t retransmissions = 0;
+  /// Channel drops by cause (loss, partition, downtime, in-flight).
+  DropCounters drops;
+  /// Crash/re-sync ledger summed over all processes.
+  std::uint64_t crashes = 0;
+  std::uint64_t resync_messages = 0;  ///< requests sent + responses served
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t resync_values_applied = 0;
+  /// Slowest recover()→re-sync-complete interval of the run.
+  Duration max_recovery_latency{};
+};
+
+/// Execute `scripts` under a scripted fault timeline.  Every protocol runs
+/// every scenario unmodified: when any loss source exists — the timeline's
+/// faults or lossy ChannelOptions — the system is routed through
+/// ReliableTransport (ARQ restores the reliable FIFO channels the
+/// protocols assume — its retransmissions and control bytes are charged to
+/// the same NetworkStats ledger), crash events pause the victim's client
+/// and drop its traffic, and recovery re-syncs the victim's replicas from
+/// peers.  Deterministic per (scenario, seeds).
+[[nodiscard]] ScenarioRunResult run_scenario(ProtocolKind kind,
+                                             const graph::Distribution& dist,
+                                             const std::vector<Script>& scripts,
+                                             const Scenario& scenario,
+                                             RunOptions options = {});
 
 /// Execute the same shape of run on the std::thread runtime (one OS thread
 /// per MCS process, genuine preemptive parallelism).  Script think-times

@@ -51,7 +51,7 @@ void PramPartialProcess::write(VarId x, Value v, WriteCallback done) {
   done();
 }
 
-void PramPartialProcess::on_message(const Message& m) {
+void PramPartialProcess::handle_message(const Message& m) {
   const auto* u = m.as<PramUpdate>();
   PARDSM_CHECK(u != nullptr, "pram: unexpected message body");
   PARDSM_CHECK(replicates(u->x), "pram: update for unreplicated variable");

@@ -27,10 +27,19 @@ class PramPartialProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override { return "pram-partial"; }
   [[nodiscard]] bool wait_free() const override { return true; }
+
+ protected:
+  /// Updates of x reach this process straight from each writer, so a
+  /// re-synced copy of the responder's *own* writes rides the same FIFO
+  /// channel as any backlog and can safely be adopted.
+  [[nodiscard]] bool resync_adoptable(VarId, ProcessId responder,
+                                      const WriteId& source) const override {
+    return source.writer == responder;
+  }
 
  private:
   std::int64_t next_write_seq_ = 0;

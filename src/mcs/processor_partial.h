@@ -41,6 +41,14 @@ class ProcessorPartialProcess final : public CachePartialProcess {
   }
 
  protected:
+  /// Re-veto what CachePartialProcess allows: PC buffers commits behind
+  /// the prior-count gate, so an adopted copy could surface before the
+  /// commits it depends on — recovery relies on the (gated) ARQ backlog.
+  [[nodiscard]] bool resync_adoptable(VarId, ProcessId,
+                                      const WriteId&) const override {
+    return false;
+  }
+
   [[nodiscard]] std::map<ProcessId, std::int64_t> prior_counts_for(
       VarId x) override;
   [[nodiscard]] bool commit_ready(const Message& m) override;

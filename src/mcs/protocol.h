@@ -43,6 +43,22 @@ struct ProtocolStats {
   std::uint64_t max_buffer_depth = 0;
 };
 
+/// Crash/recovery counters of one process (scenario runs; all zero on a
+/// fault-free run).  Re-sync traffic travels as ordinary messages, so its
+/// bytes are *also* charged to NetworkStats — these counters isolate the
+/// recovery share for the overhead ledger.
+struct RecoveryStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t resync_requests_sent = 0;
+  std::uint64_t resync_responses_served = 0;  ///< answered as a peer
+  std::uint64_t resync_values_applied = 0;
+  /// Wire bytes of re-sync requests sent plus responses received — the
+  /// recovery cost charged to this process.
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t deliveries_dropped_while_down = 0;
+  std::uint64_t timers_deferred = 0;  ///< timer fires postponed past downtime
+};
+
 /// Immutable var → C(x) table, built in one pass over the distribution
 /// (O(Σ|X_i|)).  Protocols consult C(x) on every write, and
 /// Distribution::replicas_of allocates a fresh vector per call — far too
@@ -108,6 +124,47 @@ class McsProcess : public Endpoint {
   /// Asynchronous write of v to x.
   virtual void write(VarId x, Value v, WriteCallback done) = 0;
 
+  // -- runtime plumbing (final: the base owns crash filtering and the
+  // re-sync handshake; protocols implement handle_message/handle_timer) ---
+  void on_message(const Message& m) final;
+  void on_timer(TimerTag tag) final;
+
+  // -- crash / recovery (driven by scenario timelines) ----------------------
+  /// Fail-pause crash: the process stops observing the world.  The network
+  /// layer (Network::set_down) stops its traffic in both directions; the
+  /// base additionally drops any delivery or defers any timer that slips
+  /// through while down.  Replica contents and protocol state survive (the
+  /// paper's MCS process is the durable memory system — the *channel* to
+  /// it fails), but everything in flight toward the process is lost and
+  /// must be repaired by ARQ retransmission and/or recovery re-sync.
+  void crash();
+
+  /// End the downtime: resume processing and re-sync the replica set — for
+  /// each held variable, the lowest-id other member of C(x) is asked for
+  /// its current (value, provenance) copy.  Responses are applied under a
+  /// never-regress rule (see apply_resync_entry) and every re-sync byte is
+  /// charged to NetworkStats like any other control traffic.
+  void recover();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const {
+    return rstats_;
+  }
+  /// True while re-sync responses are outstanding after a recover().
+  [[nodiscard]] bool resync_in_progress() const {
+    return pending_resyncs_ > 0;
+  }
+  /// Time from the last recover() to its final re-sync response (zero if
+  /// never crashed or not yet fully re-synced).
+  [[nodiscard]] Duration last_recovery_latency() const {
+    return last_recovery_latency_;
+  }
+  /// Slowest completed recover()→re-sync interval across every crash
+  /// cycle of this process.
+  [[nodiscard]] Duration max_recovery_latency() const {
+    return max_recovery_latency_;
+  }
+
   /// Human-readable protocol name.
   [[nodiscard]] virtual std::string name() const = 0;
 
@@ -121,6 +178,46 @@ class McsProcess : public Endpoint {
   [[nodiscard]] bool replicates(VarId x) const { return store_.holds(x); }
 
  protected:
+  /// Protocol message handling (what on_message dispatched to before the
+  /// crash/re-sync layer interposed).
+  virtual void handle_message(const Message& m) = 0;
+
+  /// Protocol timer handling; default: no protocol uses timers.
+  virtual void handle_timer(TimerTag tag) { (void)tag; }
+
+  /// Crash hooks for protocol-specific volatile state.  The default
+  /// fail-pause model keeps all state, so these are no-ops.
+  virtual void on_crash() {}
+  virtual void on_recover() {}
+
+  /// Peer asked for x's current copy during re-sync: the lowest-id member
+  /// of C(x) other than self (kNoProcess = no peer, skip the variable).
+  /// causal-full overrides this — under full replication any process can
+  /// serve any variable, including those whose clique excludes it.
+  [[nodiscard]] virtual ProcessId resync_source(VarId x) const;
+
+  /// May a re-synced copy of x served by `responder` be adopted into the
+  /// local store (it still passes the base never-regress rule afterwards)?
+  ///
+  /// Adoption is sound only when every in-flight or future update of x
+  /// destined to this process travels on the responder→self channel: ARQ
+  /// delivers per-pair FIFO, so the re-sync response then arrives *after*
+  /// any older backlog and the adopted copy can never be crossed by a
+  /// stale redelivery.  Protocols where that holds opt in (pram: entries
+  /// written by the responder itself; home-based protocols: entries served
+  /// by x's home).  The default is a veto — correct for every protocol
+  /// whose apply path is gated (causal vector clocks, slow-memory jitter
+  /// buffers, processor prior-count buffering): adopting a value past such
+  /// a gate could expose it before its delivery preconditions, and the
+  /// gated backlog repairs the state anyway.
+  [[nodiscard]] virtual bool resync_adoptable(VarId x, ProcessId responder,
+                                              const WriteId& source) const {
+    (void)x;
+    (void)responder;
+    (void)source;
+    return false;
+  }
+
   [[nodiscard]] Transport& transport() {
     PARDSM_CHECK(transport_ != nullptr, "McsProcess used before attach()");
     return *transport_;
@@ -159,6 +256,13 @@ class McsProcess : public Endpoint {
   }
 
  private:
+  void start_resync();
+  void serve_resync_request(const Message& m);
+  void absorb_resync_response(const Message& m);
+  /// Never-regress apply rule for one re-synced (x, value, source) entry.
+  void apply_resync_entry(VarId x, Value value, const WriteId& source,
+                          ProcessId responder);
+
   ProcessId self_;
   const graph::Distribution& dist_;
   HistoryRecorder& recorder_;
@@ -167,6 +271,19 @@ class McsProcess : public Endpoint {
   Transport* transport_ = nullptr;
   /// Shared (or lazily self-built) C(x) table; mutable for the lazy path.
   mutable std::shared_ptr<const CliqueTable> cliques_;
+
+  // -- crash / re-sync state ------------------------------------------------
+  bool crashed_ = false;
+  /// Timer fires parked during downtime, replayed in order on recovery.
+  std::vector<TimerTag> deferred_timers_;
+  /// Discriminates re-sync rounds: responses from a superseded recovery
+  /// (the process crashed again mid-re-sync) are ignored.
+  std::uint32_t resync_epoch_ = 0;
+  std::uint32_t pending_resyncs_ = 0;
+  TimePoint recovery_started_{};
+  Duration last_recovery_latency_{};
+  Duration max_recovery_latency_{};
+  RecoveryStats rstats_;
 };
 
 /// The protocols implemented in this repository.  The last two are the

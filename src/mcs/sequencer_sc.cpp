@@ -117,7 +117,7 @@ void SequencerScProcess::apply_commit(VarId x, Value v, WriteId wid,
   }
 }
 
-void SequencerScProcess::on_message(const Message& m) {
+void SequencerScProcess::handle_message(const Message& m) {
   if (const auto* req = m.as<WriteRequest>()) {
     PARDSM_CHECK(id() == kSequencer, "write request sent to non-sequencer");
     sequence_write(req->x, req->v, req->id, m.from, req->invoked);

@@ -35,13 +35,29 @@ class SequencerScProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
+  void handle_message(const Message& m) override;
 
   [[nodiscard]] std::string name() const override { return "sequencer-sc"; }
   [[nodiscard]] bool wait_free() const override { return false; }
 
   /// Sequencer-side count of sequenced writes (0 on non-sequencers).
   [[nodiscard]] std::uint64_t sequenced() const { return sequenced_; }
+
+ protected:
+  /// Commits reach every process only from the sequencer, so copies the
+  /// sequencer serves ride the same FIFO channel as any backlog and can
+  /// safely be adopted.  The sequencer itself adopts nothing: its own
+  /// state is ahead of (or equal to) every standby's by construction.
+  [[nodiscard]] bool resync_adoptable(VarId, ProcessId responder,
+                                      const WriteId&) const override {
+    return responder == kSequencer && id() != kSequencer;
+  }
+
+  /// Standbys re-sync from the sequencer (the only FIFO-safe source, see
+  /// resync_adoptable); the sequencer falls back to the clique default.
+  [[nodiscard]] ProcessId resync_source(VarId x) const override {
+    return id() == kSequencer ? McsProcess::resync_source(x) : kSequencer;
+  }
 
  private:
   void sequence_write(VarId x, Value v, WriteId id, ProcessId requester,

@@ -65,7 +65,7 @@ void SlowPartialProcess::write(VarId x, Value v, WriteCallback done) {
   done();
 }
 
-void SlowPartialProcess::on_message(const Message& m) {
+void SlowPartialProcess::handle_message(const Message& m) {
   const auto* u = m.as<SlowUpdate>();
   PARDSM_CHECK(u != nullptr, "slow: unexpected message body");
   Pending p;
@@ -82,7 +82,7 @@ void SlowPartialProcess::on_message(const Message& m) {
   transport().set_timer(id(), jitter(m.from, u->x, u->var_seq), tag);
 }
 
-void SlowPartialProcess::on_timer(TimerTag tag) {
+void SlowPartialProcess::handle_timer(TimerTag tag) {
   auto it = timers_.find(tag);
   if (it == timers_.end()) return;
   const auto [writer, x] = it->second;

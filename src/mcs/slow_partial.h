@@ -29,8 +29,8 @@ class SlowPartialProcess final : public McsProcess {
 
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
-  void on_message(const Message& m) override;
-  void on_timer(TimerTag tag) override;
+  void handle_message(const Message& m) override;
+  void handle_timer(TimerTag tag) override;
 
   [[nodiscard]] std::string name() const override { return "slow-partial"; }
   [[nodiscard]] bool wait_free() const override { return true; }

@@ -10,55 +10,139 @@ Network::Network(std::size_t n, ChannelOptions options,
       options_(options),
       latency_(latency ? std::move(latency)
                        : std::make_unique<ConstantLatency>(millis(1))),
-      rng_(rng),
+      // Copy first so the latency stream equals the pre-split stream of a
+      // fault-free run; fork after (forking advances `rng`, not the copy).
+      latency_rng_(rng),
+      fault_rng_(rng.fork(/*tag=*/0x4641554CULL)),  // "FAUL"
       last_delivery_(n * n, TimePoint{}),
-      severed_(n * n, 0) {}
+      severed_(n * n, 0),
+      loss_(n * n, options.drop_probability),
+      duplicate_(n * n, options.duplicate_probability),
+      down_(n, 0) {}
+
+void Network::check_pair(ProcessId from, ProcessId to, const char* what) const {
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
+                   static_cast<std::size_t>(to) < n_,
+               what);
+}
 
 DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
                                     TimePoint send_time) {
-  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_,
-               "plan_delivery: bad sender");
-  PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < n_,
-               "plan_delivery: bad receiver");
+  check_pair(from, to, "plan_delivery: bad process");
 
-  if (severed(from, to) || rng_.chance(options_.drop_probability)) {
-    ++dropped_;
+  // The latency draw happens unconditionally, before any fault decision:
+  // this pins the latency stream position per send, so fault activity
+  // (on this pair or any other) never changes what a surviving message's
+  // latency would have been.
+  const Duration lat = latency_->sample(from, to, latency_rng_);
+
+  const std::size_t ij = pair(from, to);
+  if (severed_[ij] != 0) {
+    ++drops_.severed;
+    return {};
+  }
+  if (down_[static_cast<std::size_t>(from)] != 0 ||
+      down_[static_cast<std::size_t>(to)] != 0) {
+    ++drops_.down;
+    return {};
+  }
+  if (fault_rng_.chance(effective_loss(from, to, send_time))) {
+    ++drops_.loss;
     return {};
   }
 
   DeliveryPlan deliveries;
-  const int copies = rng_.chance(options_.duplicate_probability) ? 2 : 1;
-  for (int c = 0; c < copies; ++c) {
-    TimePoint at = send_time + latency_->sample(from, to, rng_);
+  const auto clamp_push = [&](TimePoint at) {
     if (options_.fifo) {
-      TimePoint& last = last_delivery_[pair(from, to)];
+      TimePoint& last = last_delivery_[ij];
       if (at <= last) at = last + micros(1);
       last = at;
     }
     deliveries.push(at);
+  };
+  clamp_push(send_time + lat);
+  if (fault_rng_.chance(effective_duplicate(from, to, send_time))) {
+    // The duplicate's latency comes from the fault stream too: the extra
+    // copy must not displace anyone else's draw on the latency stream.
+    clamp_push(send_time + latency_->sample(from, to, fault_rng_));
   }
   return deliveries;
 }
 
 void Network::sever(ProcessId from, ProcessId to) {
-  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
-                   static_cast<std::size_t>(to) < n_,
-               "sever: bad process");
-  severed_[pair(from, to)] = 1;
+  check_pair(from, to, "sever: bad process");
+  ++severed_[pair(from, to)];
 }
 
 void Network::heal(ProcessId from, ProcessId to) {
-  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
-                   static_cast<std::size_t>(to) < n_,
-               "heal: bad process");
-  severed_[pair(from, to)] = 0;
+  check_pair(from, to, "heal: bad process");
+  std::uint32_t& cuts = severed_[pair(from, to)];
+  if (cuts > 0) --cuts;
 }
 
 bool Network::severed(ProcessId from, ProcessId to) const {
-  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
-                   static_cast<std::size_t>(to) < n_,
-               "severed: bad process");
+  check_pair(from, to, "severed: bad process");
   return severed_[pair(from, to)] != 0;
+}
+
+void Network::set_loss(ProcessId from, ProcessId to, double probability) {
+  check_pair(from, to, "set_loss: bad process");
+  loss_[pair(from, to)] = probability;
+}
+
+void Network::set_loss_all(double probability) {
+  for (double& p : loss_) p = probability;
+}
+
+double Network::loss(ProcessId from, ProcessId to) const {
+  check_pair(from, to, "loss: bad process");
+  return loss_[pair(from, to)];
+}
+
+void Network::set_duplicate(ProcessId from, ProcessId to, double probability) {
+  check_pair(from, to, "set_duplicate: bad process");
+  duplicate_[pair(from, to)] = probability;
+}
+
+void Network::set_duplicate_all(double probability) {
+  for (double& p : duplicate_) p = probability;
+}
+
+double Network::duplicate(ProcessId from, ProcessId to) const {
+  check_pair(from, to, "duplicate: bad process");
+  return duplicate_[pair(from, to)];
+}
+
+double Network::effective_loss(ProcessId from, ProcessId to,
+                               TimePoint now) const {
+  check_pair(from, to, "effective_loss: bad process");
+  if (override_) {
+    const double p = override_->loss(from, to, now);
+    if (p >= 0.0) return p;
+  }
+  return loss_[pair(from, to)];
+}
+
+double Network::effective_duplicate(ProcessId from, ProcessId to,
+                                    TimePoint now) const {
+  check_pair(from, to, "effective_duplicate: bad process");
+  if (override_) {
+    const double p = override_->duplicate(from, to, now);
+    if (p >= 0.0) return p;
+  }
+  return duplicate_[pair(from, to)];
+}
+
+void Network::set_down(ProcessId p, bool down) {
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < n_,
+               "set_down: bad process");
+  down_[static_cast<std::size_t>(p)] = down ? 1 : 0;
+}
+
+bool Network::is_down(ProcessId p) const {
+  PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < n_,
+               "is_down: bad process");
+  return down_[static_cast<std::size_t>(p)] != 0;
 }
 
 }  // namespace pardsm

@@ -1,8 +1,18 @@
-// Channel behaviour: latency, FIFO ordering, loss and duplication.
+// Channel behaviour: latency, FIFO ordering, loss, duplication, partitions
+// and process downtime.
 //
 // Network decides *when* (and whether, and how many times) each sent
 // message is delivered.  It is deliberately independent of the event queue
 // so channel semantics can be unit-tested in isolation.
+//
+// RNG stream isolation: latency sampling and fault decisions draw from two
+// decorrelated generators.  The latency stream is consumed once per send
+// in a fixed position (sampled *before* any fault decision), so changing
+// loss or duplication rates — statically via ChannelOptions or dynamically
+// via the per-pair setters a Scenario drives — never perturbs the latency
+// a surviving message would have received in the fault-free run.  The
+// extra copy of a duplicated message samples its latency from the fault
+// stream for the same reason.  tests/test_scenario.cpp pins this.
 #pragma once
 
 #include <array>
@@ -46,11 +56,37 @@ struct DeliveryPlan {
   [[nodiscard]] const TimePoint* end() const { return at.data() + count; }
 };
 
+/// Time-dependent per-pair probability source installed by a scenario:
+/// consulted at planning time, so probability windows need no simulator
+/// events (a window that outlasts the traffic never delays quiescence).
+/// Returning a negative value falls back to the network's own table.
+class RateOverride {
+ public:
+  virtual ~RateOverride() = default;
+  virtual double loss(ProcessId from, ProcessId to, TimePoint now) const = 0;
+  virtual double duplicate(ProcessId from, ProcessId to,
+                           TimePoint now) const = 0;
+};
+
+/// Why messages were dropped (scenario benches report the split).
+struct DropCounters {
+  std::uint64_t loss = 0;       ///< probabilistic channel loss
+  std::uint64_t severed = 0;    ///< partitioned directed pair
+  std::uint64_t down = 0;       ///< sender or receiver process down
+  std::uint64_t in_flight = 0;  ///< delivery suppressed: receiver went down
+
+  [[nodiscard]] std::uint64_t total() const {
+    return loss + severed + down + in_flight;
+  }
+};
+
 /// Computes delivery schedules for messages.
 class Network {
  public:
   /// Build a network over `n` processes.  `latency` may be null, meaning
-  /// a default 1ms constant latency.
+  /// a default 1ms constant latency.  `rng` seeds both internal streams:
+  /// the latency stream is a verbatim copy (so fault-free executions are
+  /// unchanged by the stream split) and the fault stream is forked from it.
   Network(std::size_t n, ChannelOptions options,
           std::unique_ptr<LatencyModel> latency, Rng rng);
 
@@ -64,29 +100,75 @@ class Network {
   [[nodiscard]] const ChannelOptions& options() const { return options_; }
 
   /// Partition control: while a directed pair is severed, messages are
-  /// dropped.  Used by fault-injection tests.
+  /// dropped.  Cuts are counted, not flagged — overlapping partitions
+  /// compose, and a pair stays severed until every cut covering it heals.
   void sever(ProcessId from, ProcessId to);
   void heal(ProcessId from, ProcessId to);
   [[nodiscard]] bool severed(ProcessId from, ProcessId to) const;
 
-  /// Messages dropped so far (by fault injection or loss probability).
-  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+  /// Dynamic per-pair loss/duplication tables.  The ChannelOptions
+  /// probabilities seed every pair at construction.
+  void set_loss(ProcessId from, ProcessId to, double probability);
+  void set_loss_all(double probability);
+  [[nodiscard]] double loss(ProcessId from, ProcessId to) const;
+  void set_duplicate(ProcessId from, ProcessId to, double probability);
+  void set_duplicate_all(double probability);
+  [[nodiscard]] double duplicate(ProcessId from, ProcessId to) const;
+
+  /// Install (or clear, with null) a time-dependent rate source; it must
+  /// outlive the network's use of it.  Scenario::apply installs one over
+  /// its probability windows.
+  void set_rate_override(std::shared_ptr<const RateOverride> override_src) {
+    override_ = std::move(override_src);
+  }
+
+  /// The probability a message planned now would face: the override when
+  /// one is installed and covers the instant, else the table.
+  [[nodiscard]] double effective_loss(ProcessId from, ProcessId to,
+                                      TimePoint now) const;
+  [[nodiscard]] double effective_duplicate(ProcessId from, ProcessId to,
+                                           TimePoint now) const;
+
+  /// Process downtime (crash windows): a down process neither sends nor
+  /// receives; both directions drop.  The runtime additionally consults
+  /// is_down() for messages already in flight at crash time.
+  void set_down(ProcessId p, bool down);
+  [[nodiscard]] bool is_down(ProcessId p) const;
+
+  /// Record a delivery suppressed by the runtime because the receiver was
+  /// down when the message arrived (in-flight at crash time).
+  void count_in_flight_drop() { ++drops_.in_flight; }
+
+  /// Messages dropped so far (fault injection, loss, downtime), total and
+  /// by cause.
+  [[nodiscard]] std::uint64_t dropped_count() const { return drops_.total(); }
+  [[nodiscard]] const DropCounters& drop_counters() const { return drops_; }
 
  private:
   /// Flat index of the directed pair (from, to).
   [[nodiscard]] std::size_t pair(ProcessId from, ProcessId to) const {
     return static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to);
   }
+  void check_pair(ProcessId from, ProcessId to, const char* what) const;
 
   std::size_t n_;
   ChannelOptions options_;
   std::unique_ptr<LatencyModel> latency_;
-  Rng rng_;
+  /// Latency sampling stream: consumed exactly once per plan_delivery.
+  Rng latency_rng_;
+  /// Fault decision stream (loss/duplication draws, duplicate-copy
+  /// latency): isolated so fault knobs never shift latency sampling.
+  Rng fault_rng_;
   /// Last planned delivery time per directed pair (FIFO clamp state),
   /// dense so the per-send lookup is an indexed load, not a tree walk.
   std::vector<TimePoint> last_delivery_;
-  std::vector<std::uint8_t> severed_;
-  std::uint64_t dropped_ = 0;
+  /// Cut count per directed pair (> 0 = severed).
+  std::vector<std::uint32_t> severed_;
+  std::vector<double> loss_;
+  std::vector<double> duplicate_;
+  std::shared_ptr<const RateOverride> override_;
+  std::vector<std::uint8_t> down_;
+  DropCounters drops_;
 };
 
 }  // namespace pardsm

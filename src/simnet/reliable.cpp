@@ -42,14 +42,16 @@ class ReliableTransport::Shim final : public Endpoint {
   void send_app(ProcessId to, std::shared_ptr<const MessageBody> body,
                 MessageMeta meta) {
     auto& out = outgoing_[to];
+    const std::uint64_t seq = ++out.next_seq;
     auto frame = std::make_shared<DataFrame>();
-    frame->seq = ++out.next_seq;
+    frame->seq = seq;
     frame->payload = std::move(body);
     frame->payload_meta = meta;
     frame->wrapped_kind = arq_wrapped(meta.kind);
 
-    out.unacked[frame->seq] = frame;
-    transmit(to, frame);
+    Pending& pending = out.unacked[seq];
+    pending.frame = std::move(frame);
+    transmit(to, pending.frame);
     arm_timer();
   }
 
@@ -113,12 +115,11 @@ class ReliableTransport::Shim final : public Endpoint {
     timer_armed_ = false;
     bool anything_pending = false;
     for (auto& [to, out] : outgoing_) {
-      for (auto& [seq, frame] : out.unacked) {
-        PARDSM_CHECK(++frame_retries_[frame.get()] <=
-                         owner_.options_.max_retransmits,
+      for (auto& [seq, pending] : out.unacked) {
+        PARDSM_CHECK(++pending.retries <= owner_.options_.max_retransmits,
                      "ARQ gave up: frame retransmitted too often");
         ++retransmissions_;
-        transmit(to, frame);
+        transmit(to, pending.frame);
         anything_pending = true;
       }
     }
@@ -137,9 +138,15 @@ class ReliableTransport::Shim final : public Endpoint {
   }
 
  private:
+  /// An unacked frame plus its retransmit count (acking erases both, so
+  /// the counter's lifetime is exactly the frame's).
+  struct Pending {
+    std::shared_ptr<DataFrame> frame;
+    std::uint32_t retries = 0;
+  };
   struct Outgoing {
     std::uint64_t next_seq = 0;
-    std::map<std::uint64_t, std::shared_ptr<DataFrame>> unacked;
+    std::map<std::uint64_t, Pending> unacked;
   };
   struct Incoming {
     std::uint64_t delivered = 0;
@@ -151,7 +158,6 @@ class ReliableTransport::Shim final : public Endpoint {
   ProcessId self_;
   std::map<ProcessId, Outgoing> outgoing_;
   std::map<ProcessId, Incoming> incoming_;
-  std::map<const DataFrame*, std::uint32_t> frame_retries_;
   std::uint64_t retransmissions_ = 0;
   bool timer_armed_ = false;
 };

@@ -31,6 +31,25 @@
 namespace pardsm {
 
 /// Options for the ARQ layer.
+///
+/// Byte-accounting contract (everything lands in the run's NetworkStats —
+/// there is no side ledger, so loss-recovery cost is visible in every
+/// efficiency measurement):
+///
+///   * DATA frame: the wrapped message's own meta plus 16 control bytes
+///     (sequence number + ack piggyback space); `vars_mentioned` passes
+///     through unchanged, so exposure accounting (the paper's x-relevance)
+///     covers ARQ traffic too.
+///   * ACK frame: 24 wire bytes (8 control + 16 header), no variables.
+///   * Retransmission: the full DATA frame is re-charged on every attempt
+///     (on_send fires again), and a duplicated delivery is re-counted by
+///     on_deliver — received <= sent stays invariant under loss only.
+///
+/// Scenario timelines must heal partitions and recover crashes; liveness
+/// then follows because every frame is eventually acknowledged.  The
+/// retransmit timer, not protocol complexity, dominates recovery latency:
+/// a frame lost to a fault window is repaired at the first timer fire
+/// after the window closes (bench_scenarios measures this).
 struct ReliableOptions {
   /// Retransmit timer: unacked frames are re-sent this often.
   Duration retransmit_after = millis(40);

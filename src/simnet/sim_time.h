@@ -47,4 +47,8 @@ constexpr Duration seconds(std::int64_t n) { return Duration{n * 1000000}; }
 /// Simulation epoch.
 inline constexpr TimePoint kTimeZero{};
 
+/// "Never": scenario timelines use it for conditions that hold to the end
+/// of the run (an unhealed partition, a permanent loss rate).
+inline constexpr TimePoint kTimeForever{INT64_MAX};
+
 }  // namespace pardsm

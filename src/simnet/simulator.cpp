@@ -20,9 +20,7 @@ ProcessId Simulator::add_endpoint(Endpoint* ep) {
   return static_cast<ProcessId>(endpoints_.size() - 1);
 }
 
-void Simulator::send(ProcessId from, ProcessId to,
-                     std::shared_ptr<const MessageBody> body,
-                     MessageMeta meta) {
+Network& Simulator::ensure_network() {
   if (!network_frozen_) {
     network_ = std::make_unique<Network>(
         endpoints_.size(), options_.channel,
@@ -31,6 +29,13 @@ void Simulator::send(ProcessId from, ProcessId to,
     stats_.resize(endpoints_.size());
     network_frozen_ = true;
   }
+  return *network_;
+}
+
+void Simulator::send(ProcessId from, ProcessId to,
+                     std::shared_ptr<const MessageBody> body,
+                     MessageMeta meta) {
+  ensure_network();
   PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size(),
                "send: bad destination");
 
@@ -124,6 +129,17 @@ bool Simulator::run_until(TimePoint deadline) {
 }
 
 void Simulator::deliver(Message& m) {
+  // A message in flight toward a process that crashed after the send is
+  // lost with the crash: it never reaches the endpoint (messages already
+  // *sent by* the victim were on the wire and still arrive).
+  if (network_->is_down(m.to)) {
+    network_->count_in_flight_drop();
+    if (trace_.enabled()) {
+      trace_.record({TraceEntry::Type::kDrop, now_, m.from, m.to, m.id,
+                     std::string(m.meta.kind.name())});
+    }
+    return;
+  }
   stats_.on_deliver(m);
   if (trace_.enabled()) {
     trace_.record({TraceEntry::Type::kDeliver, now_, m.from, m.to, m.id,

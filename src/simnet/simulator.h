@@ -67,6 +67,11 @@ class Simulator final : public Transport {
   /// the queue drained (quiescent before the deadline).
   bool run_until(TimePoint deadline);
 
+  /// Materialize the network now (it is otherwise created lazily at the
+  /// first send).  Endpoint registration freezes here.  Scenario timelines
+  /// call this so fault events can be applied before any traffic flows.
+  Network& ensure_network();
+
   // -- Introspection --------------------------------------------------------
   [[nodiscard]] NetworkStats& stats() { return stats_; }
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }

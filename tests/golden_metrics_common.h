@@ -15,6 +15,7 @@
 
 #include "mcs/driver.h"
 #include "sharegraph/topologies.h"
+#include "simnet/scenario.h"
 
 namespace pardsm::golden {
 
@@ -95,6 +96,49 @@ inline std::vector<NamedDist> golden_topologies() {
   out.push_back({"open-chain-5", graph::topo::open_chain(5)});
   out.push_back({"random-8p12v-r3",
                  graph::topo::random_replication(8, 12, 3, 7)});
+  return out;
+}
+
+/// The reduced signature of one canonical *faulty* run: the scenario gate
+/// pins loss-recovery and partition behaviour per protocol the same way
+/// the lossless gate pins message complexity.
+struct ScenarioMetrics {
+  std::uint64_t messages = 0;         ///< total msgs_sent (incl. ARQ+re-sync)
+  std::uint64_t bytes = 0;            ///< total wire bytes sent
+  std::uint64_t retransmissions = 0;  ///< ARQ retransmits
+  std::uint64_t dropped = 0;          ///< channel drops, all causes
+  std::int64_t finished_us = 0;       ///< simulated quiescence time
+};
+
+/// Canonical lossy+partition scenario on ring-6: 1% loss throughout, the
+/// ring split 3|3 from 2ms to 6ms.  Workload: ops_per_process=8,
+/// read_fraction=0.5, seed=42, 1ms think time (so operations overlap the
+/// partition window), sim seed 7.
+inline ScenarioMetrics measure_scenario(mcs::ProtocolKind kind) {
+  const auto dist = graph::topo::ring(6);
+  mcs::WorkloadSpec spec;
+  spec.ops_per_process = 8;
+  spec.read_fraction = 0.5;
+  spec.seed = 42;
+  spec.think_time = millis(1);
+  const auto scripts = mcs::make_random_scripts(dist, spec);
+
+  Scenario scenario("golden-lossy-partition");
+  scenario.set_loss(0.01);
+  scenario.partition({{0, 1, 2}, {3, 4, 5}}, after(millis(2)),
+                     after(millis(6)));
+
+  mcs::RunOptions options;
+  options.sim_seed = 7;
+  const auto r =
+      mcs::run_scenario(kind, dist, scripts, scenario, std::move(options));
+
+  ScenarioMetrics out;
+  out.messages = r.total_traffic.msgs_sent;
+  out.bytes = r.total_traffic.wire_bytes_sent();
+  out.retransmissions = r.retransmissions;
+  out.dropped = r.drops.total();
+  out.finished_us = r.finished_at.us;
   return out;
 }
 

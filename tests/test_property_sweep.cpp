@@ -8,6 +8,11 @@
 //   P3  traffic accounting balances (received <= sent; no phantom bytes);
 //   P4  read provenance resolves exactly;
 //   P5  simulator runs are reproducible bit-for-bit per seed.
+//
+// The FaultySweep suite re-checks P1–P5 with a scenario axis — channel
+// loss, a partition/heal cycle, a crash/recover cycle — with the system
+// routed through ReliableTransport: faults must cost retransmissions and
+// recovery traffic, never consistency, provenance or determinism.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +21,9 @@
 #include "mcs/driver.h"
 #include "sharegraph/hoops.h"
 #include "sharegraph/topologies.h"
+#include "simnet/scenario.h"
+
+#include "scenario_families.h"
 
 namespace pardsm::mcs {
 namespace {
@@ -194,6 +202,113 @@ INSTANTIATE_TEST_SUITE_P(
                                          Topo::kTorus, Topo::kPrefAttach),
                        ::testing::Values(1, 2)),
     sweep_name);
+
+// ------------------------------------------------ fault-aware sweep
+//
+// Same invariants, now with the channel actively hostile.  One topology
+// (two bridged clusters, 6 processes) keeps the suite fast; the scenario
+// axis is where the diversity lives.
+
+using golden::FaultFamily;
+using golden::family_name;
+
+class FaultySweep
+    : public ::testing::TestWithParam<
+          std::tuple<ProtocolKind, FaultFamily, int>> {};
+
+TEST_P(FaultySweep, InvariantsHoldUnderFaults) {
+  const auto [kind, fault, seed] = GetParam();
+  const auto dist = graph::topo::clusters(2, 3, true);
+
+  WorkloadSpec spec;
+  spec.ops_per_process = 5;
+  spec.read_fraction = 0.5;
+  spec.seed = static_cast<std::uint64_t>(seed) * 389 + 3;
+  spec.think_time = millis(1);  // ops overlap the fault windows
+  const auto scripts = make_random_scripts(dist, spec);
+
+  const auto run = [&, kind = kind, fault = fault, seed = seed] {
+    RunOptions options;
+    options.sim_seed = static_cast<std::uint64_t>(seed);
+    options.latency = std::make_unique<UniformLatency>(millis(1), millis(4));
+    return run_scenario(kind, dist, scripts,
+                        golden::make_fault_scenario(fault, 0.05),
+                        std::move(options));
+  };
+  const auto result = run();
+  EXPECT_TRUE(result.used_reliable_transport);
+
+  // P1: weakest-criterion consistency survives the faults.
+  const auto check =
+      hist::check_history(result.history, weakest_criterion(kind));
+  EXPECT_TRUE(check.definitive);
+  EXPECT_TRUE(check.consistent)
+      << to_string(kind) << " under " << family_name(fault) << " seed "
+      << seed << "\n"
+      << result.history.to_string();
+
+  // P2: exposure bounds hold for protocol, ARQ and re-sync traffic alike.
+  const graph::ShareGraph sg(dist);
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    const auto xv = static_cast<VarId>(x);
+    std::set<ProcessId> bound;
+    if (clique_confined(kind)) {
+      const auto clique = sg.clique(xv);
+      bound.insert(clique.begin(), clique.end());
+    } else if (kind == ProtocolKind::kCausalPartialAdHoc) {
+      bound = graph::x_relevant(sg, xv);
+    } else {
+      continue;
+    }
+    for (ProcessId p : result.observed_relevant[x]) {
+      EXPECT_TRUE(bound.count(p))
+          << to_string(kind) << " under " << family_name(fault) << ": x" << x
+          << " metadata reached p" << p;
+    }
+  }
+
+  // P3: accounting sanity (drops mean received <= sent, never the reverse).
+  EXPECT_LE(result.total_traffic.msgs_received,
+            result.total_traffic.msgs_sent);
+  EXPECT_LE(result.total_traffic.control_bytes_received,
+            result.total_traffic.control_bytes_sent);
+
+  // P4: provenance still exact.
+  EXPECT_TRUE(result.history.read_from_resolvable());
+
+  // Fault machinery actually engaged.
+  EXPECT_GT(result.drops.total(), 0u) << family_name(fault);
+  if (fault == FaultFamily::kCrash) {
+    EXPECT_EQ(result.crashes, 1u);
+    EXPECT_GT(result.resync_messages, 0u);
+  }
+
+  // P5: bit-for-bit determinism.
+  const auto again = run();
+  EXPECT_EQ(result.history.to_string(), again.history.to_string());
+  EXPECT_EQ(result.total_traffic.msgs_sent, again.total_traffic.msgs_sent);
+  EXPECT_EQ(result.retransmissions, again.retransmissions);
+}
+
+std::string faulty_name(
+    const ::testing::TestParamInfo<
+        std::tuple<ProtocolKind, FaultFamily, int>>& info) {
+  std::string s = to_string(std::get<0>(info.param));
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s + "_" + family_name(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, FaultySweep,
+    ::testing::Combine(::testing::ValuesIn(all_protocols()),
+                       ::testing::Values(FaultFamily::kLoss,
+                                         FaultFamily::kPartition,
+                                         FaultFamily::kCrash),
+                       ::testing::Values(1, 2)),
+    faulty_name);
 
 // New topology generators: structural sanity.
 TEST(NewTopologies, HypercubeStructure) {
