@@ -1,6 +1,7 @@
 // bench_all — run every bench binary and merge their JSON results.
 //
 //   $ ./bench/bench_all [--quick] [--out BENCH_ALL.json] [--baseline OLD.json]
+//                       [--filter REGEX] [--list]
 //
 // Each bench_* binary understands --quick (skip google-benchmark timings,
 // print the paper artifact and record counters only) and
@@ -9,15 +10,23 @@
 // JSON files into one results document, so the perf trajectory of the
 // repo is a single machine-readable artifact per run.
 //
+// --filter runs only the benches whose name matches REGEX (re-run a
+// single bench without the whole suite); --list prints the bench names
+// and exits.  ci.sh forwards $BENCH_FILTER as --filter.
+//
 // --baseline compares the freshly produced document against an earlier
 // BENCH_ALL.json: rows are matched on (bench, label, protocol,
 // distribution) and the wall_ns speedup is printed per row plus a
-// geometric-mean summary.  The parser is deliberately minimal — it reads
-// the line-oriented format this harness itself emits, not arbitrary JSON.
+// geometric-mean summary, and a guarded "baseline" section is appended
+// to the merged JSON.  Rows whose wall_ns is missing, zero or non-finite
+// in either document are skipped (and counted) rather than turned into
+// inf/NaN speedups.  The parser is deliberately minimal — it reads the
+// line-oriented format this harness itself emits, not arbitrary JSON.
 
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <regex>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,6 +45,7 @@ constexpr std::array kBenches = {
     "bench_fig3_depchain",      "bench_fig456_checkers",
     "bench_fig789_bellman_ford", "bench_theorem1_relevance",
     "bench_theorem2_pram",      "bench_control_overhead",
+    "bench_batching",
     "bench_latency",            "bench_checkers_scaling",
     "bench_oblivious_apps",     "bench_open_question",
     "bench_scenarios",
@@ -76,8 +86,12 @@ double number_field(const std::string& line, const std::string& key) {
 }
 
 /// wall_ns per (bench, label, protocol, distribution) row of a BENCH_ALL
-/// document (rows without a wall_ns measurement are skipped).
-std::map<std::string, double> wall_ns_by_row(const std::string& doc) {
+/// document.  Rows whose wall_ns is missing, zero or non-finite are
+/// counted into `skipped` instead of being kept: a 0/absent measurement
+/// must never become an inf/NaN speedup downstream.
+std::map<std::string, double> wall_ns_by_row(const std::string& doc,
+                                             std::size_t& skipped) {
+  skipped = 0;
   std::map<std::string, double> out;
   std::istringstream in(doc);
   std::string line;
@@ -88,7 +102,10 @@ std::map<std::string, double> wall_ns_by_row(const std::string& doc) {
     const std::string label = string_field(line, "label");
     if (label.empty()) continue;
     const double wall_ns = number_field(line, "wall_ns");
-    if (wall_ns <= 0) continue;
+    if (wall_ns <= 0 || !std::isfinite(wall_ns)) {
+      ++skipped;
+      continue;
+    }
     const std::string key = bench + " | " + label + " | " +
                             string_field(line, "protocol") + " | " +
                             string_field(line, "distribution");
@@ -97,61 +114,126 @@ std::map<std::string, double> wall_ns_by_row(const std::string& doc) {
   return out;
 }
 
-void diff_against_baseline(const std::string& baseline_doc,
-                           const std::string& current_doc) {
-  const auto before = wall_ns_by_row(baseline_doc);
-  const auto after = wall_ns_by_row(current_doc);
+/// Print the per-row speedup table and return a JSON "baseline" object
+/// holding only finite, guarded speedups (empty string when nothing
+/// matched).
+std::string diff_against_baseline(const std::string& baseline_doc,
+                                  const std::string& current_doc) {
+  // Skip counters kept per document: a quick-mode baseline is full of
+  // unmeasured rows that could never match a filtered run — lumping them
+  // together would make the current run's coverage look artificially low.
+  std::size_t skipped_baseline = 0;
+  std::size_t skipped_current = 0;
+  const auto before = wall_ns_by_row(baseline_doc, skipped_baseline);
+  const auto after = wall_ns_by_row(current_doc, skipped_current);
   std::printf("\n%-72s %12s %12s %8s\n", "row (bench | label | protocol | dist)",
               "old ns", "new ns", "speedup");
+  std::ostringstream rows;
   double log_sum = 0;
   std::size_t matched = 0;
   for (const auto& [key, new_ns] : after) {
     const auto it = before.find(key);
     if (it == before.end()) continue;
+    // Both maps only hold finite wall_ns > 0, so the ratio is always a
+    // finite, positive speedup.
     const double speedup = it->second / new_ns;
     std::printf("%-72s %12.0f %12.0f %7.2fx\n", key.c_str(), it->second,
                 new_ns, speedup);
+    if (matched != 0) rows << ",\n";
+    rows << "      {\"row\": \"" << key << "\", \"old_ns\": " << it->second
+         << ", \"new_ns\": " << new_ns << ", \"speedup\": " << speedup
+         << "}";
     log_sum += std::log(speedup);
     ++matched;
   }
   if (matched == 0) {
-    std::cout << "[bench_all] baseline: no matching wall_ns rows\n";
-    return;
+    std::printf("[bench_all] baseline: no matching wall_ns rows "
+                "(%zu current / %zu baseline rows unmeasured)\n",
+                skipped_current, skipped_baseline);
+    return {};
   }
-  std::printf("[bench_all] baseline: %zu rows matched, geomean speedup %.2fx\n",
-              matched, std::exp(log_sum / static_cast<double>(matched)));
+  const double geomean = std::exp(log_sum / static_cast<double>(matched));
+  std::printf("[bench_all] baseline: %zu rows matched, geomean speedup "
+              "%.2fx (%zu current / %zu baseline rows unmeasured, "
+              "skipped)\n",
+              matched, geomean, skipped_current, skipped_baseline);
+  std::ostringstream os;
+  os << "  \"baseline\": {\n    \"matched\": " << matched
+     << ",\n    \"skipped_unmeasured_current\": " << skipped_current
+     << ",\n    \"skipped_unmeasured_baseline\": " << skipped_baseline
+     << ",\n    \"geomean_speedup\": " << geomean
+     << ",\n    \"rows\": [\n" << rows.str() << "\n    ]\n  },\n";
+  return os.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool list = false;
+  bool out_explicit = false;
   std::string out = "BENCH_ALL.json";
   std::string baseline;
+  std::string filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--list") {
+      list = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
+      out_explicit = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
+      out_explicit = true;
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline = arg.substr(11);
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline = argv[++i];
+    } else if (arg.rfind("--filter=", 0) == 0) {
+      filter = arg.substr(9);
+    } else if (arg == "--filter" && i + 1 < argc) {
+      filter = argv[++i];
     } else {
       std::cerr << "usage: bench_all [--quick] [--out BENCH_ALL.json] "
-                   "[--baseline OLD.json]\n";
+                   "[--baseline OLD.json] [--filter REGEX] [--list]\n";
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const char* name : kBenches) std::cout << name << '\n';
+    return 0;
+  }
+
+  // A filtered run holds a subset of the rows: never clobber the default
+  // full merged document with it unless the caller chose the path.
+  if (!filter.empty() && !out_explicit) {
+    out = "BENCH_FILTERED.json";
+    std::cout << "[bench_all] --filter active: writing " << out
+              << " (pass --out to override)\n";
+  }
+
+  std::regex filter_re;
+  if (!filter.empty()) {
+    try {
+      filter_re = std::regex(filter);
+    } catch (const std::regex_error& e) {
+      std::cerr << "bench_all: bad --filter regex '" << filter
+                << "': " << e.what() << '\n';
       return 2;
     }
   }
 
   const std::string dir = self_dir();
   std::vector<std::string> merged;
+  std::size_t selected = 0;
   int failures = 0;
 
   for (const char* name : kBenches) {
+    if (!filter.empty() && !std::regex_search(name, filter_re)) continue;
+    ++selected;
     const std::string json = "BENCH_" + std::string(name).substr(6) + ".json";
     std::string cmd = dir + "/" + name + " --json=" + json;
     if (quick) cmd += " --quick";
@@ -173,30 +255,41 @@ int main(int argc, char** argv) {
     merged.push_back(body);
   }
 
-  std::ostringstream doc;
-  doc << "{\n  \"schema\": \"pardsm-bench-v2\",\n  \"quick\": "
-      << (quick ? "true" : "false") << ",\n  \"benches\": [\n";
-  for (std::size_t i = 0; i < merged.size(); ++i) {
-    doc << merged[i];
-    if (i + 1 < merged.size()) doc << ",";
-    doc << "\n";
+  if (selected == 0) {
+    std::cerr << "bench_all: --filter '" << filter
+              << "' matched no benches (try --list)\n";
+    return 2;
   }
-  doc << "  ]\n}\n";
 
-  std::ofstream os(out);
-  os << doc.str();
-  os.close();
+  std::ostringstream benches_json;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    benches_json << merged[i];
+    if (i + 1 < merged.size()) benches_json << ",";
+    benches_json << "\n";
+  }
 
-  std::cout << "[bench_all] wrote " << out << " (" << merged.size() << "/"
-            << kBenches.size() << " benches)\n";
-
+  // The guarded baseline diff runs before the write so its (finite-only)
+  // speedup rows land inside the merged document.
+  std::string baseline_json;
   if (!baseline.empty()) {
     const std::string baseline_doc = read_file(baseline);
     if (baseline_doc.empty()) {
       std::cerr << "[bench_all] cannot read baseline " << baseline << '\n';
       return 1;
     }
-    diff_against_baseline(baseline_doc, doc.str());
+    baseline_json = diff_against_baseline(baseline_doc, benches_json.str());
   }
+
+  std::ostringstream doc;
+  doc << "{\n  \"schema\": \"pardsm-bench-v2\",\n  \"quick\": "
+      << (quick ? "true" : "false") << ",\n" << baseline_json
+      << "  \"benches\": [\n" << benches_json.str() << "  ]\n}\n";
+
+  std::ofstream os(out);
+  os << doc.str();
+  os.close();
+
+  std::cout << "[bench_all] wrote " << out << " (" << merged.size() << "/"
+            << selected << " selected benches)\n";
   return failures == 0 ? 0 : 1;
 }

@@ -7,6 +7,10 @@
 #                        # ARQ retransmit path and crash/recovery teardown
 #                        # are exactly where lifetime bugs hide
 #   BUILD_DIR=out ./ci.sh
+#   BENCH_FILTER=batching ./ci.sh   # only benches matching the regex
+#
+# ccache is picked up automatically when installed (CI caches its
+# directory, so the ASan job stops rebuilding the world on every push).
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -18,14 +22,21 @@ else
 fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+CMAKE_EXTRA=()
+if command -v ccache >/dev/null 2>&1; then
+  CMAKE_EXTRA+=(-DCMAKE_C_COMPILER_LAUNCHER=ccache
+                -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 echo "== configure =="
 if [ "$SANITIZE" != "0" ]; then
   # Benches are skipped: google-benchmark timings under ASan measure the
   # sanitizer, not the engine.  The full ctest suite (golden gates,
   # property sweeps, scenario faults) runs instrumented.
-  cmake -B "$BUILD_DIR" -S . -DPARDSM_SANITIZE=ON -DPARDSM_BUILD_BENCHES=OFF
+  cmake -B "$BUILD_DIR" -S . -DPARDSM_SANITIZE=ON -DPARDSM_BUILD_BENCHES=OFF \
+        "${CMAKE_EXTRA[@]}"
 else
-  cmake -B "$BUILD_DIR" -S .
+  cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 fi
 
 echo "== build =="
@@ -40,16 +51,26 @@ if [ "$SANITIZE" != "0" ]; then
 fi
 
 echo "== bench (quick) =="
-(cd "$BUILD_DIR" && ./bench/bench_all --quick --out BENCH_ALL.json)
-python3 - "$BUILD_DIR/BENCH_ALL.json" <<'EOF'
+# A filtered sweep must not clobber the full merged document: keep the
+# subset in BENCH_FILTERED.json (bench_all's own default for --filter).
+BENCH_OUT=BENCH_ALL.json
+BENCH_ARGS=(--quick)
+if [ -n "${BENCH_FILTER:-}" ]; then
+  BENCH_OUT=BENCH_FILTERED.json
+  BENCH_ARGS+=(--filter "$BENCH_FILTER")
+fi
+BENCH_ARGS+=(--out "$BENCH_OUT")
+(cd "$BUILD_DIR" && ./bench/bench_all "${BENCH_ARGS[@]}")
+python3 - "$BUILD_DIR/$BENCH_OUT" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rows = sum(len(b["results"]) for b in doc["benches"])
 assert doc["schema"] == "pardsm-bench-v2" and doc["benches"], doc.keys()
 timed = [r for b in doc["benches"] for r in b["results"] if r.get("wall_ns", 0) > 0]
 total_ms = sum(r["wall_ns"] for r in timed) / 1e6
-print(f"BENCH_ALL.json ok: {len(doc['benches'])} benches, {rows} result rows, "
-      f"{len(timed)} timed rows ({total_ms:.1f} ms wall)")
+import os
+print(f"{os.path.basename(sys.argv[1])} ok: {len(doc['benches'])} benches, "
+      f"{rows} result rows, {len(timed)} timed rows ({total_ms:.1f} ms wall)")
 EOF
 
 echo "== done =="

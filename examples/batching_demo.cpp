@@ -1,0 +1,100 @@
+// batching_demo — the two orthogonal savings axes, side by side.
+//
+// The paper's axis: partial replication confines update traffic to C(x),
+// so the causal-partial protocol sends a fraction of causal-full's
+// messages (on hoop-free topologies, exposure shrinks to C(x) too).
+// The batching axis: a coalescing window piggybacks the updates that
+// remain, amortizing the per-message header across a frame.  This demo
+// runs both protocols on an open chain (hoop-free: partial replication
+// at its best) and prints the message/byte reduction each axis buys —
+// and what the two compose to.
+//
+//   $ ./examples/batching_demo
+
+#include <cstdio>
+
+#include "mcs/driver.h"
+#include "sharegraph/topologies.h"
+
+using namespace pardsm;
+using namespace pardsm::mcs;
+
+namespace {
+
+struct Cell {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  double finish_ms = 0.0;
+};
+
+Cell run_cell(ProtocolKind kind, const graph::Distribution& dist,
+              const std::vector<Script>& scripts, std::int64_t window_us) {
+  EngineConfig config;
+  config.protocol = kind;
+  config.distribution = &dist;
+  config.scripts = &scripts;
+  config.reliability = ReliabilityMode::kNever;
+  config.batching.window = micros(window_us);
+  const auto r = run(std::move(config));
+  return {r.total_traffic.msgs_sent, r.total_traffic.wire_bytes_sent(),
+          static_cast<double>(r.finished_at.us) / 1000.0};
+}
+
+double saved_pct(std::uint64_t from, std::uint64_t to) {
+  return from == 0 ? 0.0
+                   : 100.0 * (1.0 - static_cast<double>(to) /
+                                        static_cast<double>(from));
+}
+
+}  // namespace
+
+int main() {
+  const auto dist = graph::topo::open_chain(6);
+  WorkloadSpec spec;
+  spec.ops_per_process = 16;
+  spec.read_fraction = 0.5;
+  spec.seed = 42;
+  spec.think_time = micros(500);
+  const auto scripts = make_random_scripts(dist, spec);
+
+  const Cell full = run_cell(ProtocolKind::kCausalFull, dist, scripts, 0);
+  const Cell partial =
+      run_cell(ProtocolKind::kCausalPartialAdHoc, dist, scripts, 0);
+  const Cell batched =
+      run_cell(ProtocolKind::kCausalPartialAdHoc, dist, scripts, 5000);
+
+  std::printf("open-chain-6, 16 ops/process, 500us think time\n\n");
+  std::printf("%-42s %8s %10s %10s\n", "configuration", "msgs", "bytes",
+              "finish-ms");
+  std::printf("%-42s %8llu %10llu %10.1f\n", "causal-full (full replication)",
+              static_cast<unsigned long long>(full.msgs),
+              static_cast<unsigned long long>(full.bytes), full.finish_ms);
+  std::printf("%-42s %8llu %10llu %10.1f\n",
+              "causal-partial (window 0)",
+              static_cast<unsigned long long>(partial.msgs),
+              static_cast<unsigned long long>(partial.bytes),
+              partial.finish_ms);
+  std::printf("%-42s %8llu %10llu %10.1f\n",
+              "causal-partial (window 5ms)",
+              static_cast<unsigned long long>(batched.msgs),
+              static_cast<unsigned long long>(batched.bytes),
+              batched.finish_ms);
+
+  std::printf("\npartial vs full (the paper's saving):   %5.1f%% fewer "
+              "messages, %5.1f%% fewer bytes\n",
+              saved_pct(full.msgs, partial.msgs),
+              saved_pct(full.bytes, partial.bytes));
+  std::printf("batching on top (5ms window):           %5.1f%% fewer "
+              "messages, %5.1f%% fewer bytes\n",
+              saved_pct(partial.msgs, batched.msgs),
+              saved_pct(partial.bytes, batched.bytes));
+  std::printf("combined vs causal-full:                %5.1f%% fewer "
+              "messages, %5.1f%% fewer bytes\n",
+              saved_pct(full.msgs, batched.msgs),
+              saved_pct(full.bytes, batched.bytes));
+  std::printf("\n(ops are wait-free on both protocols — the window delays "
+              "only background propagation;\n quiescence moves from %.1f to "
+              "%.1f ms)\n",
+              partial.finish_ms, batched.finish_ms);
+  return 0;
+}

@@ -75,7 +75,7 @@ void AtomicHomeProcess::read(VarId x, ReadCallback done) {
   meta.kind = kReadReqKind;
   meta.control_bytes = 8 + 8;
   meta.vars_mentioned = {x};
-  transport().send(id(), home, std::move(body), meta);
+  emit_to(home, std::move(body), std::move(meta), /*urgent=*/true);
 }
 
 void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
@@ -92,14 +92,16 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
     refresh->x = x;
     refresh->v = v;
     refresh->id = wid;
-    MessageMeta meta;
-    meta.kind = kRefreshKind;
-    meta.control_bytes = 16 + 8;
-    meta.payload_bytes = 8;
-    meta.vars_mentioned = {x};
+    SendPlan plan;
+    plan.body = std::move(refresh);
+    plan.meta.kind = kRefreshKind;
+    plan.meta.control_bytes = 16 + 8;
+    plan.meta.payload_bytes = 8;
+    plan.meta.vars_mentioned = {x};
     for (ProcessId q : replicas_of(x)) {
-      if (q != id()) transport().send(id(), q, refresh, meta);
+      if (q != id()) plan.to.push_back(q);
     }
+    emit(std::move(plan));
     done();
     return;
   }
@@ -123,7 +125,7 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  transport().send(id(), home, std::move(body), meta);
+  emit_to(home, std::move(body), std::move(meta), /*urgent=*/true);
 }
 
 void AtomicHomeProcess::handle_message(const Message& m) {
@@ -140,7 +142,7 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     meta.control_bytes = 16 + 8 + 8;
     meta.payload_bytes = 8;
     meta.vars_mentioned = {rr->x};
-    transport().send(id(), m.from, std::move(reply), meta);
+    emit_to(m.from, std::move(reply), std::move(meta), /*urgent=*/true);
     return;
   }
   if (const auto* reply = m.as<ReadReply>()) {
@@ -166,14 +168,16 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     refresh->x = wr->x;
     refresh->v = wr->v;
     refresh->id = wr->id;
-    MessageMeta rmeta;
-    rmeta.kind = kRefreshKind;
-    rmeta.control_bytes = 16 + 8;
-    rmeta.payload_bytes = 8;
-    rmeta.vars_mentioned = {wr->x};
+    SendPlan rplan;
+    rplan.body = std::move(refresh);
+    rplan.meta.kind = kRefreshKind;
+    rplan.meta.control_bytes = 16 + 8;
+    rplan.meta.payload_bytes = 8;
+    rplan.meta.vars_mentioned = {wr->x};
     for (ProcessId q : replicas_of(wr->x)) {
-      if (q != id() && q != m.from) transport().send(id(), q, refresh, rmeta);
+      if (q != id() && q != m.from) rplan.to.push_back(q);
     }
+    emit(std::move(rplan));
     auto ack = std::make_shared<WriteAck>();
     ack->x = wr->x;
     ack->rpc = wr->rpc;
@@ -181,7 +185,7 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     meta.kind = kWriteAckKind;
     meta.control_bytes = 8 + 8;
     meta.vars_mentioned = {wr->x};
-    transport().send(id(), m.from, std::move(ack), meta);
+    emit_to(m.from, std::move(ack), std::move(meta), /*urgent=*/true);
     return;
   }
   if (const auto* ack = m.as<WriteAck>()) {

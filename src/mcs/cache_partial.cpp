@@ -63,7 +63,7 @@ void CachePartialProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8 + 8 + 16 * priors.size();
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  transport().send(id(), home_of(x), std::move(body), meta);
+  emit_to(home_of(x), std::move(body), std::move(meta), /*urgent=*/true);
 }
 
 std::map<ProcessId, std::int64_t> CachePartialProcess::prior_counts_for(
@@ -94,10 +94,15 @@ void CachePartialProcess::sequence(
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
 
+  // Urgent: the requester's write completes only when its commit lands.
+  SendPlan plan;
+  plan.body = body;
+  plan.meta = meta;
+  plan.urgent = true;
   for (ProcessId q : replicas_of(x)) {
-    if (q == id()) continue;
-    transport().send(id(), q, body, meta);
+    if (q != id()) plan.to.push_back(q);
   }
+  emit(std::move(plan));
   // Home-local copy of the commit.
   Message self_msg;
   self_msg.from = id();

@@ -55,17 +55,17 @@ void CausalFullProcess::write(VarId x, Value v, WriteCallback done) {
   body->id = wid;
   body->vc = vc_;
 
-  MessageMeta meta;
-  meta.kind = kUpdateKind;
-  meta.control_bytes = vc_.wire_bytes() + 16 /*write id*/ + 8 /*var*/;
-  meta.payload_bytes = 8;
-  meta.vars_mentioned = {x};
-
+  SendPlan plan;
+  plan.body = std::move(body);
+  plan.meta.kind = kUpdateKind;
+  plan.meta.control_bytes = vc_.wire_bytes() + 16 /*write id*/ + 8 /*var*/;
+  plan.meta.payload_bytes = 8;
+  plan.meta.vars_mentioned = {x};
   const auto n = static_cast<ProcessId>(transport().process_count());
   for (ProcessId q = 0; q < n; ++q) {
-    if (q == id()) continue;
-    transport().send(id(), q, body, meta);
+    if (q != id()) plan.to.push_back(q);
   }
+  emit(std::move(plan));
   done();
 }
 

@@ -118,7 +118,9 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
     meta.payload_bytes = body->has_value ? 8 : 0;
     meta.vars_mentioned = {x};
 
-    transport().send(id(), q, std::move(body), meta);
+    // Control bytes are restricted per recipient, so each gets its own
+    // single-destination plan (in the pre-seam ascending order).
+    emit_to(q, std::move(body), std::move(meta));
   }
   own[static_cast<std::size_t>(id())] = var_seq;
   done();

@@ -62,13 +62,16 @@ void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
   not_meta.kind = kNotifyKind;
   not_meta.payload_bytes = 0;
 
+  // Per-recipient metadata (update vs notify) splits the round into
+  // single-destination plans, emitted in ascending-q order — the exact
+  // send order (and hence channel RNG draw order) of the pre-seam loop.
   const auto n = static_cast<ProcessId>(transport().process_count());
   for (ProcessId q = 0; q < n; ++q) {
     if (q == id()) continue;
     if (clique_holds(q, x)) {
-      transport().send(id(), q, update, upd_meta);
+      emit_to(q, update, upd_meta);
     } else {
-      transport().send(id(), q, notify, not_meta);
+      emit_to(q, notify, not_meta);
     }
   }
   done();

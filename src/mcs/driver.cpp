@@ -1,58 +1,8 @@
 #include "mcs/driver.h"
 
 #include "simnet/rng.h"
-#include "simnet/thread_runtime.h"
 
 namespace pardsm::mcs {
-
-ScriptedClient::ScriptedClient(McsProcess& process, Simulator& sim,
-                               Script script)
-    : process_(process), sim_(sim), script_(std::move(script)) {}
-
-void ScriptedClient::start(TimePoint start) {
-  if (script_.empty()) return;
-  sim_.schedule_at(start + script_.front().delay, [this] { issue(); });
-}
-
-void ScriptedClient::resume(TimePoint at) {
-  if (!stalled_) return;
-  PARDSM_CHECK(!process_.crashed(), "resume while the process is still down");
-  stalled_ = false;
-  sim_.schedule_at(at, [this] { issue(); });
-}
-
-void ScriptedClient::issue() {
-  PARDSM_CHECK(next_ < script_.size(), "issue past end of script");
-  if (process_.crashed()) {
-    // The application fails with its process: hold this operation (and the
-    // client's place in the script) until the recovery hook resumes us.
-    stalled_ = true;
-    return;
-  }
-  const ScriptOp& op = script_[next_];
-  ++next_;
-
-  const auto continue_after = [this] {
-    if (next_ >= script_.size()) return;
-    const Duration delay = script_[next_].delay;
-    if (delay.us == 0) {
-      // Schedule at the current instant to keep the event loop in control
-      // (still after any messages the completed op just enqueued at t).
-      sim_.schedule_at(sim_.now(), [this] { issue(); });
-    } else {
-      sim_.schedule_at(sim_.now() + delay, [this] { issue(); });
-    }
-  };
-
-  if (op.kind == ScriptOp::Kind::kRead) {
-    process_.read(op.var, [this, continue_after](Value v) {
-      reads_.push_back(v);
-      continue_after();
-    });
-  } else {
-    process_.write(op.var, op.value, continue_after);
-  }
-}
 
 std::vector<Script> make_random_scripts(const graph::Distribution& dist,
                                         const WorkloadSpec& spec) {
@@ -108,44 +58,29 @@ std::vector<Script> make_single_writer_scripts(const graph::Distribution& dist,
 
 namespace {
 
-/// Per-process replica contents at quiescence (P6 compares them across
-/// fault scenarios).
-std::vector<std::vector<ReplicaEntry>> snapshot_replicas(
-    const std::vector<std::unique_ptr<McsProcess>>& processes) {
-  std::vector<std::vector<ReplicaEntry>> out;
-  out.reserve(processes.size());
-  for (const auto& proc : processes) {
-    std::vector<ReplicaEntry> mine;
-    for (VarId x : proc->store().vars()) {
-      const Stored& s = proc->store().get(x);
-      mine.push_back({x, s.value, s.source});
-    }
-    out.push_back(std::move(mine));
-  }
-  return out;
+/// The shared slice of all three wrappers.
+EngineConfig base_config(ProtocolKind kind, const graph::Distribution& dist,
+                         const std::vector<Script>& scripts,
+                         RunOptions&& options) {
+  EngineConfig config;
+  config.protocol = kind;
+  config.distribution = &dist;
+  config.scripts = &scripts;
+  config.sim_seed = options.sim_seed;
+  config.channel = options.channel;
+  config.latency = std::move(options.latency);
+  config.reliable = options.reliable;
+  return config;
 }
-
-}  // namespace
-
-namespace {
-
-ScenarioRunResult run_impl(ProtocolKind kind, const graph::Distribution& dist,
-                           const std::vector<Script>& scripts,
-                           const Scenario& scenario, RunOptions options,
-                           bool reliable);
 
 }  // namespace
 
 RunResult run_workload(ProtocolKind kind, const graph::Distribution& dist,
                        const std::vector<Script>& scripts,
                        RunOptions options) {
-  // One engine, two entry points: a plain workload is a scenario with an
-  // empty fault timeline (tests pin that the two paths are bit-identical).
-  // Deliberately raw even when the caller's ChannelOptions drop or
-  // duplicate: the fault-injection tests exercise protocol *safety* on an
-  // unrepaired channel, where lost completions are expected behaviour.
-  ScenarioRunResult r = run_impl(kind, dist, scripts, Scenario("lossless"),
-                                 std::move(options), /*reliable=*/false);
+  EngineConfig config = base_config(kind, dist, scripts, std::move(options));
+  config.reliability = ReliabilityMode::kNever;
+  ScenarioRunResult r = run(std::move(config));
   return static_cast<RunResult&&>(std::move(r));  // move-slice, no copy
 }
 
@@ -153,190 +88,27 @@ ScenarioRunResult run_scenario(ProtocolKind kind,
                                const graph::Distribution& dist,
                                const std::vector<Script>& scripts,
                                const Scenario& scenario, RunOptions options) {
+  EngineConfig config = base_config(kind, dist, scripts, std::move(options));
   // Any loss source — the timeline's or the ChannelOptions the caller
   // seeded the channel with — needs the ARQ layer for liveness.
-  const bool reliable = scenario.faulty() ||
-                        options.channel.drop_probability > 0.0 ||
-                        options.channel.duplicate_probability > 0.0;
-  return run_impl(kind, dist, scripts, scenario, std::move(options),
-                  reliable);
+  config.reliability = ReliabilityMode::kAuto;
+  config.scenario = &scenario;
+  return run(std::move(config));
 }
-
-namespace {
-
-ScenarioRunResult run_impl(ProtocolKind kind, const graph::Distribution& dist,
-                           const std::vector<Script>& scripts,
-                           const Scenario& scenario, RunOptions options,
-                           const bool reliable) {
-  PARDSM_CHECK(scripts.size() == dist.process_count(),
-               "one script per process required");
-
-  SimOptions sim_options;
-  sim_options.seed = options.sim_seed;
-  sim_options.channel = options.channel;
-  sim_options.latency = std::move(options.latency);
-  Simulator sim(std::move(sim_options));
-
-  // Faulty runs go through the ARQ layer: the protocols assume reliable
-  // FIFO channels for liveness, and recovery traffic must be charged to
-  // the same ledger as everything else.
-  std::optional<ReliableTransport> rel;
-  if (reliable) rel.emplace(sim, options.reliable);
-
-  HistoryRecorder recorder(dist.process_count(), dist.var_count);
-  auto processes = make_processes(kind, dist, recorder);
-  for (auto& proc : processes) {
-    const ProcessId assigned = reliable ? rel->add_endpoint(proc.get())
-                                        : sim.add_endpoint(proc.get());
-    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
-    proc->attach(reliable ? static_cast<Transport&>(*rel) : sim);
-  }
-
-  std::vector<std::unique_ptr<ScriptedClient>> clients;
-  clients.reserve(processes.size());
-  for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(
-        std::make_unique<ScriptedClient>(*processes[p], sim, scripts[p]));
-  }
-
-  // Apply the timeline before any client op is scheduled: events at t<=0
-  // take effect immediately, so a scenario that starts lossy is lossy for
-  // the very first message.
-  sim.ensure_network();
-  ScenarioHooks hooks;
-  hooks.on_crash = [&processes](ProcessId p, TimePoint) {
-    processes[static_cast<std::size_t>(p)]->crash();
-  };
-  hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
-    processes[static_cast<std::size_t>(p)]->recover();
-    clients[static_cast<std::size_t>(p)]->resume(at);
-  };
-  scenario.apply(sim, hooks);
-
-  for (auto& client : clients) client->start(kTimeZero);
-  sim.run();
-
-  for (const auto& client : clients) {
-    PARDSM_CHECK(client->done(),
-                 "run quiesced before a client finished its script — stuck "
-                 "protocol, unhealed fault or lost completion");
-  }
-
-  ScenarioRunResult result;
-  result.history = recorder.take_history();
-  result.total_traffic = sim.stats().total();
-  result.per_process_traffic = sim.stats().per_process_snapshot();
-  for (const auto& proc : processes) {
-    result.protocol_stats.push_back(proc->stats());
-  }
-  result.observed_relevant = sim.stats().exposure_sets(dist.var_count);
-  result.final_replicas = snapshot_replicas(processes);
-  result.finished_at = sim.now();
-  result.events = sim.events_fired();
-
-  result.used_reliable_transport = reliable;
-  result.retransmissions = rel ? rel->retransmissions() : 0;
-  result.drops = sim.network().drop_counters();
-  for (const auto& proc : processes) {
-    const RecoveryStats& r = proc->recovery_stats();
-    result.crashes += r.crashes;
-    result.resync_messages +=
-        r.resync_requests_sent + r.resync_responses_served;
-    result.resync_bytes += r.resync_bytes;
-    result.resync_values_applied += r.resync_values_applied;
-    result.max_recovery_latency =
-        std::max(result.max_recovery_latency, proc->max_recovery_latency());
-  }
-  return result;
-}
-
-}  // namespace
-
-namespace {
-
-/// Self-driving client for the thread runtime: each completion issues the
-/// next operation, always on the owning process's thread.
-class ThreadedClient {
- public:
-  ThreadedClient(McsProcess& process, Script script)
-      : process_(process), script_(std::move(script)) {}
-
-  /// Runs on the owner thread (via ThreadRuntime::post) and re-enters from
-  /// completion callbacks, which also fire on the owner thread.
-  void issue() {
-    if (next_ >= script_.size()) {
-      done_ = true;
-      return;
-    }
-    const ScriptOp& op = script_[next_];
-    ++next_;
-    if (op.kind == ScriptOp::Kind::kRead) {
-      process_.read(op.var, [this](Value v) {
-        reads_.push_back(v);
-        issue();
-      });
-    } else {
-      process_.write(op.var, op.value, [this] { issue(); });
-    }
-  }
-
-  [[nodiscard]] bool done() const { return done_ || script_.empty(); }
-
- private:
-  McsProcess& process_;
-  Script script_;
-  std::size_t next_ = 0;
-  std::vector<Value> reads_;
-  bool done_ = false;
-};
-
-}  // namespace
 
 RunResult run_workload_threaded(ProtocolKind kind,
                                 const graph::Distribution& dist,
                                 const std::vector<Script>& scripts,
                                 std::chrono::milliseconds quiesce_timeout) {
-  PARDSM_CHECK(scripts.size() == dist.process_count(),
-               "one script per process required");
-
-  ThreadRuntime rt;
-  HistoryRecorder recorder(dist.process_count(), dist.var_count);
-  auto processes = make_processes(kind, dist, recorder);
-  for (auto& proc : processes) {
-    const ProcessId assigned = rt.add_endpoint(proc.get());
-    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
-    proc->attach(rt);
-  }
-
-  std::vector<std::unique_ptr<ThreadedClient>> clients;
-  for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(
-        std::make_unique<ThreadedClient>(*processes[p], scripts[p]));
-  }
-
-  rt.start();
-  for (std::size_t p = 0; p < clients.size(); ++p) {
-    rt.post(static_cast<ProcessId>(p),
-            [client = clients[p].get()] { client->issue(); });
-  }
-  const bool quiet = rt.await_quiescence(quiesce_timeout);
-  PARDSM_CHECK(quiet, "thread runtime failed to quiesce — protocol stuck?");
-  rt.stop();
-
-  for (const auto& client : clients) {
-    PARDSM_CHECK(client->done(), "threaded client did not finish its script");
-  }
-
-  RunResult result;
-  result.history = recorder.take_history();
-  result.total_traffic = rt.stats().total();
-  result.per_process_traffic = rt.stats().per_process_snapshot();
-  for (const auto& proc : processes) {
-    result.protocol_stats.push_back(proc->stats());
-  }
-  result.observed_relevant = rt.stats().exposure_sets(dist.var_count);
-  result.final_replicas = snapshot_replicas(processes);
-  return result;
+  EngineConfig config;
+  config.protocol = kind;
+  config.distribution = &dist;
+  config.scripts = &scripts;
+  config.runtime = EngineRuntime::kThreads;
+  config.reliability = ReliabilityMode::kNever;
+  config.quiesce_timeout = quiesce_timeout;
+  ScenarioRunResult r = run(std::move(config));
+  return static_cast<RunResult&&>(std::move(r));
 }
 
 }  // namespace pardsm::mcs

@@ -1,79 +1,16 @@
-// Workload drivers: scripted clients and complete system runs.
+// Workload drivers: the classic entry points over the unified engine.
 //
-// A ScriptedClient executes a fixed sequence of operations through one
-// McsProcess, issuing the next operation when the previous completes
-// (program order).  run_workload() wires distribution + protocol + script
-// into a Simulator, runs to quiescence and returns the recorded history
-// with all traffic statistics — the workhorse of the property tests and
-// most benches.
+// Script generation (make_random_scripts / make_single_writer_scripts)
+// plus the three historical run functions.  All three are thin wrappers
+// over mcs::run (engine.h) — they fill in an EngineConfig and forward, so
+// every bench, test and example executes through the same code path.
+// Benches that sweep transport parameters (batching windows, stacking
+// order) build an EngineConfig themselves.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "mcs/factory.h"
-#include "simnet/reliable.h"
-#include "simnet/scenario.h"
-#include "simnet/simulator.h"
+#include "mcs/engine.h"
 
 namespace pardsm::mcs {
-
-/// One scripted operation.
-struct ScriptOp {
-  enum class Kind : std::uint8_t { kRead, kWrite };
-  Kind kind = Kind::kRead;
-  VarId var = kNoVar;
-  Value value = kBottom;  ///< written value (writes only)
-  /// Delay before issuing this operation (think time).
-  Duration delay{};
-
-  static ScriptOp read(VarId x, Duration delay = {}) {
-    return {Kind::kRead, x, kBottom, delay};
-  }
-  static ScriptOp write(VarId x, Value v, Duration delay = {}) {
-    return {Kind::kWrite, x, v, delay};
-  }
-};
-
-/// A per-process operation script.
-using Script = std::vector<ScriptOp>;
-
-/// Drives one McsProcess through its script (simulator runtime).
-///
-/// Crash-aware: the application is co-located with its MCS process, so
-/// while the process is down the client neither issues operations (an
-/// issue attempt stalls) nor loses its place in the script.  The scenario
-/// driver calls resume() from the recovery hook; an operation that was
-/// in flight at crash time simply completes late — its response is
-/// retransmitted by the ARQ layer — and the script continues from there.
-class ScriptedClient {
- public:
-  ScriptedClient(McsProcess& process, Simulator& sim, Script script);
-
-  /// Schedule the first operation at `start`.
-  void start(TimePoint start);
-
-  /// Re-issue the stalled operation after the process recovered (no-op if
-  /// the client was not stalled).
-  void resume(TimePoint at);
-
-  [[nodiscard]] bool done() const { return next_ >= script_.size(); }
-  [[nodiscard]] bool stalled() const { return stalled_; }
-  [[nodiscard]] const std::vector<Value>& read_results() const {
-    return reads_;
-  }
-
- private:
-  void issue();
-
-  McsProcess& process_;
-  Simulator& sim_;
-  Script script_;
-  std::size_t next_ = 0;
-  std::vector<Value> reads_;
-  bool stalled_ = false;
-};
 
 /// Workload generation parameters.
 struct WorkloadSpec {
@@ -96,64 +33,25 @@ struct WorkloadSpec {
 [[nodiscard]] std::vector<Script> make_single_writer_scripts(
     const graph::Distribution& dist, const WorkloadSpec& spec);
 
-/// Final (value, provenance) copy of one replicated variable.
-struct ReplicaEntry {
-  VarId x = kNoVar;
-  Value value = kBottom;
-  WriteId source{};
-
-  friend bool operator==(const ReplicaEntry&, const ReplicaEntry&) = default;
-};
-
-/// Result of a full system run.
-struct RunResult {
-  hist::History history;
-  ProcessTraffic total_traffic;
-  std::vector<ProcessTraffic> per_process_traffic;
-  /// observed_relevant[x] = processes that received metadata about x.
-  std::vector<std::set<ProcessId>> observed_relevant;
-  std::vector<ProtocolStats> protocol_stats;
-  /// Per-process replica contents at quiescence (sorted by VarId).
-  std::vector<std::vector<ReplicaEntry>> final_replicas;
-  TimePoint finished_at{};
-  std::uint64_t events = 0;
-};
-
 /// Options for run_workload / run_scenario.
 struct RunOptions {
   std::uint64_t sim_seed = 1;
   ChannelOptions channel;
   std::unique_ptr<LatencyModel> latency;  ///< null = constant 1ms
   /// ARQ configuration for scenario runs routed through ReliableTransport
-  /// (ignored by run_workload).  The default effectively never gives up:
-  /// scenario liveness comes from healing timelines, not retransmit caps.
-  ReliableOptions reliable{millis(40), 1'000'000};
+  /// (ignored by run_workload; see kEngineReliableDefaults).
+  ReliableOptions reliable = kEngineReliableDefaults;
 };
 
 /// Execute `scripts` against a fresh system of `kind` over `dist` on the
 /// deterministic simulator; returns the recorded history and traffic.
+/// Deliberately raw even when the caller's ChannelOptions drop or
+/// duplicate: the fault-injection tests exercise protocol *safety* on an
+/// unrepaired channel, where lost completions are expected behaviour.
 [[nodiscard]] RunResult run_workload(ProtocolKind kind,
                                      const graph::Distribution& dist,
                                      const std::vector<Script>& scripts,
                                      RunOptions options = {});
-
-/// run_scenario result: the ordinary run outcome plus the fault ledger.
-struct ScenarioRunResult : RunResult {
-  /// True when the run was routed through ReliableTransport (any faulty
-  /// scenario); false for fault-free timelines on the raw simulator.
-  bool used_reliable_transport = false;
-  /// ARQ retransmissions across all senders.
-  std::uint64_t retransmissions = 0;
-  /// Channel drops by cause (loss, partition, downtime, in-flight).
-  DropCounters drops;
-  /// Crash/re-sync ledger summed over all processes.
-  std::uint64_t crashes = 0;
-  std::uint64_t resync_messages = 0;  ///< requests sent + responses served
-  std::uint64_t resync_bytes = 0;
-  std::uint64_t resync_values_applied = 0;
-  /// Slowest recover()→re-sync-complete interval of the run.
-  Duration max_recovery_latency{};
-};
 
 /// Execute `scripts` under a scripted fault timeline.  Every protocol runs
 /// every scenario unmodified: when any loss source exists — the timeline's

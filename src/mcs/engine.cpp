@@ -1,0 +1,310 @@
+#include "mcs/engine.h"
+
+#include "simnet/thread_runtime.h"
+
+namespace pardsm::mcs {
+
+ScriptedClient::ScriptedClient(McsProcess& process, Simulator& sim,
+                               Script script)
+    : process_(process), sim_(sim), script_(std::move(script)) {}
+
+void ScriptedClient::start(TimePoint start) {
+  if (script_.empty()) return;
+  sim_.schedule_at(start + script_.front().delay, [this] { issue(); });
+}
+
+void ScriptedClient::resume(TimePoint at) {
+  if (!stalled_) return;
+  PARDSM_CHECK(!process_.crashed(), "resume while the process is still down");
+  stalled_ = false;
+  sim_.schedule_at(at, [this] { issue(); });
+}
+
+void ScriptedClient::issue() {
+  PARDSM_CHECK(next_ < script_.size(), "issue past end of script");
+  if (process_.crashed()) {
+    // The application fails with its process: hold this operation (and the
+    // client's place in the script) until the recovery hook resumes us.
+    stalled_ = true;
+    return;
+  }
+  const ScriptOp& op = script_[next_];
+  ++next_;
+
+  const auto continue_after = [this] {
+    if (next_ >= script_.size()) return;
+    const Duration delay = script_[next_].delay;
+    if (delay.us == 0) {
+      // Schedule at the current instant to keep the event loop in control
+      // (still after any messages the completed op just enqueued at t).
+      sim_.schedule_at(sim_.now(), [this] { issue(); });
+    } else {
+      sim_.schedule_at(sim_.now() + delay, [this] { issue(); });
+    }
+  };
+
+  if (op.kind == ScriptOp::Kind::kRead) {
+    process_.read(op.var, [this, continue_after](Value v) {
+      reads_.push_back(v);
+      continue_after();
+    });
+  } else {
+    process_.write(op.var, op.value, continue_after);
+  }
+}
+
+namespace {
+
+/// Per-process replica contents at quiescence (P6 compares them across
+/// fault scenarios).
+std::vector<std::vector<ReplicaEntry>> snapshot_replicas(
+    const std::vector<std::unique_ptr<McsProcess>>& processes) {
+  std::vector<std::vector<ReplicaEntry>> out;
+  out.reserve(processes.size());
+  for (const auto& proc : processes) {
+    std::vector<ReplicaEntry> mine;
+    for (VarId x : proc->store().vars()) {
+      const Stored& s = proc->store().get(x);
+      mine.push_back({x, s.value, s.source});
+    }
+    out.push_back(std::move(mine));
+  }
+  return out;
+}
+
+/// The runtime-independent share of result collection: history, traffic,
+/// exposure, protocol stats and final replicas.
+void collect_common(HistoryRecorder& recorder, NetworkStats& stats,
+                    const std::vector<std::unique_ptr<McsProcess>>& processes,
+                    std::size_t var_count, RunResult& result) {
+  result.history = recorder.take_history();
+  result.total_traffic = stats.total();
+  result.per_process_traffic = stats.per_process_snapshot();
+  for (const auto& proc : processes) {
+    result.protocol_stats.push_back(proc->stats());
+  }
+  result.observed_relevant = stats.exposure_sets(var_count);
+  result.final_replicas = snapshot_replicas(processes);
+}
+
+/// Whether this config routes through the ARQ layer.
+bool needs_reliable(const EngineConfig& config) {
+  switch (config.reliability) {
+    case ReliabilityMode::kNever:
+      return false;
+    case ReliabilityMode::kAlways:
+      return true;
+    case ReliabilityMode::kAuto:
+      break;
+  }
+  return (config.scenario != nullptr && config.scenario->faulty()) ||
+         config.channel.drop_probability > 0.0 ||
+         config.channel.duplicate_probability > 0.0;
+}
+
+/// Self-driving client for the thread runtime: each completion issues the
+/// next operation, always on the owning process's thread.
+class ThreadedClient {
+ public:
+  ThreadedClient(McsProcess& process, Script script)
+      : process_(process), script_(std::move(script)) {}
+
+  /// Runs on the owner thread (via ThreadRuntime::post) and re-enters from
+  /// completion callbacks, which also fire on the owner thread.
+  void issue() {
+    if (next_ >= script_.size()) {
+      done_ = true;
+      return;
+    }
+    const ScriptOp& op = script_[next_];
+    ++next_;
+    if (op.kind == ScriptOp::Kind::kRead) {
+      process_.read(op.var, [this](Value v) {
+        reads_.push_back(v);
+        issue();
+      });
+    } else {
+      process_.write(op.var, op.value, [this] { issue(); });
+    }
+  }
+
+  [[nodiscard]] bool done() const { return done_ || script_.empty(); }
+
+ private:
+  McsProcess& process_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+  bool done_ = false;
+};
+
+ScenarioRunResult run_on_threads(const EngineConfig& config) {
+  const graph::Distribution& dist = *config.distribution;
+  const std::vector<Script>& scripts = *config.scripts;
+  PARDSM_CHECK(config.scenario == nullptr,
+               "fault timelines require the simulator runtime");
+  PARDSM_CHECK(!needs_reliable(config),
+               "the ARQ layer requires the simulator runtime");
+  // Loud rejection rather than a silently-lossless run: the thread
+  // runtime takes no channel options or latency model from the engine.
+  PARDSM_CHECK(config.channel.drop_probability == 0.0 &&
+                   config.channel.duplicate_probability == 0.0,
+               "lossy channels require the simulator runtime");
+  PARDSM_CHECK(config.latency == nullptr,
+               "latency models require the simulator runtime");
+
+  ThreadRuntime rt;
+  // Batching is preemption-safe (per-sender state only ever touched on the
+  // owning thread), so the coalescing layer stacks here too.
+  std::optional<BatchingTransport> batch;
+  HostTransport* top = &rt;
+  if (config.force_batching_layer || config.batching.window.us > 0) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  auto processes = make_processes(config.protocol, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = top->add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(*top);
+    if (config.multicast != nullptr) proc->use_multicast(*config.multicast);
+  }
+
+  std::vector<std::unique_ptr<ThreadedClient>> clients;
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(
+        std::make_unique<ThreadedClient>(*processes[p], scripts[p]));
+  }
+
+  rt.start();
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    rt.post(static_cast<ProcessId>(p),
+            [client = clients[p].get()] { client->issue(); });
+  }
+  const bool quiet = rt.await_quiescence(config.quiesce_timeout);
+  PARDSM_CHECK(quiet, "thread runtime failed to quiesce — protocol stuck?");
+  rt.stop();
+
+  for (const auto& client : clients) {
+    PARDSM_CHECK(client->done(), "threaded client did not finish its script");
+  }
+
+  ScenarioRunResult result;
+  collect_common(recorder, rt.stats(), processes, dist.var_count, result);
+  if (batch) result.batching = batch->stats();
+  return result;
+}
+
+ScenarioRunResult run_on_simulator(EngineConfig& config) {
+  const graph::Distribution& dist = *config.distribution;
+  const std::vector<Script>& scripts = *config.scripts;
+  const bool reliable = needs_reliable(config);
+  const bool batching =
+      config.force_batching_layer || config.batching.window.us > 0;
+
+  SimOptions sim_options;
+  sim_options.seed = config.sim_seed;
+  sim_options.channel = config.channel;
+  sim_options.latency = std::move(config.latency);
+  Simulator sim(std::move(sim_options));
+
+  // Assemble the transport stack bottom-up.  Faulty runs go through the
+  // ARQ layer: the protocols assume reliable FIFO channels for liveness,
+  // and recovery traffic must be charged to the same ledger as everything
+  // else.  The batching layer coalesces either above it (frames ride
+  // single DATA frames) or below it (DATA/ACK frames coalesce).
+  std::optional<BatchingTransport> batch;
+  std::optional<ReliableTransport> rel;
+  HostTransport* top = &sim;
+  if (batching && config.batch_placement == BatchPlacement::kBelowReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+  if (reliable) {
+    rel.emplace(*top, config.reliable);
+    top = &*rel;
+  }
+  if (batching && config.batch_placement == BatchPlacement::kAboveReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  auto processes = make_processes(config.protocol, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = top->add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(*top);
+    if (config.multicast != nullptr) proc->use_multicast(*config.multicast);
+  }
+
+  std::vector<std::unique_ptr<ScriptedClient>> clients;
+  clients.reserve(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(
+        std::make_unique<ScriptedClient>(*processes[p], sim, scripts[p]));
+  }
+
+  // Apply the timeline before any client op is scheduled: events at t<=0
+  // take effect immediately, so a scenario that starts lossy is lossy for
+  // the very first message.
+  sim.ensure_network();
+  if (config.scenario != nullptr) {
+    ScenarioHooks hooks;
+    hooks.on_crash = [&processes](ProcessId p, TimePoint) {
+      processes[static_cast<std::size_t>(p)]->crash();
+    };
+    hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
+      processes[static_cast<std::size_t>(p)]->recover();
+      clients[static_cast<std::size_t>(p)]->resume(at);
+    };
+    config.scenario->apply(sim, hooks);
+  }
+
+  for (auto& client : clients) client->start(kTimeZero);
+  sim.run();
+
+  for (const auto& client : clients) {
+    PARDSM_CHECK(client->done(),
+                 "run quiesced before a client finished its script — stuck "
+                 "protocol, unhealed fault or lost completion");
+  }
+
+  ScenarioRunResult result;
+  collect_common(recorder, sim.stats(), processes, dist.var_count, result);
+  result.finished_at = sim.now();
+  result.events = sim.events_fired();
+
+  result.used_reliable_transport = reliable;
+  result.retransmissions = rel ? rel->retransmissions() : 0;
+  result.drops = sim.network().drop_counters();
+  if (batch) result.batching = batch->stats();
+  for (const auto& proc : processes) {
+    const RecoveryStats& r = proc->recovery_stats();
+    result.crashes += r.crashes;
+    result.resync_messages +=
+        r.resync_requests_sent + r.resync_responses_served;
+    result.resync_bytes += r.resync_bytes;
+    result.resync_values_applied += r.resync_values_applied;
+    result.max_recovery_latency =
+        std::max(result.max_recovery_latency, proc->max_recovery_latency());
+  }
+  return result;
+}
+
+}  // namespace
+
+ScenarioRunResult run(EngineConfig config) {
+  PARDSM_CHECK(config.distribution != nullptr, "run: distribution required");
+  PARDSM_CHECK(config.scripts != nullptr, "run: scripts required");
+  PARDSM_CHECK(config.scripts->size() == config.distribution->process_count(),
+               "one script per process required");
+  if (config.runtime == EngineRuntime::kThreads) {
+    return run_on_threads(config);
+  }
+  return run_on_simulator(config);
+}
+
+}  // namespace pardsm::mcs

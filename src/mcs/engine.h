@@ -1,0 +1,212 @@
+// The one engine every system run goes through.
+//
+// An EngineConfig names a complete experiment — protocol, distribution,
+// per-process scripts, the transport stack (raw / ARQ / batching, in
+// either stacking order), an optional fault timeline and the runtime to
+// execute on — and run() executes it.  run_workload, run_scenario and
+// run_workload_threaded (driver.h) are thin wrappers that fill in a
+// config; benches and tests that sweep transport parameters use run()
+// directly.
+//
+// Transport stack assembled by run(), bottom-up:
+//
+//   Simulator | ThreadRuntime          (root HostTransport)
+//     └─ BatchingTransport             (placement kBelowReliable)
+//         └─ ReliableTransport         (when the run needs ARQ)
+//             └─ BatchingTransport     (placement kAboveReliable, default)
+//                 └─ McsProcess endpoints
+//
+// Layers are only constructed when configured: a lossless, unbatched run
+// wires processes straight to the root runtime, exactly as before.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mcs/factory.h"
+#include "simnet/batching.h"
+#include "simnet/reliable.h"
+#include "simnet/scenario.h"
+#include "simnet/simulator.h"
+
+namespace pardsm::mcs {
+
+/// One scripted operation.
+struct ScriptOp {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  Kind kind = Kind::kRead;
+  VarId var = kNoVar;
+  Value value = kBottom;  ///< written value (writes only)
+  /// Delay before issuing this operation (think time).
+  Duration delay{};
+
+  static ScriptOp read(VarId x, Duration delay = {}) {
+    return {Kind::kRead, x, kBottom, delay};
+  }
+  static ScriptOp write(VarId x, Value v, Duration delay = {}) {
+    return {Kind::kWrite, x, v, delay};
+  }
+};
+
+/// A per-process operation script.
+using Script = std::vector<ScriptOp>;
+
+/// Drives one McsProcess through its script (simulator runtime).
+///
+/// Crash-aware: the application is co-located with its MCS process, so
+/// while the process is down the client neither issues operations (an
+/// issue attempt stalls) nor loses its place in the script.  The scenario
+/// driver calls resume() from the recovery hook; an operation that was
+/// in flight at crash time simply completes late — its response is
+/// retransmitted by the ARQ layer — and the script continues from there.
+class ScriptedClient {
+ public:
+  ScriptedClient(McsProcess& process, Simulator& sim, Script script);
+
+  /// Schedule the first operation at `start`.
+  void start(TimePoint start);
+
+  /// Re-issue the stalled operation after the process recovered (no-op if
+  /// the client was not stalled).
+  void resume(TimePoint at);
+
+  [[nodiscard]] bool done() const { return next_ >= script_.size(); }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  [[nodiscard]] const std::vector<Value>& read_results() const {
+    return reads_;
+  }
+
+ private:
+  void issue();
+
+  McsProcess& process_;
+  Simulator& sim_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+  bool stalled_ = false;
+};
+
+/// Final (value, provenance) copy of one replicated variable.
+struct ReplicaEntry {
+  VarId x = kNoVar;
+  Value value = kBottom;
+  WriteId source{};
+
+  friend bool operator==(const ReplicaEntry&, const ReplicaEntry&) = default;
+};
+
+/// Result of a full system run.
+struct RunResult {
+  hist::History history;
+  ProcessTraffic total_traffic;
+  std::vector<ProcessTraffic> per_process_traffic;
+  /// observed_relevant[x] = processes that received metadata about x.
+  std::vector<std::set<ProcessId>> observed_relevant;
+  std::vector<ProtocolStats> protocol_stats;
+  /// Per-process replica contents at quiescence (sorted by VarId).
+  std::vector<std::vector<ReplicaEntry>> final_replicas;
+  TimePoint finished_at{};
+  std::uint64_t events = 0;
+};
+
+/// run() / run_scenario result: the ordinary run outcome plus the fault
+/// and transport-stack ledgers.
+struct ScenarioRunResult : RunResult {
+  /// True when the run was routed through ReliableTransport (any faulty
+  /// scenario); false for fault-free timelines on the raw simulator.
+  bool used_reliable_transport = false;
+  /// ARQ retransmissions across all senders.
+  std::uint64_t retransmissions = 0;
+  /// Channel drops by cause (loss, partition, downtime, in-flight).
+  DropCounters drops;
+  /// Crash/re-sync ledger summed over all processes.
+  std::uint64_t crashes = 0;
+  std::uint64_t resync_messages = 0;  ///< requests sent + responses served
+  std::uint64_t resync_bytes = 0;
+  std::uint64_t resync_values_applied = 0;
+  /// Slowest recover()→re-sync-complete interval of the run.
+  Duration max_recovery_latency{};
+  /// Batching-layer ledger (all zero without a batching layer).
+  BatchingStats batching;
+};
+
+/// The engine's ARQ default: effectively never gives up — scenario
+/// liveness comes from healing timelines, not retransmit caps.  Shared by
+/// EngineConfig and driver.h's RunOptions so the wrappers and direct
+/// engine runs cannot drift apart.
+inline constexpr ReliableOptions kEngineReliableDefaults{millis(40),
+                                                         1'000'000};
+
+/// When the run must be routed through the ARQ layer.
+enum class ReliabilityMode : std::uint8_t {
+  /// ReliableTransport iff the scenario is faulty or the channel can drop
+  /// or duplicate — what run_scenario always did.
+  kAuto,
+  /// Raw channel even when lossy (fault-injection tests exercise protocol
+  /// *safety* on an unrepaired channel) — what run_workload always did.
+  kNever,
+  /// Always wrap, pricing ARQ framing into a lossless run.
+  kAlways,
+};
+
+/// Where the batching layer sits relative to the ARQ layer (only relevant
+/// when both are configured).
+enum class BatchPlacement : std::uint8_t {
+  /// app → batching → ARQ: whole frames are acknowledged/retransmitted as
+  /// one DATA frame — fewer acks.  The default.
+  kAboveReliable,
+  /// app → ARQ → batching: DATA and ACK frames coalesce on the wire; keep
+  /// window well below the retransmit timer.
+  kBelowReliable,
+};
+
+/// Which runtime executes the run.
+enum class EngineRuntime : std::uint8_t {
+  kSimulator,  ///< deterministic discrete-event simulator
+  kThreads,    ///< one OS thread per process (non-deterministic)
+};
+
+/// Everything one system run needs.  Pointer members are borrowed and
+/// must outlive run().
+struct EngineConfig {
+  ProtocolKind protocol = ProtocolKind::kPramPartial;
+  const graph::Distribution* distribution = nullptr;  ///< required
+  const std::vector<Script>* scripts = nullptr;       ///< required
+  /// Optional fault timeline (null = lossless run, no scenario events).
+  const Scenario* scenario = nullptr;
+  EngineRuntime runtime = EngineRuntime::kSimulator;
+
+  // -- simulator ------------------------------------------------------------
+  std::uint64_t sim_seed = 1;
+  ChannelOptions channel;
+  std::unique_ptr<LatencyModel> latency;  ///< null = constant 1ms
+
+  // -- transport stack ------------------------------------------------------
+  ReliabilityMode reliability = ReliabilityMode::kAuto;
+  /// ARQ configuration (see kEngineReliableDefaults).
+  ReliableOptions reliable = kEngineReliableDefaults;
+  /// Batching window 0 = no batching layer at all (unless forced below).
+  BatchingOptions batching;
+  BatchPlacement batch_placement = BatchPlacement::kAboveReliable;
+  /// Construct the batching layer even at window 0 (the pass-through
+  /// regression in tests/test_transport_conformance.cpp pins that this is
+  /// bit-identical to no layer).
+  bool force_batching_layer = false;
+  /// Multicast expansion injected into every process (null = the default
+  /// point-to-point fanout).
+  MulticastService* multicast = nullptr;
+
+  // -- thread runtime -------------------------------------------------------
+  /// Bound on the wait for quiescence (kThreads only).
+  std::chrono::milliseconds quiesce_timeout{10000};
+};
+
+/// Execute the configured run.  Deterministic per config on the simulator
+/// runtime; non-deterministic by design on threads (fault timelines and
+/// the ARQ layer require the simulator).
+[[nodiscard]] ScenarioRunResult run(EngineConfig config);
+
+}  // namespace pardsm::mcs

@@ -38,16 +38,16 @@ void PramPartialProcess::write(VarId x, Value v, WriteCallback done) {
   body->v = v;
   body->id = wid;
 
-  MessageMeta meta;
-  meta.kind = kUpdateKind;
-  meta.control_bytes = 16 /*write id*/ + 8 /*var*/;
-  meta.payload_bytes = 8;
-  meta.vars_mentioned = {x};
-
+  SendPlan plan;
+  plan.body = std::move(body);
+  plan.meta.kind = kUpdateKind;
+  plan.meta.control_bytes = 16 /*write id*/ + 8 /*var*/;
+  plan.meta.payload_bytes = 8;
+  plan.meta.vars_mentioned = {x};
   for (ProcessId q : replicas_of(x)) {
-    if (q == id()) continue;
-    transport().send(id(), q, body, meta);
+    if (q != id()) plan.to.push_back(q);
   }
+  emit(std::move(plan));
   done();
 }
 

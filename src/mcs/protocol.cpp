@@ -32,7 +32,31 @@ struct ResyncResponse final : MessageBody {
 const KindId kResyncReqKind("RSYNC_REQ");
 const KindId kResyncRespKind("RSYNC_RESP");
 
+/// The default expansion: one point-to-point send per destination, in
+/// plan order, sharing the body and copying the meta — bit-identical to
+/// the per-destination send loops the protocols used to hand-write.
+class FanoutMulticast final : public MulticastService {
+ public:
+  void submit(Transport& transport, ProcessId from,
+              SendPlan&& plan) override {
+    const std::size_t n = plan.to.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 1 == n) {
+        transport.send(from, plan.to[i], std::move(plan.body),
+                       std::move(plan.meta));
+      } else {
+        transport.send(from, plan.to[i], plan.body, plan.meta);
+      }
+    }
+  }
+};
+
 }  // namespace
+
+MulticastService& MulticastService::fanout() {
+  static FanoutMulticast instance;
+  return instance;
+}
 
 void McsProcess::on_message(const Message& m) {
   if (crashed_) {
@@ -118,7 +142,8 @@ void McsProcess::start_resync() {
 
     rstats_.resync_bytes += meta.wire_bytes();
     ++rstats_.resync_requests_sent;
-    transport().send(self_, peer, std::move(body), std::move(meta));
+    // Urgent: recovery latency must not wait out a coalescing window.
+    emit_to(peer, std::move(body), std::move(meta), /*urgent=*/true);
   }
 }
 
@@ -140,7 +165,7 @@ void McsProcess::serve_resync_request(const Message& m) {
   meta.payload_bytes = 8 * body->entries.size();
 
   ++rstats_.resync_responses_served;
-  transport().send(self_, m.from, std::move(body), std::move(meta));
+  emit_to(m.from, std::move(body), std::move(meta), /*urgent=*/true);
 }
 
 void McsProcess::absorb_resync_response(const Message& m) {

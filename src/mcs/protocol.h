@@ -93,6 +93,46 @@ class CliqueTable {
   std::vector<std::vector<ProcessId>> cliques_;
 };
 
+/// One protocol send round: the same body to a set of destinations, with
+/// shared accounting metadata and an urgency hint.  This is what protocols
+/// emit instead of calling Transport::send per destination — the seam that
+/// preserves the multicast structure all the way to the transport plane
+/// (a batching layer coalesces, a future true-multicast network could
+/// fan out natively).
+///
+/// Protocols whose per-recipient metadata differs (causal-partial-naive's
+/// update/notify split, causal-partial-adhoc's per-recipient dependency
+/// restriction) emit one single-destination plan per recipient — exactly
+/// the bytes a real implementation would put on the wire for that
+/// recipient, and exactly the send order of the pre-seam code.
+struct SendPlan {
+  std::shared_ptr<const MessageBody> body;
+  /// Accounting metadata, copied per destination on expansion.
+  MessageMeta meta;
+  /// Destination set in emission order (ascending for determinism; the
+  /// sender itself is never listed).
+  SmallVec<ProcessId, 8> to;
+  /// Completion-blocking traffic (RPCs, commits, re-sync): transports
+  /// must forward it immediately rather than coalesce it.
+  bool urgent = false;
+};
+
+/// How a SendPlan reaches the wire.  The default expansion is one
+/// point-to-point Transport::send per destination, in plan order — which
+/// keeps per-destination FIFO and is bit-identical to the historical
+/// per-destination send loops.  Implementations must preserve
+/// per-destination FIFO across successive submits from one sender.
+class MulticastService {
+ public:
+  virtual ~MulticastService() = default;
+
+  virtual void submit(Transport& transport, ProcessId from,
+                      SendPlan&& plan) = 0;
+
+  /// The default stateless point-to-point expansion (shared instance).
+  [[nodiscard]] static MulticastService& fanout();
+};
+
 /// Base class of every memory-consistency protocol instance (one per
 /// process).
 class McsProcess : public Endpoint {
@@ -115,6 +155,10 @@ class McsProcess : public Endpoint {
 
   /// Wire the transport (after runtime registration).
   void attach(Transport& transport) { transport_ = &transport; }
+
+  /// Replace the multicast expansion (the engine injects this; default is
+  /// MulticastService::fanout()).  Must outlive the process.
+  void use_multicast(MulticastService& service) { mcast_ = &service; }
 
   /// Asynchronous read of x; `done` receives the value.  Calling read on a
   /// variable outside X_i is a programming error (partial replication
@@ -243,6 +287,26 @@ class McsProcess : public Endpoint {
   [[nodiscard]] ReplicaStore& mutable_store() { return store_; }
   [[nodiscard]] ProtocolStats& mutable_stats() { return pstats_; }
 
+  /// Emit one send round through the multicast seam.  `plan.urgent` is
+  /// propagated into the per-message metadata so coalescing transports
+  /// flush instead of delaying completion-blocking traffic.
+  void emit(SendPlan&& plan) {
+    plan.meta.urgent = plan.urgent;
+    mcast_->submit(transport(), self_, std::move(plan));
+  }
+
+  /// Convenience: a single-destination plan (RPCs, replies, per-recipient
+  /// metadata variants).
+  void emit_to(ProcessId to, std::shared_ptr<const MessageBody> body,
+               MessageMeta meta, bool urgent = false) {
+    SendPlan plan;
+    plan.body = std::move(body);
+    plan.meta = std::move(meta);
+    plan.to.push_back(to);
+    plan.urgent = urgent;
+    emit(std::move(plan));
+  }
+
   /// Serve a read from the local replica, recording it.  Shared by all
   /// wait-free protocols.
   void local_read(VarId x, const ReadCallback& done) {
@@ -269,6 +333,7 @@ class McsProcess : public Endpoint {
   ReplicaStore store_;
   ProtocolStats pstats_;
   Transport* transport_ = nullptr;
+  MulticastService* mcast_ = &MulticastService::fanout();
   /// Shared (or lazily self-built) C(x) table; mutable for the lazy path.
   mutable std::shared_ptr<const CliqueTable> cliques_;
 

@@ -58,7 +58,7 @@ void SequencerScProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  transport().send(id(), kSequencer, std::move(body), meta);
+  emit_to(kSequencer, std::move(body), std::move(meta), /*urgent=*/true);
 }
 
 void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
@@ -76,16 +76,18 @@ void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
   body->requester = requester;
   body->invoked = invoked;
 
-  MessageMeta meta;
-  meta.kind = kCommitKind;
-  meta.control_bytes = 16 + 8 + 8 + 8;
-  meta.payload_bytes = 8;
-  meta.vars_mentioned = {x};
-
+  // Urgent: the requester's write completes only when its commit lands.
+  SendPlan plan;
+  plan.body = std::move(body);
+  plan.meta.kind = kCommitKind;
+  plan.meta.control_bytes = 16 + 8 + 8 + 8;
+  plan.meta.payload_bytes = 8;
+  plan.meta.vars_mentioned = {x};
+  plan.urgent = true;
   for (ProcessId q : replicas_of(x)) {
-    if (q == id()) continue;
-    transport().send(id(), q, body, meta);
+    if (q != id()) plan.to.push_back(q);
   }
+  emit(std::move(plan));
   // Local application on the sequencer (if it replicates x).
   if (replicates(x)) {
     apply_commit(x, v, wid, requester, invoked, global_seq_);

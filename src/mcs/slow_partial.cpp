@@ -52,16 +52,16 @@ void SlowPartialProcess::write(VarId x, Value v, WriteCallback done) {
   body->id = wid;
   body->var_seq = ++my_var_seq_[x];
 
-  MessageMeta meta;
-  meta.kind = kUpdateKind;
-  meta.control_bytes = 16 + 8 + 8;
-  meta.payload_bytes = 8;
-  meta.vars_mentioned = {x};
-
+  SendPlan plan;
+  plan.body = std::move(body);
+  plan.meta.kind = kUpdateKind;
+  plan.meta.control_bytes = 16 + 8 + 8;
+  plan.meta.payload_bytes = 8;
+  plan.meta.vars_mentioned = {x};
   for (ProcessId q : replicas_of(x)) {
-    if (q == id()) continue;
-    transport().send(id(), q, body, meta);
+    if (q != id()) plan.to.push_back(q);
   }
+  emit(std::move(plan));
   done();
 }
 

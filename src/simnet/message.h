@@ -45,6 +45,12 @@ struct MessageMeta {
   /// quantity Theorem 1 and Theorem 2 of the paper characterize.
   SmallVec<VarId, 2> vars_mentioned;
 
+  /// Transport hint, not wire data: a coalescing layer (BatchingTransport)
+  /// must flush rather than delay this message — set by protocols for
+  /// completion-blocking traffic (RPCs, commits, re-sync).  Never counted
+  /// in wire_bytes() and ignored by non-batching transports.
+  bool urgent = false;
+
   /// Total bytes on the wire (header modelled as 16 bytes).
   [[nodiscard]] std::uint64_t wire_bytes() const {
     return 16 + control_bytes + payload_bytes;

@@ -59,7 +59,7 @@ class ReliableTransport::Shim final : public Endpoint {
     MessageMeta meta = frame->payload_meta;
     meta.kind = frame->wrapped_kind;
     meta.control_bytes += 16;  // seq + ack piggyback space
-    owner_.sim_.send(self_, to, frame, std::move(meta));
+    owner_.lower_.send(self_, to, frame, std::move(meta));
   }
 
   // ---- receiving side -------------------------------------------------------
@@ -104,7 +104,7 @@ class ReliableTransport::Shim final : public Endpoint {
     MessageMeta ack_meta;
     ack_meta.kind = kAckKind;
     ack_meta.control_bytes = 8;
-    owner_.sim_.send(self_, m.from, std::move(ack), std::move(ack_meta));
+    owner_.lower_.send(self_, m.from, std::move(ack), std::move(ack_meta));
   }
 
   void on_timer(TimerTag tag) override {
@@ -129,7 +129,7 @@ class ReliableTransport::Shim final : public Endpoint {
   void arm_timer() {
     if (timer_armed_) return;
     timer_armed_ = true;
-    owner_.sim_.set_timer(self_, owner_.options_.retransmit_after,
+    owner_.lower_.set_timer(self_, owner_.options_.retransmit_after,
                           kArqTimerBit);
   }
 
@@ -162,8 +162,9 @@ class ReliableTransport::Shim final : public Endpoint {
   bool timer_armed_ = false;
 };
 
-ReliableTransport::ReliableTransport(Simulator& sim, ReliableOptions options)
-    : sim_(sim), options_(options) {}
+ReliableTransport::ReliableTransport(HostTransport& lower,
+                                     ReliableOptions options)
+    : lower_(lower), options_(options) {}
 
 ReliableTransport::~ReliableTransport() = default;
 
@@ -171,9 +172,9 @@ ProcessId ReliableTransport::add_endpoint(Endpoint* ep) {
   PARDSM_CHECK(ep != nullptr, "add_endpoint: null endpoint");
   auto shim = std::make_unique<Shim>(*this, ep,
                                      static_cast<ProcessId>(shims_.size()));
-  const ProcessId assigned = sim_.add_endpoint(shim.get());
+  const ProcessId assigned = lower_.add_endpoint(shim.get());
   PARDSM_CHECK(assigned == static_cast<ProcessId>(shims_.size()),
-               "interleaved registration with the raw simulator");
+               "interleaved registration with the layer below");
   shims_.push_back(std::move(shim));
   return assigned;
 }
@@ -191,7 +192,7 @@ void ReliableTransport::set_timer(ProcessId who, Duration delay,
                                   TimerTag tag) {
   PARDSM_CHECK((tag & (1ULL << 63)) == 0,
                "application timer tags must not use the top bit");
-  sim_.set_timer(who, delay, tag);
+  lower_.set_timer(who, delay, tag);
 }
 
 std::size_t ReliableTransport::process_count() const { return shims_.size(); }

@@ -25,7 +25,6 @@
 #include <memory>
 #include <vector>
 
-#include "simnet/simulator.h"
 #include "simnet/transport.h"
 
 namespace pardsm {
@@ -58,21 +57,22 @@ struct ReliableOptions {
 };
 
 /// Exactly-once, per-pair-FIFO transport decorator.
-class ReliableTransport final : public Transport {
+class ReliableTransport final : public HostTransport {
  public:
-  /// Wraps `sim`.  The simulator's channel may drop and duplicate; FIFO
-  /// ordering of the underlying channel is NOT required.
-  ReliableTransport(Simulator& sim, ReliableOptions options);
+  /// Wraps `lower` — the raw simulator, or another decorator (e.g. a
+  /// BatchingTransport) in a deeper stack.  The underlying channel may
+  /// drop and duplicate; FIFO ordering of it is NOT required.
+  ReliableTransport(HostTransport& lower, ReliableOptions options);
   ~ReliableTransport() override;
 
-  /// Register an application endpoint (do not register it with the
-  /// simulator yourself — the decorator interposes a shim).
-  ProcessId add_endpoint(Endpoint* ep);
+  /// Register an application endpoint (do not register it with the layer
+  /// below yourself — the decorator interposes a shim).
+  ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport ------------------------------------------------------------
   void send(ProcessId from, ProcessId to,
             std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
-  [[nodiscard]] TimePoint now() const override { return sim_.now(); }
+  [[nodiscard]] TimePoint now() const override { return lower_.now(); }
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override;
 
@@ -82,7 +82,7 @@ class ReliableTransport final : public Transport {
  private:
   class Shim;
 
-  Simulator& sim_;
+  HostTransport& lower_;
   ReliableOptions options_;
   std::vector<std::unique_ptr<Shim>> shims_;
 };

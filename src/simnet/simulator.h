@@ -31,7 +31,7 @@ struct SimOptions {
 };
 
 /// Single-threaded deterministic event-loop Transport implementation.
-class Simulator final : public Transport {
+class Simulator final : public HostTransport {
  public:
   explicit Simulator(SimOptions options = {});
   ~Simulator() override;
@@ -41,7 +41,7 @@ class Simulator final : public Transport {
 
   /// Register the endpoint for the next free ProcessId (0, 1, 2, ...).
   /// The endpoint must outlive the simulator.  Returns the assigned id.
-  ProcessId add_endpoint(Endpoint* ep);
+  ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport interface ------------------------------------------------
   void send(ProcessId from, ProcessId to,

@@ -40,7 +40,7 @@ struct ThreadRuntimeOptions {
 };
 
 /// Transport implementation where every endpoint runs on its own thread.
-class ThreadRuntime final : public Transport {
+class ThreadRuntime final : public HostTransport {
  public:
   explicit ThreadRuntime(ThreadRuntimeOptions options = {});
   ~ThreadRuntime() override;
@@ -49,7 +49,7 @@ class ThreadRuntime final : public Transport {
   ThreadRuntime& operator=(const ThreadRuntime&) = delete;
 
   /// Register an endpoint; must be called before start().
-  ProcessId add_endpoint(Endpoint* ep);
+  ProcessId add_endpoint(Endpoint* ep) override;
 
   /// Spawn one thread per endpoint and begin processing.
   void start();

@@ -49,4 +49,23 @@ class Transport {
   [[nodiscard]] virtual std::size_t process_count() const = 0;
 };
 
+/// A Transport that also owns endpoint registration.  Both root runtimes
+/// (Simulator, ThreadRuntime) and every stackable decorator
+/// (ReliableTransport, BatchingTransport) implement it, so decorators can
+/// wrap *any* HostTransport rather than the simulator specifically — that
+/// is what lets the transport stack compose in either order:
+///
+///   app → BatchingTransport → ReliableTransport → Simulator   (default)
+///   app → ReliableTransport → BatchingTransport → Simulator
+///
+/// A decorator's add_endpoint interposes a shim endpoint on the layer
+/// below; registration therefore always proceeds top-down and each layer
+/// sees the same ProcessId numbering.
+class HostTransport : public Transport {
+ public:
+  /// Register the endpoint for the next free ProcessId (0, 1, 2, ...).
+  /// The endpoint must outlive the transport.  Returns the assigned id.
+  virtual ProcessId add_endpoint(Endpoint* ep) = 0;
+};
+
 }  // namespace pardsm

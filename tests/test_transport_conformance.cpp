@@ -1,0 +1,381 @@
+// Transport-stack conformance: every HostTransport stack — the raw
+// simulator, the ARQ layer, the batching layer, and both stacking orders
+// of the two decorators — must deliver the same contract to the layer
+// above: per-pair FIFO, timers in time order with tags intact, and stats
+// attribution per the documented byte-accounting rules (reliable.h,
+// docs/BATCHING.md).  Plus the window=0 golden regression: an engine run
+// with a forced pass-through batching layer is bit-identical to the run
+// without the layer, for all nine protocols on all three golden
+// topologies.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "golden_metrics_common.h"
+#include "mcs/engine.h"
+#include "simnet/batching.h"
+#include "simnet/reliable.h"
+#include "simnet/simulator.h"
+
+namespace pardsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stack factory: builds a named transport stack over one simulator.
+// ---------------------------------------------------------------------------
+
+struct Stack {
+  std::unique_ptr<BatchingTransport> batch_low;
+  std::unique_ptr<ReliableTransport> rel;
+  std::unique_ptr<BatchingTransport> batch_high;
+  HostTransport* top = nullptr;
+};
+
+constexpr Duration kWindow = millis(2);
+
+Stack make_stack(const std::string& name, Simulator& sim) {
+  Stack s;
+  s.top = &sim;
+  if (name == "sim") return s;
+  if (name == "reliable") {
+    s.rel = std::make_unique<ReliableTransport>(sim, ReliableOptions{});
+    s.top = s.rel.get();
+    return s;
+  }
+  if (name == "batching") {
+    s.batch_high =
+        std::make_unique<BatchingTransport>(sim, BatchingOptions{kWindow});
+    s.top = s.batch_high.get();
+    return s;
+  }
+  if (name == "batching-over-reliable") {
+    s.rel = std::make_unique<ReliableTransport>(sim, ReliableOptions{});
+    s.batch_high = std::make_unique<BatchingTransport>(
+        *s.rel, BatchingOptions{kWindow});
+    s.top = s.batch_high.get();
+    return s;
+  }
+  if (name == "reliable-over-batching") {
+    s.batch_low =
+        std::make_unique<BatchingTransport>(sim, BatchingOptions{kWindow});
+    s.rel = std::make_unique<ReliableTransport>(*s.batch_low,
+                                                ReliableOptions{});
+    s.top = s.rel.get();
+    return s;
+  }
+  ADD_FAILURE() << "unknown stack " << name;
+  return s;
+}
+
+const char* kStacks[] = {"sim", "reliable", "batching",
+                         "batching-over-reliable", "reliable-over-batching"};
+
+struct Payload final : MessageBody {
+  ProcessId sender = kNoProcess;
+  int seq = 0;
+};
+
+/// Records (sender, seq, sim-time) of everything delivered.
+struct Collector final : Endpoint {
+  explicit Collector(const Transport* clock = nullptr) : clock_(clock) {}
+  struct Got {
+    ProcessId from;
+    int seq;
+    TimePoint at;
+  };
+  std::vector<Got> got;
+  void on_message(const Message& m) override {
+    const auto* p = m.as<Payload>();
+    ASSERT_NE(p, nullptr);
+    got.push_back({p->sender, p->seq,
+                   clock_ != nullptr ? clock_->now() : TimePoint{}});
+  }
+
+ private:
+  const Transport* clock_;
+};
+
+MessageMeta meta_of(VarId x, bool urgent = false) {
+  MessageMeta meta;
+  meta.kind = KindId("CONF");
+  meta.control_bytes = 24;
+  meta.payload_bytes = 8;
+  meta.vars_mentioned = {x};
+  meta.urgent = urgent;
+  return meta;
+}
+
+void send_seq(HostTransport& top, ProcessId from, ProcessId to, int seq,
+              bool urgent = false) {
+  auto body = std::make_shared<Payload>();
+  body->sender = from;
+  body->seq = seq;
+  top.send(from, to, std::move(body), meta_of(/*x=*/2, urgent));
+}
+
+// ---------------------------------------------------------------------------
+// Per-pair FIFO: two senders interleave 20 messages each toward one
+// receiver, every fifth urgent (exercising the urgent-flush path through
+// batching stacks); each sender's sequence must arrive in order.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, PerPairFifo) {
+  for (const char* stack_name : kStacks) {
+    SCOPED_TRACE(stack_name);
+    Simulator sim;
+    Stack stack = make_stack(stack_name, sim);
+    Collector a, b, c;
+    const ProcessId pa = stack.top->add_endpoint(&a);
+    const ProcessId pb = stack.top->add_endpoint(&b);
+    const ProcessId pc = stack.top->add_endpoint(&c);
+
+    for (int i = 0; i < 20; ++i) {
+      // Spread sends over time so batching windows both split and merge.
+      sim.schedule_at(kTimeZero + micros(700 * i), [&, i] {
+        send_seq(*stack.top, pa, pc, i, /*urgent=*/i % 5 == 4);
+        send_seq(*stack.top, pb, pc, 100 + i);
+      });
+    }
+    sim.run();
+
+    ASSERT_EQ(c.got.size(), 40u);
+    int next_a = 0;
+    int next_b = 100;
+    for (const auto& g : c.got) {
+      if (g.from == pa) {
+        EXPECT_EQ(g.seq, next_a++);
+      } else {
+        EXPECT_EQ(g.from, pb);
+        EXPECT_EQ(g.seq, next_b++);
+      }
+    }
+    EXPECT_EQ(next_a, 20);
+    EXPECT_EQ(next_b, 120);
+    EXPECT_TRUE(a.got.empty());
+    EXPECT_TRUE(b.got.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timer ordering: application timers fire in time order with their tags
+// intact, through every shim layer (the decorators reserve bits 62/63 for
+// their own timers and must pass everything else down unchanged).
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, TimerOrderingAndTagPassThrough) {
+  struct Timed final : Endpoint {
+    const Transport* clock = nullptr;
+    std::vector<std::pair<TimerTag, TimePoint>> fired;
+    void on_message(const Message&) override {}
+    void on_timer(TimerTag t) override {
+      fired.emplace_back(t, clock->now());
+    }
+  };
+  for (const char* stack_name : kStacks) {
+    SCOPED_TRACE(stack_name);
+    Simulator sim;
+    Stack stack = make_stack(stack_name, sim);
+    Timed t;
+    t.clock = stack.top;
+    const ProcessId p = stack.top->add_endpoint(&t);
+
+    sim.schedule_at(kTimeZero, [&] {
+      stack.top->set_timer(p, millis(3), 30);
+      stack.top->set_timer(p, millis(1), 10);
+      stack.top->set_timer(p, millis(2), 20);
+    });
+    sim.run();
+
+    ASSERT_EQ(t.fired.size(), 3u);
+    EXPECT_EQ(t.fired[0].first, 10u);
+    EXPECT_EQ(t.fired[1].first, 20u);
+    EXPECT_EQ(t.fired[2].first, 30u);
+    EXPECT_EQ(t.fired[0].second, kTimeZero + millis(1));
+    EXPECT_EQ(t.fired[1].second, kTimeZero + millis(2));
+    EXPECT_EQ(t.fired[2].second, kTimeZero + millis(3));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats attribution.  Lossless channel, k identical messages:
+//   * the application receives exactly k messages with original metadata;
+//   * payload bytes are conserved exactly on every stack (neither ARQ nor
+//     batching touches payload accounting);
+//   * exposure — received messages mentioning x — is exactly k on every
+//     stack (ARQ DATA frames and batch frames both preserve
+//     vars_mentioned multiplicity; acks mention nothing);
+//   * control bytes follow the layer contracts: raw = sum; batching adds
+//     at most kPerItemFramingBytes per member; ARQ adds 16 per DATA frame
+//     plus 8 per ack.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, StatsAttribution) {
+  constexpr int k = 10;
+  for (const char* stack_name : kStacks) {
+    SCOPED_TRACE(stack_name);
+    Simulator sim;
+    Stack stack = make_stack(stack_name, sim);
+    Collector a, b;
+    const ProcessId pa = stack.top->add_endpoint(&a);
+    const ProcessId pb = stack.top->add_endpoint(&b);
+
+    sim.schedule_at(kTimeZero, [&] {
+      for (int i = 0; i < k; ++i) send_seq(*stack.top, pa, pb, i);
+    });
+    sim.run();
+
+    ASSERT_EQ(b.got.size(), static_cast<std::size_t>(k));
+    const ProcessTraffic total = sim.stats().total();
+    // Payload conserved exactly.
+    EXPECT_EQ(total.payload_bytes_sent, 8u * k);
+    EXPECT_EQ(total.payload_bytes_received, 8u * k);
+    // Exposure multiplicity conserved exactly.
+    EXPECT_EQ(sim.stats().exposure(pb, 2), static_cast<std::uint64_t>(k));
+    EXPECT_EQ(sim.stats().exposure(pa, 2), 0u);
+    // Control bytes: at least the application's, at most the per-layer
+    // overhead cap (ARQ: +16/frame and +8/ack; batching: +4 per framed
+    // member — with ARQ above batching, both DATA and ACK frames coalesce
+    // and each pays the member framing).
+    const std::uint64_t app_control = 24u * k;
+    EXPECT_GE(total.control_bytes_sent, app_control);
+    EXPECT_LE(total.control_bytes_sent,
+              app_control + (16u + 8u + 2 * kPerItemFramingBytes) * k);
+    // Batching coalesces: fewer wire messages than app messages (the k
+    // sends land in fewer frames), and all stacks conserve delivery.
+    if (std::string(stack_name) == "batching") {
+      EXPECT_LT(total.msgs_sent, static_cast<std::uint64_t>(k));
+      const BatchingStats bs = stack.batch_high->stats();
+      EXPECT_GT(bs.frames_sent, 0u);
+      EXPECT_EQ(bs.messages_batched + bs.singleton_flushes,
+                static_cast<std::uint64_t>(k));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Urgent flush: with a batching window open, an urgent message leaves
+// immediately — and a non-urgent message to a *different* destination
+// keeps waiting for the window.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, UrgentBypassesWindow) {
+  for (const char* stack_name :
+       {"batching", "batching-over-reliable", "reliable-over-batching"}) {
+    SCOPED_TRACE(stack_name);
+    Simulator sim;  // constant 1ms latency
+    Stack stack = make_stack(stack_name, sim);
+    Collector a(stack.top), b(stack.top), c(stack.top);
+    const ProcessId pa = stack.top->add_endpoint(&a);
+    const ProcessId pb = stack.top->add_endpoint(&b);
+    const ProcessId pc = stack.top->add_endpoint(&c);
+
+    sim.schedule_at(kTimeZero, [&] {
+      send_seq(*stack.top, pa, pb, 1, /*urgent=*/false);
+      send_seq(*stack.top, pa, pc, 2, /*urgent=*/true);
+    });
+    sim.run();
+
+    ASSERT_EQ(b.got.size(), 1u);
+    ASSERT_EQ(c.got.size(), 1u);
+    // Urgent: one network hop only.
+    EXPECT_EQ(c.got[0].at, kTimeZero + millis(1));
+    // Non-urgent: held for the window, then one hop.
+    EXPECT_EQ(b.got[0].at, kTimeZero + kWindow + millis(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Window=0 golden regression: a forced pass-through batching layer is
+// bit-identical to no batching layer, for all nine protocols on all three
+// golden topologies — messages, bytes, exposure fingerprint, events,
+// quiescence time and the full recorded history.
+// ---------------------------------------------------------------------------
+
+golden::Metrics engine_metrics(mcs::ProtocolKind kind,
+                               const graph::Distribution& dist,
+                               bool forced_window0_layer,
+                               std::string* history_out) {
+  mcs::WorkloadSpec spec;
+  spec.ops_per_process = 8;
+  spec.read_fraction = 0.5;
+  spec.seed = 42;
+  const auto scripts = mcs::make_random_scripts(dist, spec);
+
+  mcs::EngineConfig config;
+  config.protocol = kind;
+  config.distribution = &dist;
+  config.scripts = &scripts;
+  config.reliability = mcs::ReliabilityMode::kNever;
+  config.force_batching_layer = forced_window0_layer;  // window stays 0
+  const auto r = mcs::run(std::move(config));
+
+  golden::Metrics out;
+  out.messages = r.total_traffic.msgs_sent;
+  out.bytes = r.total_traffic.wire_bytes_sent();
+  out.exposure_hash = 1469598103934665603ULL;  // FNV offset basis
+  for (std::size_t x = 0; x < dist.var_count; ++x) {
+    for (ProcessId p : r.observed_relevant[x]) {
+      golden::fnv1a(out.exposure_hash, static_cast<std::uint64_t>(p));
+      golden::fnv1a(out.exposure_hash, x);
+    }
+  }
+  out.events = r.events;
+  out.finished_us = r.finished_at.us;
+  *history_out = r.history.to_string();
+  return out;
+}
+
+TEST(TransportConformance, Window0BatchingLayerIsBitIdentical) {
+  for (const auto& topo : golden::golden_topologies()) {
+    for (auto kind : mcs::all_protocols()) {
+      SCOPED_TRACE(std::string(mcs::to_string(kind)) + " on " + topo.name);
+      std::string history_plain;
+      std::string history_layered;
+      const auto plain =
+          engine_metrics(kind, topo.dist, false, &history_plain);
+      const auto layered =
+          engine_metrics(kind, topo.dist, true, &history_layered);
+      EXPECT_EQ(plain.messages, layered.messages);
+      EXPECT_EQ(plain.bytes, layered.bytes);
+      EXPECT_EQ(plain.exposure_hash, layered.exposure_hash);
+      EXPECT_EQ(plain.events, layered.events);
+      EXPECT_EQ(plain.finished_us, layered.finished_us);
+      EXPECT_EQ(history_plain, history_layered);
+    }
+  }
+}
+
+// The wrappers and the engine are the same code path: run_workload must
+// produce exactly what an equivalent EngineConfig produces.
+TEST(TransportConformance, RunWorkloadEqualsEngineRun) {
+  const auto dist = graph::topo::ring(6);
+  mcs::WorkloadSpec spec;
+  spec.ops_per_process = 8;
+  spec.seed = 42;
+  const auto scripts = mcs::make_random_scripts(dist, spec);
+
+  const auto via_wrapper =
+      mcs::run_workload(mcs::ProtocolKind::kCausalPartialAdHoc, dist, scripts);
+
+  mcs::EngineConfig config;
+  config.protocol = mcs::ProtocolKind::kCausalPartialAdHoc;
+  config.distribution = &dist;
+  config.scripts = &scripts;
+  config.reliability = mcs::ReliabilityMode::kNever;
+  const auto via_engine = mcs::run(std::move(config));
+
+  EXPECT_EQ(via_wrapper.total_traffic.msgs_sent,
+            via_engine.total_traffic.msgs_sent);
+  EXPECT_EQ(via_wrapper.total_traffic.wire_bytes_sent(),
+            via_engine.total_traffic.wire_bytes_sent());
+  EXPECT_EQ(via_wrapper.events, via_engine.events);
+  EXPECT_EQ(via_wrapper.finished_at.us, via_engine.finished_at.us);
+  EXPECT_EQ(via_wrapper.history.to_string(), via_engine.history.to_string());
+  EXPECT_EQ(via_wrapper.final_replicas, via_engine.final_replicas);
+}
+
+}  // namespace
+}  // namespace pardsm
