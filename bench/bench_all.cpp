@@ -48,7 +48,7 @@ constexpr std::array kBenches = {
     "bench_batching",
     "bench_latency",            "bench_checkers_scaling",
     "bench_oblivious_apps",     "bench_open_question",
-    "bench_scenarios",
+    "bench_scenarios",          "bench_scale",
 };
 
 std::string self_dir() {
@@ -281,7 +281,7 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream doc;
-  doc << "{\n  \"schema\": \"pardsm-bench-v2\",\n  \"quick\": "
+  doc << "{\n  \"schema\": \"pardsm-bench-v3\",\n  \"quick\": "
       << (quick ? "true" : "false") << ",\n" << baseline_json
       << "  \"benches\": [\n" << benches_json.str() << "  ]\n}\n";
 

@@ -9,12 +9,17 @@
 //   --quick        skip the google-benchmark timing section
 //   --json=PATH    where to write results (default BENCH_<name>.json)
 //
-// JSON schema (pardsm-bench-v2): one object per bench with a `results`
+// JSON schema (pardsm-bench-v3): one object per bench with a `results`
 // array; each result row carries protocol, distribution, ops, messages,
 // bytes, sim_time_ms, wall_ns (real time spent producing the row, 0 when
-// not measured) and ops_per_sec (derived, 0 when not applicable), plus
-// bench-specific `extra` key/value pairs.
+// not measured), ops_per_sec (derived, 0 when not applicable) and
+// max_rss_kb (process peak RSS observed at row completion, 0 when not
+// sampled — a high-water mark, so only rows a bench runs in ascending
+// working-set order give per-configuration numbers), plus bench-specific
+// `extra` key/value pairs.
 #pragma once
+
+#include <sys/resource.h>
 
 #include <chrono>
 #include <cstdint>
@@ -72,6 +77,17 @@ std::uint64_t time_ns(F&& fn) {
           .count());
 }
 
+/// Peak resident set size of this process so far, in kilobytes (Linux
+/// ru_maxrss units).  A high-water mark: it never decreases, so benches
+/// that want per-configuration memory numbers must run configurations in
+/// ascending working-set order and sample after each (bench_scale does).
+inline std::uint64_t max_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss)
+                             : 0;
+}
+
 /// Running wall-clock: construct before the work, read ns() after.
 class WallTimer {
  public:
@@ -98,6 +114,9 @@ struct Result {
   std::uint64_t bytes = 0;     ///< wire bytes sent (control + payload)
   double sim_time_ms = 0.0;    ///< simulated time to quiescence
   std::uint64_t wall_ns = 0;   ///< real time spent producing this row
+  /// Process peak RSS at row completion (0 = not sampled).  High-water,
+  /// not per-row: see max_rss_kb().
+  std::uint64_t max_rss_kb = 0;
   std::vector<std::pair<std::string, double>> extra;
 
   /// Application operations per wall-clock second (0 when unmeasured).
@@ -166,7 +185,7 @@ class Harness {
       return 1;
     }
     os << "    {\n      \"bench\": \"" << json_escape(name_)
-       << "\",\n      \"schema\": \"pardsm-bench-v2\",\n      \"results\": [\n";
+       << "\",\n      \"schema\": \"pardsm-bench-v3\",\n      \"results\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];
       os << "        {\"label\": \"" << json_escape(r.label)
@@ -176,7 +195,8 @@ class Harness {
          << ", \"bytes\": " << r.bytes << ", \"sim_time_ms\": " << std::fixed
          << std::setprecision(3) << r.sim_time_ms << ", \"wall_ns\": "
          << r.wall_ns << ", \"ops_per_sec\": " << std::fixed
-         << std::setprecision(1) << r.ops_per_sec();
+         << std::setprecision(1) << r.ops_per_sec()
+         << ", \"max_rss_kb\": " << r.max_rss_kb;
       for (const auto& [key, value] : r.extra) {
         os << ", \"" << json_escape(key) << "\": " << std::fixed
            << std::setprecision(3) << value;

@@ -65,12 +65,19 @@ python3 - "$BUILD_DIR/$BENCH_OUT" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rows = sum(len(b["results"]) for b in doc["benches"])
-assert doc["schema"] == "pardsm-bench-v2" and doc["benches"], doc.keys()
+assert doc["schema"] == "pardsm-bench-v3" and doc["benches"], doc.keys()
+for b in doc["benches"]:
+    assert b["schema"] == "pardsm-bench-v3", b["bench"]
+    for r in b["results"]:
+        assert "max_rss_kb" in r, (b["bench"], r.get("label"))
 timed = [r for b in doc["benches"] for r in b["results"] if r.get("wall_ns", 0) > 0]
 total_ms = sum(r["wall_ns"] for r in timed) / 1e6
+rss_rows = [r for b in doc["benches"] for r in b["results"] if r["max_rss_kb"] > 0]
+peak_mb = max((r["max_rss_kb"] for r in rss_rows), default=0) / 1024
 import os
 print(f"{os.path.basename(sys.argv[1])} ok: {len(doc['benches'])} benches, "
-      f"{rows} result rows, {len(timed)} timed rows ({total_ms:.1f} ms wall)")
+      f"{rows} result rows, {len(timed)} timed rows ({total_ms:.1f} ms wall), "
+      f"{len(rss_rows)} RSS-sampled rows (peak {peak_mb:.0f} MB)")
 EOF
 
 echo "== done =="

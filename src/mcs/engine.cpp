@@ -154,6 +154,9 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
                "latency models require the simulator runtime");
 
   ThreadRuntime rt;
+  // The runtime only ever learns n; the distribution's variable count
+  // pre-sizes the exposure rows (branch-free deliver accounting).
+  rt.stats().set_var_hint(dist.var_count);
   // Batching is preemption-safe (per-sender state only ever touched on the
   // owning thread), so the coalescing layer stacks here too.
   std::optional<BatchingTransport> batch;
@@ -209,6 +212,9 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
   sim_options.channel = config.channel;
   sim_options.latency = std::move(config.latency);
   Simulator sim(std::move(sim_options));
+  // Declare m before the network materializes: ensure_network's resize
+  // then pre-sizes every exposure row (branch-free deliver accounting).
+  sim.stats().set_var_hint(dist.var_count);
 
   // Assemble the transport stack bottom-up.  Faulty runs go through the
   // ARQ layer: the protocols assume reliable FIFO channels for liveness,
@@ -280,6 +286,8 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
   result.used_reliable_transport = reliable;
   result.retransmissions = rel ? rel->retransmissions() : 0;
   result.drops = sim.network().drop_counters();
+  result.active_channel_pairs = sim.network().fifo_pairs();
+  result.channel_state_bytes = sim.network().state_bytes();
   if (batch) result.batching = batch->stats();
   for (const auto& proc : processes) {
     const RecoveryStats& r = proc->recovery_stats();

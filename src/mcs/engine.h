@@ -110,6 +110,12 @@ struct RunResult {
   std::vector<std::vector<ReplicaEntry>> final_replicas;
   TimePoint finished_at{};
   std::uint64_t events = 0;
+  /// Channel-state footprint at quiescence (simulator runs only): directed
+  /// pairs that carried at least one surviving message, and the bytes the
+  /// network's sparse per-pair tables hold — the observable form of the
+  /// O(active pairs) memory model (docs/SCALING.md).
+  std::size_t active_channel_pairs = 0;
+  std::size_t channel_state_bytes = 0;
 };
 
 /// run() / run_scenario result: the ordinary run outcome plus the fault

@@ -68,10 +68,23 @@ class CliqueTable {
  public:
   explicit CliqueTable(const graph::Distribution& dist) {
     cliques_.resize(dist.var_count);
-    for (std::size_t p = 0; p < dist.per_process.size(); ++p) {
-      for (VarId x : dist.per_process[p]) {
+    // Two passes: count then fill.  At large n (thousands of processes,
+    // thousands of variables) the push_back-only build reallocates every
+    // clique log|C(x)| times; exact reserves make construction one
+    // allocation per variable.
+    std::vector<std::uint32_t> sizes(dist.var_count, 0);
+    for (const auto& held : dist.per_process) {
+      for (VarId x : held) {
         PARDSM_CHECK(x >= 0 && static_cast<std::size_t>(x) < dist.var_count,
                      "CliqueTable: variable id out of range");
+        ++sizes[static_cast<std::size_t>(x)];
+      }
+    }
+    for (std::size_t x = 0; x < dist.var_count; ++x) {
+      cliques_[x].reserve(sizes[x]);
+    }
+    for (std::size_t p = 0; p < dist.per_process.size(); ++p) {
+      for (VarId x : dist.per_process[p]) {
         cliques_[static_cast<std::size_t>(x)].push_back(
             static_cast<ProcessId>(p));  // p ascending → sorted
       }

@@ -1,6 +1,9 @@
 #include "sharegraph/topologies.h"
 
 #include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
 
 #include "simnet/check.h"
 #include "simnet/rng.h"
@@ -265,6 +268,101 @@ Distribution preferential_attachment(std::size_t n, std::size_t attach,
     }
   }
   d.var_count = static_cast<std::size_t>(next);
+  return d;
+}
+
+Distribution sharded(std::size_t shards, std::size_t replicas_per_var,
+                     std::size_t vars) {
+  PARDSM_CHECK(shards >= 1 && replicas_per_var >= 1 && vars >= 1,
+               "sharded parameter sanity");
+  Distribution d;
+  d.name = "sharded-s" + std::to_string(shards) + "-r" +
+           std::to_string(replicas_per_var) + "-m" + std::to_string(vars);
+  d.var_count = vars;
+  d.per_process.resize(shards * replicas_per_var);
+  // Exact reserve: shard s holds ceil((vars - s) / shards) variables.
+  for (std::size_t p = 0; p < d.per_process.size(); ++p) {
+    const std::size_t s = p / replicas_per_var;
+    if (s < vars) {
+      d.per_process[p].reserve((vars - s + shards - 1) / shards);
+    }
+  }
+  for (std::size_t x = 0; x < vars; ++x) {
+    const std::size_t shard = x % shards;
+    for (std::size_t i = 0; i < replicas_per_var; ++i) {
+      d.per_process[shard * replicas_per_var + i].push_back(
+          static_cast<VarId>(x));
+    }
+  }
+  return d;
+}
+
+Distribution hierarchical(std::size_t branching, std::size_t depth) {
+  PARDSM_CHECK(branching >= 2 && depth >= 2, "hierarchical needs b>=2, d>=2");
+  std::size_t n = 0;
+  std::size_t level_size = 1;
+  for (std::size_t l = 0; l < depth; ++l) {
+    n += level_size;
+    level_size *= branching;
+  }
+  Distribution d;
+  d.name = "hier-b" + std::to_string(branching) + "-d" + std::to_string(depth);
+  d.per_process.resize(n);
+  // BFS numbering: children of node p are branching*p + 1 .. + branching.
+  const std::size_t internal = (n - 1) / branching;  // nodes with children
+  d.var_count = internal;
+  VarId next = 0;
+  for (std::size_t p = 0; p < internal; ++p) {
+    d.per_process[p].push_back(next);
+    for (std::size_t c = 1; c <= branching; ++c) {
+      d.per_process[branching * p + c].push_back(next);
+    }
+    ++next;
+  }
+  return d;
+}
+
+Distribution zipf_replication(std::size_t n, std::size_t m, std::size_t r,
+                              double skew, std::uint64_t seed) {
+  PARDSM_CHECK(r >= 1 && r <= n, "replication degree must be in [1, n]");
+  PARDSM_CHECK(skew >= 0.0, "zipf_replication needs skew >= 0");
+  Distribution d;
+  {
+    std::ostringstream name;
+    name << "zipf-n" << n << "-m" << m << "-r" << r << "-a" << std::fixed
+         << std::setprecision(2) << skew << "-s" << seed;
+    d.name = name.str();
+  }
+  d.var_count = m;
+  d.per_process.resize(n);
+  // Cumulative Zipf weights over process ids: P(p) ∝ 1 / (p + 1)^skew.
+  std::vector<double> cdf(n);
+  double total = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    total += 1.0 / std::pow(static_cast<double>(p + 1), skew);
+    cdf[p] = total;
+  }
+  Rng rng(seed);
+  std::vector<ProcessId> chosen;
+  chosen.reserve(r);
+  for (std::size_t x = 0; x < m; ++x) {
+    chosen.clear();
+    while (chosen.size() < r) {
+      const double u = rng.uniform01() * total;
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      const auto p = static_cast<ProcessId>(it == cdf.end()
+                                                ? n - 1
+                                                : it - cdf.begin());
+      if (std::find(chosen.begin(), chosen.end(), p) == chosen.end()) {
+        chosen.push_back(p);
+      }
+    }
+    for (ProcessId p : chosen) {
+      d.per_process[static_cast<std::size_t>(p)].push_back(
+          static_cast<VarId>(x));
+    }
+  }
+  for (auto& xs : d.per_process) std::sort(xs.begin(), xs.end());
   return d;
 }
 

@@ -76,4 +76,41 @@ namespace pardsm::graph::topo {
                                                    std::size_t attach,
                                                    std::uint64_t seed);
 
+// -- scale-oriented generators (hundreds to thousands of processes) --------
+//
+// The paper's figures stop at a handful of processes, but its efficiency
+// argument — metadata cost tracks *which* processes share, not how many
+// exist — only shows at sizes where O(n) and O(|C(x)|) visibly diverge.
+// These three shapes are the large-n corpus of bench_scale and
+// tests/test_scale.cpp.
+
+/// Datacenter sharding: `shards` disjoint replica groups of
+/// `replicas_per_var` processes each (n = shards · replicas_per_var);
+/// variable x lives on every process of shard x mod shards.  Cliques never
+/// cross shards, so the share graph is `shards` disconnected cells — the
+/// best case for partial replication (and for O(active pairs) channel
+/// state: traffic touches only intra-shard pairs).
+[[nodiscard]] Distribution sharded(std::size_t shards,
+                                   std::size_t replicas_per_var,
+                                   std::size_t vars);
+
+/// Hierarchical ("tree of cells"): a complete `branching`-ary tree of
+/// `depth` levels, one process per node (n = Σ branching^l).  Every
+/// internal node owns one cell variable replicated on itself and its
+/// children, so each cell is fully replicated internally and bridged to
+/// its parent cell through the shared parent process — the classic
+/// aggregation topology (rack → pod → datacenter).
+[[nodiscard]] Distribution hierarchical(std::size_t branching,
+                                        std::size_t depth);
+
+/// Popularity-skewed replication: m variables, each replicated on `r`
+/// distinct processes drawn from a Zipf(`skew`) distribution over process
+/// ids (process 0 hottest).  Low-id processes join many cliques (hot
+/// coordinators), the tail joins few — the skewed overlap patterns of
+/// real sharded stores, rich in hoops through the hot processes.
+/// Deterministic in `seed`; skew = 0 degenerates to uniform replication.
+[[nodiscard]] Distribution zipf_replication(std::size_t n, std::size_t m,
+                                            std::size_t r, double skew,
+                                            std::uint64_t seed);
+
 }  // namespace pardsm::graph::topo

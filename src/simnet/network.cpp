@@ -14,10 +14,8 @@ Network::Network(std::size_t n, ChannelOptions options,
       // fault-free run; fork after (forking advances `rng`, not the copy).
       latency_rng_(rng),
       fault_rng_(rng.fork(/*tag=*/0x4641554CULL)),  // "FAUL"
-      last_delivery_(n * n, TimePoint{}),
-      severed_(n * n, 0),
-      loss_(n * n, options.drop_probability),
-      duplicate_(n * n, options.duplicate_probability),
+      default_loss_(options.drop_probability),
+      default_duplicate_(options.duplicate_probability),
       down_(n, 0) {}
 
 void Network::check_pair(ProcessId from, ProcessId to, const char* what) const {
@@ -37,7 +35,8 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
   const Duration lat = latency_->sample(from, to, latency_rng_);
 
   const std::size_t ij = pair(from, to);
-  if (severed_[ij] != 0) {
+  if (const std::uint32_t* cuts = severed_.find(ij);
+      cuts != nullptr && *cuts != 0) {
     ++drops_.severed;
     return {};
   }
@@ -54,7 +53,9 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
   DeliveryPlan deliveries;
   const auto clamp_push = [&](TimePoint at) {
     if (options_.fifo) {
-      TimePoint& last = last_delivery_[ij];
+      // First surviving message of the pair materializes its clamp slot
+      // (the reference is used before any further insertion can rehash).
+      TimePoint& last = last_delivery_.get_or_insert(ij, TimePoint{});
       if (at <= last) at = last + micros(1);
       last = at;
     }
@@ -71,46 +72,53 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
 
 void Network::sever(ProcessId from, ProcessId to) {
   check_pair(from, to, "sever: bad process");
-  ++severed_[pair(from, to)];
+  ++severed_.get_or_insert(pair(from, to), 0);
 }
 
 void Network::heal(ProcessId from, ProcessId to) {
   check_pair(from, to, "heal: bad process");
-  std::uint32_t& cuts = severed_[pair(from, to)];
-  if (cuts > 0) --cuts;
+  std::uint32_t* cuts = severed_.find(pair(from, to));
+  if (cuts != nullptr && *cuts > 0) --*cuts;
 }
 
 bool Network::severed(ProcessId from, ProcessId to) const {
   check_pair(from, to, "severed: bad process");
-  return severed_[pair(from, to)] != 0;
+  const std::uint32_t* cuts = severed_.find(pair(from, to));
+  return cuts != nullptr && *cuts != 0;
 }
 
 void Network::set_loss(ProcessId from, ProcessId to, double probability) {
   check_pair(from, to, "set_loss: bad process");
-  loss_[pair(from, to)] = probability;
+  loss_.get_or_insert(pair(from, to), 0.0) = probability;
 }
 
 void Network::set_loss_all(double probability) {
-  for (double& p : loss_) p = probability;
+  // What overwriting every cell of the dense table did: the new rate
+  // answers for every pair, including previously overridden ones.
+  default_loss_ = probability;
+  loss_.clear();
 }
 
 double Network::loss(ProcessId from, ProcessId to) const {
   check_pair(from, to, "loss: bad process");
-  return loss_[pair(from, to)];
+  const double* p = loss_.find(pair(from, to));
+  return p != nullptr ? *p : default_loss_;
 }
 
 void Network::set_duplicate(ProcessId from, ProcessId to, double probability) {
   check_pair(from, to, "set_duplicate: bad process");
-  duplicate_[pair(from, to)] = probability;
+  duplicate_.get_or_insert(pair(from, to), 0.0) = probability;
 }
 
 void Network::set_duplicate_all(double probability) {
-  for (double& p : duplicate_) p = probability;
+  default_duplicate_ = probability;
+  duplicate_.clear();
 }
 
 double Network::duplicate(ProcessId from, ProcessId to) const {
   check_pair(from, to, "duplicate: bad process");
-  return duplicate_[pair(from, to)];
+  const double* p = duplicate_.find(pair(from, to));
+  return p != nullptr ? *p : default_duplicate_;
 }
 
 double Network::effective_loss(ProcessId from, ProcessId to,
@@ -120,7 +128,8 @@ double Network::effective_loss(ProcessId from, ProcessId to,
     const double p = override_->loss(from, to, now);
     if (p >= 0.0) return p;
   }
-  return loss_[pair(from, to)];
+  const double* p = loss_.find(pair(from, to));
+  return p != nullptr ? *p : default_loss_;
 }
 
 double Network::effective_duplicate(ProcessId from, ProcessId to,
@@ -130,7 +139,8 @@ double Network::effective_duplicate(ProcessId from, ProcessId to,
     const double p = override_->duplicate(from, to, now);
     if (p >= 0.0) return p;
   }
-  return duplicate_[pair(from, to)];
+  const double* p = duplicate_.find(pair(from, to));
+  return p != nullptr ? *p : default_duplicate_;
 }
 
 void Network::set_down(ProcessId p, bool down) {

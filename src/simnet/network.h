@@ -21,8 +21,10 @@
 #include <utility>
 #include <vector>
 
+#include "simnet/check.h"
 #include "simnet/ids.h"
 #include "simnet/latency.h"
+#include "simnet/pair_map.h"
 #include "simnet/rng.h"
 #include "simnet/sim_time.h"
 
@@ -48,7 +50,12 @@ struct DeliveryPlan {
   std::array<TimePoint, 2> at{};
   std::uint8_t count = 0;
 
-  void push(TimePoint t) { at[count++] = t; }
+  void push(TimePoint t) {
+    PARDSM_CHECK(count < at.size(),
+                 "DeliveryPlan: more deliveries than the fixed capacity "
+                 "(one original + one duplicate)");
+    at[count++] = t;
+  }
   [[nodiscard]] std::size_t size() const { return count; }
   [[nodiscard]] bool empty() const { return count == 0; }
   [[nodiscard]] TimePoint operator[](std::size_t i) const { return at[i]; }
@@ -106,8 +113,10 @@ class Network {
   void heal(ProcessId from, ProcessId to);
   [[nodiscard]] bool severed(ProcessId from, ProcessId to) const;
 
-  /// Dynamic per-pair loss/duplication tables.  The ChannelOptions
-  /// probabilities seed every pair at construction.
+  /// Dynamic per-pair loss/duplication rates: a default (seeded from
+  /// ChannelOptions) plus sparse per-pair overrides.  set_*_all rewrites
+  /// the default and drops every override, which is observably what
+  /// overwriting a dense table did.
   void set_loss(ProcessId from, ProcessId to, double probability);
   void set_loss_all(double probability);
   [[nodiscard]] double loss(ProcessId from, ProcessId to) const;
@@ -139,6 +148,28 @@ class Network {
   /// down when the message arrived (in-flight at crash time).
   void count_in_flight_drop() { ++drops_.in_flight; }
 
+  /// Directed pairs holding FIFO clamp state (pairs that carried at least
+  /// one surviving message) — the "active pairs" of the memory model.
+  [[nodiscard]] std::size_t fifo_pairs() const {
+    return last_delivery_.size();
+  }
+
+  /// Explicit override entries across the loss, duplication and cut
+  /// tables.  An entry count, not a pair count: a pair carrying several
+  /// kinds of override contributes once per kind, and a healed pair keeps
+  /// its (zero-valued) cut entry.
+  [[nodiscard]] std::size_t override_entries() const {
+    return loss_.size() + duplicate_.size() + severed_.size();
+  }
+
+  /// Bytes of per-pair channel state currently held (slot arrays of the
+  /// four sparse tables).  O(active pairs), not O(n²): an idle or sharded
+  /// system pays only for the pairs that diverged from the defaults.
+  [[nodiscard]] std::size_t state_bytes() const {
+    return last_delivery_.memory_bytes() + severed_.memory_bytes() +
+           loss_.memory_bytes() + duplicate_.memory_bytes();
+  }
+
   /// Messages dropped so far (fault injection, loss, downtime), total and
   /// by cause.
   [[nodiscard]] std::uint64_t dropped_count() const { return drops_.total(); }
@@ -160,12 +191,20 @@ class Network {
   /// latency): isolated so fault knobs never shift latency sampling.
   Rng fault_rng_;
   /// Last planned delivery time per directed pair (FIFO clamp state),
-  /// dense so the per-send lookup is an indexed load, not a tree walk.
-  std::vector<TimePoint> last_delivery_;
-  /// Cut count per directed pair (> 0 = severed).
-  std::vector<std::uint32_t> severed_;
-  std::vector<double> loss_;
-  std::vector<double> duplicate_;
+  /// allocated lazily on a pair's first surviving message: an idle pair
+  /// costs nothing, so total channel state is O(active pairs), not O(n²).
+  PairMap<TimePoint> last_delivery_;
+  /// Cut count per directed pair (> 0 = severed); only pairs a partition
+  /// ever touched have an entry.
+  PairMap<std::uint32_t> severed_;
+  /// Per-pair rate overrides over the ChannelOptions defaults.  The
+  /// defaults answer for every absent pair; set_*_all rewrites the
+  /// default and drops the overrides — observably identical to the dense
+  /// tables these replaced (every pair seeded, set_*_all overwrote all).
+  double default_loss_;
+  double default_duplicate_;
+  PairMap<double> loss_;
+  PairMap<double> duplicate_;
   std::shared_ptr<const RateOverride> override_;
   std::vector<std::uint8_t> down_;
   DropCounters drops_;

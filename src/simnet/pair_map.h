@@ -1,0 +1,117 @@
+// Flat hash map over packed directed-pair indices.
+//
+// Network keeps per-pair channel state (FIFO clamp, severed-cut counts,
+// loss/duplication overrides).  Dense n×n tables cost ~28 B per pair —
+// ~470 MB at n = 4096 — even when every pair sits at its default, which
+// locks the engine out of the large-n regime the paper's efficiency
+// argument is about.  PairMap stores only the pairs that ever diverged
+// from the default: open addressing with linear probing over a
+// power-of-two slot array, keyed by the packed pair index
+// (from * n + to), so a lookup is one multiplicative hash plus a short
+// probe — cheap enough for plan_delivery's per-send path.
+//
+// Restricted to trivially copyable mapped types (counters, rates, time
+// points).  Entries are never erased: channel state only ever shrinks by
+// whole-map clear() (set_*_all), which keeps probe chains tombstone-free.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+template <typename V>
+class PairMap {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "PairMap is for trivially copyable mapped types");
+
+ public:
+  PairMap() = default;
+
+  /// Pointer to the value stored for `key`, or nullptr when the pair has
+  /// never been touched (caller falls back to the default).
+  [[nodiscard]] const V* find(std::uint64_t key) const {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask()) {
+      const Slot& s = slots_[i];
+      // kEmpty first: the reserved key must miss, not match a vacant slot.
+      if (s.key == kEmpty) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  [[nodiscard]] V* find(std::uint64_t key) {
+    return const_cast<V*>(std::as_const(*this).find(key));
+  }
+
+  /// Value for `key`, inserting `init` first if the pair is new.  The
+  /// returned reference is invalidated by the next insertion (rehash).
+  V& get_or_insert(std::uint64_t key, const V& init) {
+    PARDSM_CHECK(key != kEmpty, "PairMap: reserved key");
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) grow();
+    for (std::size_t i = probe_start(key);; i = (i + 1) & mask()) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmpty) {
+        s.key = key;
+        s.value = init;
+        ++size_;
+        return s.value;
+      }
+    }
+  }
+
+  /// Drop every entry (the map falls back to "all pairs at default") and
+  /// release the slot array.
+  void clear() {
+    slots_.clear();
+    slots_.shrink_to_fit();
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Bytes held by the slot array (capacity, not just live entries) —
+  /// what the O(active pairs) memory claim is measured against.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return slots_.size() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmpty;
+    V value{};
+  };
+
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  [[nodiscard]] std::size_t mask() const { return slots_.size() - 1; }
+
+  /// SplitMix64-style finalizer: packed pair indices are highly regular
+  /// (consecutive `to` values share a `from` stripe), so the multiply-xor
+  /// cascade is what spreads them across the table.
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const {
+    std::uint64_t z = key + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & mask();
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != kEmpty) get_or_insert(s.key, s.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pardsm

@@ -16,6 +16,8 @@
 #include <initializer_list>
 #include <type_traits>
 
+#include "simnet/check.h"
+
 namespace pardsm {
 
 template <typename T, std::size_t N>
@@ -89,6 +91,17 @@ class SmallVec {
     return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
   }
 
+  /// The doubled capacity grow() moves to.  `capacity * 2` in 32 bits
+  /// wraps silently at 2³¹ elements; the check makes that failure loud
+  /// (matching the kind-table overflow check) instead of a zero-sized
+  /// buffer and an out-of-bounds write.  Public so the overflow guard is
+  /// unit-testable without materializing 2³¹ elements.
+  [[nodiscard]] static std::uint32_t next_capacity(std::uint32_t capacity) {
+    PARDSM_CHECK(capacity <= (~std::uint32_t{0}) / 2,
+                 "SmallVec: capacity overflow (2^31 elements)");
+    return capacity * 2;
+  }
+
  private:
   void assign(const SmallVec& other) {
     for (const T& v : other) push_back(v);
@@ -108,7 +121,7 @@ class SmallVec {
   }
 
   void grow() {
-    const auto new_capacity = capacity_ * 2;
+    const auto new_capacity = next_capacity(capacity_);
     T* bigger = new T[new_capacity];
     std::copy(data(), data() + size_, bigger);
     delete[] heap_;

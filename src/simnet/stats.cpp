@@ -9,7 +9,16 @@ namespace pardsm {
 void NetworkStats::resize(std::size_t n) {
   std::lock_guard lock(mu_);
   per_process_.assign(n, ProcessTraffic{});
-  exposure_.assign(n, {});
+  exposure_.assign(n, std::vector<std::uint64_t>(var_hint_, 0));
+}
+
+void NetworkStats::set_var_hint(std::size_t m) {
+  std::lock_guard lock(mu_);
+  if (m <= var_hint_) return;
+  var_hint_ = m;
+  for (auto& row : exposure_) {
+    if (row.size() < m) row.resize(m, 0);
+  }
 }
 
 void NetworkStats::on_send(const Message& m) {
@@ -35,7 +44,10 @@ void NetworkStats::on_deliver(const Message& m) {
   auto& exp = exposure_[static_cast<std::size_t>(m.to)];
   for (VarId x : m.meta.vars_mentioned) {
     const auto xi = static_cast<std::size_t>(x);
-    if (xi >= exp.size()) exp.resize(xi + 1, 0);  // rare: grows to max VarId
+    // Guarded fallback only: rows are pre-sized to the declared variable
+    // count, so this branch fires solely for callers that never gave a
+    // var hint (or a message mentioning an undeclared variable).
+    if (xi >= exp.size()) exp.resize(xi + 1, 0);
     ++exp[xi];
   }
 }

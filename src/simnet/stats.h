@@ -6,10 +6,13 @@
 // metadata mentioning a given variable.  The exposure table is exactly the
 // empirical version of the paper's "x-relevant" notion (DESIGN.md T1/T2).
 //
-// Exposure is a dense per-process counter array indexed by VarId (grown
-// lazily to the highest variable mentioned, then constant), so the
-// per-delivery update is an indexed increment — no associative containers
-// on the hot path.
+// Exposure is a dense per-process counter array indexed by VarId.  Rows
+// are pre-sized to the run's variable count (set_var_hint — the engine
+// knows m), so the per-delivery update is a plain indexed increment with
+// no size branch taken; lazy growth survives only as a guarded fallback
+// for callers that never declared a variable count.  Pre-sizing also
+// makes row shapes — not just values — independent of receipt order,
+// which the ragged lazily-grown rows were not.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +44,15 @@ class NetworkStats {
  public:
   explicit NetworkStats(std::size_t n = 0) { resize(n); }
 
-  /// (Re)size for `n` processes, clearing all counters.
+  /// (Re)size for `n` processes, clearing all counters.  Exposure rows are
+  /// pre-sized to the current variable-count hint.
   void resize(std::size_t n);
+
+  /// Declare the run's variable count `m`: every exposure row (current and
+  /// future) is pre-sized to m entries, keeping the per-delivery update
+  /// branch-free and row shapes receipt-order independent.  Idempotent;
+  /// a larger hint extends existing rows in place.
+  void set_var_hint(std::size_t m);
 
   /// Record a message leaving `m.from`.
   void on_send(const Message& m);
@@ -84,8 +94,10 @@ class NetworkStats {
   mutable std::mutex mu_;
   std::vector<ProcessTraffic> per_process_;
   /// exposure_[p][x] = number of received messages mentioning x; each row
-  /// is dense over VarId, grown on first mention past its current size.
+  /// is dense over VarId, pre-sized to var_hint_ and grown past it only
+  /// by the guarded fallback in on_deliver.
   std::vector<std::vector<std::uint64_t>> exposure_;
+  std::size_t var_hint_ = 0;
 };
 
 }  // namespace pardsm

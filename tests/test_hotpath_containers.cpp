@@ -15,6 +15,7 @@
 #include "sharegraph/topologies.h"
 #include "simnet/event_queue.h"
 #include "simnet/kind_table.h"
+#include "simnet/pair_map.h"
 #include "simnet/small_vec.h"
 
 // ---------------------------------------------------------------------------
@@ -189,6 +190,66 @@ TEST(SmallVecTest, AssignmentReleasesAndCopies) {
   EXPECT_EQ(a, b);
   b = SmallVec<VarId, 2>{1, 2, 3, 4};
   EXPECT_EQ(b.size(), 4u);
+}
+
+// capacity * 2 in 32 bits wraps at 2^31: the doubling must refuse loudly
+// instead of allocating a zero-sized buffer and writing past it.  The
+// computation is a public static exactly so this is testable without
+// materializing 2^31 elements.
+TEST(SmallVecTest, GrowRefusesCapacityOverflow) {
+  using V = SmallVec<VarId, 2>;
+  EXPECT_EQ(V::next_capacity(2), 4u);
+  EXPECT_EQ(V::next_capacity(1u << 30), 1u << 31);
+  EXPECT_THROW((void)V::next_capacity((1u << 31) + 1), std::logic_error);
+  EXPECT_THROW((void)V::next_capacity(~std::uint32_t{0}), std::logic_error);
+}
+
+// --------------------------------------------------------------- PairMap
+TEST(PairMapTest, FindMissesUntilInserted) {
+  PairMap<double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+  map.get_or_insert(42, 0.5) = 0.7;
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 0.7);
+  EXPECT_EQ(map.find(43), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(PairMapTest, GetOrInsertKeepsExistingValue) {
+  PairMap<std::uint32_t> map;
+  ++map.get_or_insert(7, 0);
+  ++map.get_or_insert(7, 0);
+  EXPECT_EQ(*map.find(7), 2u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(PairMapTest, SurvivesGrowthWithRegularPairKeys) {
+  // Packed pair indices are stripes of consecutive integers — the worst
+  // case for a weak hash.  Insert a large n×n-ish sample and verify every
+  // key still resolves after many rehashes.
+  PairMap<std::uint64_t> map;
+  const std::uint64_t n = 97;
+  for (std::uint64_t from = 0; from < n; ++from) {
+    for (std::uint64_t to = 0; to < n; to += 3) {
+      map.get_or_insert(from * n + to, 0) = from * 1000 + to;
+    }
+  }
+  for (std::uint64_t from = 0; from < n; ++from) {
+    for (std::uint64_t to = 0; to < n; ++to) {
+      const auto* v = map.find(from * n + to);
+      if (to % 3 == 0) {
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, from * 1000 + to);
+      } else {
+        EXPECT_EQ(v, nullptr);
+      }
+    }
+  }
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), nullptr);
+  EXPECT_EQ(map.memory_bytes(), 0u);
 }
 
 // ------------------------------------------------- steady-state allocation

@@ -192,6 +192,62 @@ TEST(Network, SeverAndHeal) {
   EXPECT_FALSE(net.plan_delivery(0, 1, TimePoint{1}).empty());
 }
 
+// A third delivery would write past the fixed two-slot array — the check
+// must fire, not corrupt the stack (a silent out-of-bounds write is
+// exactly what a future second duplicate draw would have produced).
+TEST(Network, DeliveryPlanOverflowIsLoud) {
+  DeliveryPlan plan;
+  plan.push(TimePoint{1});
+  plan.push(TimePoint{2});
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_THROW(plan.push(TimePoint{3}), std::logic_error);
+}
+
+// Channel state is O(active pairs): only pairs that carried a surviving
+// message (FIFO clamp) or were explicitly configured have entries.
+TEST(Network, ChannelStateTracksActivePairsOnly) {
+  Network net(1000, {}, nullptr, Rng(9));
+  EXPECT_EQ(net.fifo_pairs(), 0u);
+  EXPECT_EQ(net.override_entries(), 0u);
+
+  (void)net.plan_delivery(0, 1, TimePoint{0});
+  (void)net.plan_delivery(0, 1, TimePoint{1});  // same pair: no new state
+  (void)net.plan_delivery(7, 3, TimePoint{2});
+  EXPECT_EQ(net.fifo_pairs(), 2u);
+
+  net.set_loss(4, 5, 0.5);
+  net.sever(8, 9);
+  EXPECT_EQ(net.override_entries(), 2u);
+  // Untouched pairs answer with the defaults.
+  EXPECT_EQ(net.loss(1, 2), 0.0);
+  EXPECT_EQ(net.duplicate(1, 2), 0.0);
+  EXPECT_FALSE(net.severed(1, 2));
+  EXPECT_EQ(net.loss(4, 5), 0.5);
+  EXPECT_TRUE(net.severed(8, 9));
+}
+
+// set_*_all must answer for every pair, including previously overridden
+// ones — exactly what overwriting the dense table did.
+TEST(Network, SetAllReplacesPairOverrides) {
+  ChannelOptions ch;
+  ch.drop_probability = 0.05;
+  Network net(4, ch, nullptr, Rng(10));
+  EXPECT_EQ(net.loss(2, 3), 0.05);  // ChannelOptions seeds the default
+  net.set_loss(0, 1, 0.9);
+  net.set_duplicate(0, 1, 0.8);
+  net.set_loss_all(0.2);
+  net.set_duplicate_all(0.1);
+  EXPECT_EQ(net.loss(0, 1), 0.2);
+  EXPECT_EQ(net.loss(3, 2), 0.2);
+  EXPECT_EQ(net.duplicate(0, 1), 0.1);
+  EXPECT_EQ(net.duplicate(1, 0), 0.1);
+  // Heal on a never-severed pair stays a no-op (no underflow entry).
+  net.heal(1, 2);
+  EXPECT_FALSE(net.severed(1, 2));
+  net.sever(1, 2);
+  EXPECT_TRUE(net.severed(1, 2));
+}
+
 // -------------------------------------------------------------- Simulator
 namespace {
 struct Echo final : Endpoint {
@@ -280,6 +336,67 @@ TEST(Simulator, MaxEventsGuardTrips) {
   loop.self = sim.add_endpoint(&loop);
   sim.set_timer(loop.self, millis(1), 0);
   EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+// ------------------------------------------------------------ NetworkStats
+namespace {
+Message mention(ProcessId from, ProcessId to,
+                std::initializer_list<VarId> vars) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.meta.kind = "X";
+  m.meta.control_bytes = 8;
+  m.meta.vars_mentioned = vars;
+  return m;
+}
+}  // namespace
+
+// With a var hint, rows are pre-sized at resize() time: the exposure
+// matrix's shape and content are a pure function of the delivered set —
+// independent of receipt order (ragged lazily-grown rows were not).
+TEST(NetworkStats, ExposureIndependentOfReceiptOrder) {
+  const std::size_t n = 3, m = 6;
+  const std::vector<Message> msgs = {
+      mention(0, 1, {5}),  // high VarId first on p1
+      mention(0, 1, {0}),
+      mention(1, 2, {2}),
+      mention(0, 2, {4, 2}),
+      mention(2, 0, {1}),
+  };
+  NetworkStats forward;
+  forward.set_var_hint(m);
+  forward.resize(n);
+  NetworkStats backward;
+  backward.set_var_hint(m);
+  backward.resize(n);
+  for (const Message& msg : msgs) forward.on_deliver(msg);
+  for (auto it = msgs.rbegin(); it != msgs.rend(); ++it) {
+    backward.on_deliver(*it);
+  }
+  EXPECT_EQ(forward.exposure_sets(m), backward.exposure_sets(m));
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto pid = static_cast<ProcessId>(p);
+    EXPECT_EQ(forward.variables_seen_by(pid), backward.variables_seen_by(pid));
+    for (std::size_t x = 0; x < m; ++x) {
+      EXPECT_EQ(forward.exposure(pid, static_cast<VarId>(x)),
+                backward.exposure(pid, static_cast<VarId>(x)));
+    }
+  }
+}
+
+// Without a hint the lazy fallback still grows rows past their size — and
+// a late hint extends existing rows in place.
+TEST(NetworkStats, LazyFallbackAndLateHint) {
+  NetworkStats stats;
+  stats.resize(2);
+  stats.on_deliver(mention(0, 1, {9}));  // far past the (empty) row
+  EXPECT_EQ(stats.exposure(1, 9), 1u);
+  EXPECT_EQ(stats.exposure(1, 3), 0u);
+  stats.set_var_hint(16);
+  stats.on_deliver(mention(0, 1, {15}));
+  EXPECT_EQ(stats.exposure(1, 15), 1u);
+  EXPECT_EQ(stats.exposure(1, 9), 1u);
 }
 
 }  // namespace
