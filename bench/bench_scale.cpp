@@ -31,6 +31,14 @@
 //
 // --quick caps the sweep at n = 256 (CI budget); the full run adds
 // n = 1024 and 4096.
+//
+// --threads N runs the sweep on the sharded parallel engine instead of
+// the sequential simulator: every cell executes once at 1 worker thread
+// and once at N, and the row gains a speedup_vs_1t column (extra keys
+// `threads` / `speedup_vs_1t`; the document schema stays
+// pardsm-bench-v3).  Meaningful speedups need real cores — on a
+// single-core host the column reads ~1.0 and mostly prices the barrier
+// overhead (docs/PARALLEL.md records both regimes).
 
 #include <benchmark/benchmark.h>
 
@@ -82,7 +90,7 @@ bool feasible_at(ProtocolKind kind, std::size_t n,
   return true;
 }
 
-void sweep(bu::Harness& h) {
+void sweep(bu::Harness& h, unsigned threads) {
   std::vector<std::size_t> sizes = {64, 256};
   if (!h.quick()) {
     sizes.push_back(1024);
@@ -91,11 +99,16 @@ void sweep(bu::Harness& h) {
 
   {
     std::ostringstream title;
-    title << "S3 scale sweep (ops budget " << kOpsBudget << ", n ascending)";
+    title << "S3 scale sweep (ops budget " << kOpsBudget << ", n ascending";
+    if (threads > 0) title << ", parallel engine, " << threads << " threads";
+    title << ")";
     bu::banner(title.str());
   }
-  bu::row({"distribution", "protocol", "n", "msgs", "bytes", "pairs",
-           "netKB", "rssMB", "ms"});
+  std::vector<std::string> header = {"distribution", "protocol", "n",
+                                     "msgs",         "bytes",    "pairs",
+                                     "netKB",        "rssMB",    "ms"};
+  if (threads > 0) header.push_back("x1t");
+  bu::row(header);
 
   for (const std::size_t n : sizes) {
     for (const auto& dist : topologies_at(n)) {
@@ -113,20 +126,55 @@ void sweep(bu::Harness& h) {
 
       for (auto kind : all_protocols()) {
         if (!feasible_at(kind, n, dist)) continue;
+        // Threads mode: time the same cell at 1 worker first so the row
+        // can carry its own parallel speedup.
+        std::uint64_t wall_1t_ns = 0;
+        if (threads > 0) {
+          bu::WallTimer t1;
+          const auto r1 = run_workload_parallel(kind, dist, scripts, 1, {});
+          wall_1t_ns = t1.ns();
+          benchmark::DoNotOptimize(&r1);
+        }
         bu::WallTimer timer;
-        const auto r = run_workload(kind, dist, scripts, {});
+        const auto r =
+            threads > 0
+                ? run_workload_parallel(kind, dist, scripts, threads, {})
+                : run_workload(kind, dist, scripts, {});
         const std::uint64_t wall_ns = timer.ns();
         const std::uint64_t rss_kb = bu::max_rss_kb();
+        const double speedup_vs_1t =
+            threads > 0 && wall_ns > 0
+                ? static_cast<double>(wall_1t_ns) /
+                      static_cast<double>(wall_ns)
+                : 0.0;
 
         const auto pairs = static_cast<double>(r.active_channel_pairs);
         const double net_kb =
             static_cast<double>(r.channel_state_bytes) / 1024.0;
-        bu::row({dist.name, to_string(kind), bu::num(std::uint64_t{n}),
-                 bu::num(r.total_traffic.msgs_sent),
-                 bu::num(r.total_traffic.wire_bytes_sent()),
-                 bu::num(r.active_channel_pairs), bu::num(net_kb, 1),
-                 bu::num(static_cast<double>(rss_kb) / 1024.0, 1),
-                 bu::num(static_cast<double>(wall_ns) / 1e6, 1)});
+        std::vector<std::string> cells = {
+            dist.name, to_string(kind), bu::num(std::uint64_t{n}),
+            bu::num(r.total_traffic.msgs_sent),
+            bu::num(r.total_traffic.wire_bytes_sent()),
+            bu::num(r.active_channel_pairs), bu::num(net_kb, 1),
+            bu::num(static_cast<double>(rss_kb) / 1024.0, 1),
+            bu::num(static_cast<double>(wall_ns) / 1e6, 1)};
+        if (threads > 0) cells.push_back(bu::num(speedup_vs_1t, 2));
+        bu::row(cells);
+        std::vector<std::pair<std::string, double>> extra = {
+            {"n", static_cast<double>(n)},
+            {"processes", static_cast<double>(dist.process_count())},
+            {"vars", static_cast<double>(dist.var_count)},
+            {"active_pairs", pairs},
+            {"net_state_kb", net_kb},
+            {"pair_fraction_of_n2",
+             pairs / (static_cast<double>(dist.process_count()) *
+                      static_cast<double>(dist.process_count()))},
+            {"events", static_cast<double>(r.events)},
+        };
+        if (threads > 0) {
+          extra.emplace_back("threads", static_cast<double>(threads));
+          extra.emplace_back("speedup_vs_1t", speedup_vs_1t);
+        }
         h.record(
             {.label = label,
              .protocol = to_string(kind),
@@ -137,17 +185,7 @@ void sweep(bu::Harness& h) {
              .sim_time_ms = static_cast<double>(r.finished_at.us) / 1000.0,
              .wall_ns = wall_ns,
              .max_rss_kb = rss_kb,
-             .extra = {
-                 {"n", static_cast<double>(n)},
-                 {"processes", static_cast<double>(dist.process_count())},
-                 {"vars", static_cast<double>(dist.var_count)},
-                 {"active_pairs", pairs},
-                 {"net_state_kb", net_kb},
-                 {"pair_fraction_of_n2",
-                  pairs / (static_cast<double>(dist.process_count()) *
-                           static_cast<double>(dist.process_count()))},
-                 {"events", static_cast<double>(r.events)},
-             }});
+             .extra = std::move(extra)});
       }
     }
   }
@@ -181,8 +219,27 @@ BENCHMARK_CAPTURE(BM_Scale, atomic_sharded, ProtocolKind::kAtomicHome)
 
 int main(int argc, char** argv) {
   bu::Harness h(&argc, argv, "scale");
-  sweep(h);
-  if (!h.quick()) {
+  // Bench-specific flag, stripped before benchmark::Initialize:
+  // --threads N (or --threads=N) switches the sweep to the parallel
+  // engine with N worker threads; 0 (the default) keeps the sequential
+  // simulator and the historical rows.
+  unsigned threads = 0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(std::stoul(arg.substr(10)));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;
+  argc = kept;
+
+  sweep(h, threads);
+  if (!h.quick() && threads == 0) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
   }

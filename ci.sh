@@ -2,23 +2,31 @@
 # Tier-1 verify + quick bench sweep.  This is what CI runs and what a
 # contributor should run before pushing:
 #
-#   ./ci.sh              # build + ctest + bench_all --quick
-#   SANITIZE=1 ./ci.sh   # ASan+UBSan build + ctest (no bench sweep) — the
-#                        # ARQ retransmit path and crash/recovery teardown
-#                        # are exactly where lifetime bugs hide
+#   ./ci.sh                 # build + ctest + bench_all --quick
+#   SANITIZE=1 ./ci.sh      # ASan+UBSan build + ctest (no bench sweep) —
+#                           # the ARQ retransmit path and crash/recovery
+#                           # teardown are exactly where lifetime bugs hide
+#   SANITIZE=tsan ./ci.sh   # ThreadSanitizer build + ctest — gates the
+#                           # parallel engine's worker threads and the
+#                           # std::thread runtime
 #   BUILD_DIR=out ./ci.sh
 #   BENCH_FILTER=batching ./ci.sh   # only benches matching the regex
 #
 # ccache is picked up automatically when installed (CI caches its
-# directory, so the ASan job stops rebuilding the world on every push).
+# directory, so the sanitizer jobs stop rebuilding the world on every push).
 set -euo pipefail
 
 cd "$(dirname "$0")"
 SANITIZE="${SANITIZE:-0}"
-if [ "$SANITIZE" != "0" ]; then
+if [ "$SANITIZE" = "tsan" ]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  SANITIZE_FLAVOUR=tsan
+elif [ "$SANITIZE" != "0" ]; then
   BUILD_DIR="${BUILD_DIR:-build-asan}"
+  SANITIZE_FLAVOUR=asan
 else
   BUILD_DIR="${BUILD_DIR:-build}"
+  SANITIZE_FLAVOUR=
 fi
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
@@ -30,11 +38,12 @@ fi
 
 echo "== configure =="
 if [ "$SANITIZE" != "0" ]; then
-  # Benches are skipped: google-benchmark timings under ASan measure the
-  # sanitizer, not the engine.  The full ctest suite (golden gates,
-  # property sweeps, scenario faults) runs instrumented.
-  cmake -B "$BUILD_DIR" -S . -DPARDSM_SANITIZE=ON -DPARDSM_BUILD_BENCHES=OFF \
-        "${CMAKE_EXTRA[@]}"
+  # Benches are skipped: google-benchmark timings under a sanitizer measure
+  # the sanitizer, not the engine.  The full ctest suite (golden gates,
+  # property sweeps, scenario faults, the parallel differential net) runs
+  # instrumented.
+  cmake -B "$BUILD_DIR" -S . "-DPARDSM_SANITIZE=$SANITIZE_FLAVOUR" \
+        -DPARDSM_BUILD_BENCHES=OFF "${CMAKE_EXTRA[@]}"
 else
   cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 fi

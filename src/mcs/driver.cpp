@@ -96,6 +96,31 @@ ScenarioRunResult run_scenario(ProtocolKind kind,
   return run(std::move(config));
 }
 
+RunResult run_workload_parallel(ProtocolKind kind,
+                                const graph::Distribution& dist,
+                                const std::vector<Script>& scripts,
+                                unsigned threads, RunOptions options) {
+  EngineConfig config = base_config(kind, dist, scripts, std::move(options));
+  config.reliability = ReliabilityMode::kNever;
+  config.runtime = EngineRuntime::kParallelSim;
+  config.parallel.num_threads = threads;
+  ScenarioRunResult r = run(std::move(config));
+  return static_cast<RunResult&&>(std::move(r));
+}
+
+ScenarioRunResult run_scenario_parallel(ProtocolKind kind,
+                                        const graph::Distribution& dist,
+                                        const std::vector<Script>& scripts,
+                                        const Scenario& scenario,
+                                        unsigned threads, RunOptions options) {
+  EngineConfig config = base_config(kind, dist, scripts, std::move(options));
+  config.reliability = ReliabilityMode::kAuto;
+  config.scenario = &scenario;
+  config.runtime = EngineRuntime::kParallelSim;
+  config.parallel.num_threads = threads;
+  return run(std::move(config));
+}
+
 RunResult run_workload_threaded(ProtocolKind kind,
                                 const graph::Distribution& dist,
                                 const std::vector<Script>& scripts,

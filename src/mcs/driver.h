@@ -67,6 +67,24 @@ struct RunOptions {
                                              const Scenario& scenario,
                                              RunOptions options = {});
 
+/// run_workload on the sharded parallel simulator: same raw-channel
+/// semantics (ReliabilityMode::kNever), executed by `threads` worker
+/// threads over share-graph-derived shards.  Deterministic per (config,
+/// seed) and — unlike the thread runtime — independent of the thread
+/// count itself; the differential suite pins that.
+[[nodiscard]] RunResult run_workload_parallel(
+    ProtocolKind kind, const graph::Distribution& dist,
+    const std::vector<Script>& scripts, unsigned threads,
+    RunOptions options = {});
+
+/// run_scenario on the sharded parallel simulator: fault timelines become
+/// stop-the-world events between barrier windows, ARQ rides on top
+/// unchanged.  Deterministic per (scenario, seeds) at any thread count.
+[[nodiscard]] ScenarioRunResult run_scenario_parallel(
+    ProtocolKind kind, const graph::Distribution& dist,
+    const std::vector<Script>& scripts, const Scenario& scenario,
+    unsigned threads, RunOptions options = {});
+
 /// Execute the same shape of run on the std::thread runtime (one OS thread
 /// per MCS process, genuine preemptive parallelism).  Script think-times
 /// are ignored; executions are non-deterministic by design — the property

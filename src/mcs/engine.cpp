@@ -1,5 +1,7 @@
 #include "mcs/engine.h"
 
+#include "sharegraph/sharding.h"
+#include "simnet/parallel_sim.h"
 #include "simnet/thread_runtime.h"
 
 namespace pardsm::mcs {
@@ -200,6 +202,169 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
   return result;
 }
 
+/// ScriptedClient's twin for the parallel engine: identical issue/stall
+/// semantics, but every closure is scheduled with its owning process so
+/// the engine can route it to the right shard and give it a canonical
+/// ordering slot.
+class ParallelScriptedClient {
+ public:
+  ParallelScriptedClient(McsProcess& process, ParallelSimulator& sim,
+                         Script script)
+      : process_(process), sim_(sim), script_(std::move(script)) {}
+
+  void start(TimePoint start) {
+    if (script_.empty()) return;
+    sim_.schedule_at(start + script_.front().delay, process_.id(),
+                     [this] { issue(); });
+  }
+
+  void resume(TimePoint at) {
+    if (!stalled_) return;
+    PARDSM_CHECK(!process_.crashed(),
+                 "resume while the process is still down");
+    stalled_ = false;
+    sim_.schedule_at(at, process_.id(), [this] { issue(); });
+  }
+
+  [[nodiscard]] bool done() const { return next_ >= script_.size(); }
+
+ private:
+  void issue() {
+    PARDSM_CHECK(next_ < script_.size(), "issue past end of script");
+    if (process_.crashed()) {
+      stalled_ = true;
+      return;
+    }
+    const ScriptOp& op = script_[next_];
+    ++next_;
+
+    const auto continue_after = [this] {
+      if (next_ >= script_.size()) return;
+      const Duration delay = script_[next_].delay;
+      sim_.schedule_at(sim_.now() + delay, process_.id(),
+                       [this] { issue(); });
+    };
+
+    if (op.kind == ScriptOp::Kind::kRead) {
+      process_.read(op.var, [this, continue_after](Value v) {
+        reads_.push_back(v);
+        continue_after();
+      });
+    } else {
+      process_.write(op.var, op.value, continue_after);
+    }
+  }
+
+  McsProcess& process_;
+  ParallelSimulator& sim_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+  bool stalled_ = false;
+};
+
+ScenarioRunResult run_on_parallel(EngineConfig& config) {
+  const graph::Distribution& dist = *config.distribution;
+  const std::vector<Script>& scripts = *config.scripts;
+  const bool reliable = needs_reliable(config);
+  const bool batching =
+      config.force_batching_layer || config.batching.window.us > 0;
+
+  ParallelSimOptions sim_options;
+  sim_options.seed = config.sim_seed;
+  sim_options.channel = config.channel;
+  sim_options.latency = std::move(config.latency);
+  sim_options.num_threads = config.parallel.num_threads;
+  sim_options.quantum = config.parallel.quantum;
+  sim_options.shard_of = graph::shard_assignment(
+      dist, static_cast<int>(config.parallel.num_threads));
+  ParallelSimulator sim(std::move(sim_options));
+  sim.set_var_hint(dist.var_count);
+
+  // The same transport stack as the sequential path: the decorators'
+  // per-process shims only ever run on their owner's shard, which is what
+  // makes them preemption- and shard-safe without modification.
+  std::optional<BatchingTransport> batch;
+  std::optional<ReliableTransport> rel;
+  HostTransport* top = &sim;
+  if (batching && config.batch_placement == BatchPlacement::kBelowReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+  if (reliable) {
+    rel.emplace(*top, config.reliable);
+    top = &*rel;
+  }
+  if (batching && config.batch_placement == BatchPlacement::kAboveReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  // History global order is insertion order; parallel execution makes
+  // arrival interleaving thread-dependent, so rebuild it canonically.
+  recorder.use_canonical_order();
+  auto processes = make_processes(config.protocol, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = top->add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(*top);
+    if (config.multicast != nullptr) proc->use_multicast(*config.multicast);
+  }
+
+  std::vector<std::unique_ptr<ParallelScriptedClient>> clients;
+  clients.reserve(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(std::make_unique<ParallelScriptedClient>(
+        *processes[p], sim, scripts[p]));
+  }
+
+  sim.freeze();
+  if (config.scenario != nullptr) {
+    ScenarioHooks hooks;
+    hooks.on_crash = [&processes](ProcessId p, TimePoint) {
+      processes[static_cast<std::size_t>(p)]->crash();
+    };
+    hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
+      processes[static_cast<std::size_t>(p)]->recover();
+      clients[static_cast<std::size_t>(p)]->resume(at);
+    };
+    config.scenario->apply(sim, hooks);
+  }
+
+  for (auto& client : clients) client->start(kTimeZero);
+  sim.run();
+
+  for (const auto& client : clients) {
+    PARDSM_CHECK(client->done(),
+                 "run quiesced before a client finished its script — stuck "
+                 "protocol, unhealed fault or lost completion");
+  }
+
+  ScenarioRunResult result;
+  collect_common(recorder, sim.stats(), processes, dist.var_count, result);
+  result.finished_at = sim.now();
+  result.events = sim.events_fired();
+
+  result.used_reliable_transport = reliable;
+  result.retransmissions = rel ? rel->retransmissions() : 0;
+  result.drops = sim.drop_counters();
+  result.active_channel_pairs = sim.fifo_pairs();
+  result.channel_state_bytes = sim.state_bytes();
+  if (batch) result.batching = batch->stats();
+  for (const auto& proc : processes) {
+    const RecoveryStats& r = proc->recovery_stats();
+    result.crashes += r.crashes;
+    result.resync_messages +=
+        r.resync_requests_sent + r.resync_responses_served;
+    result.resync_bytes += r.resync_bytes;
+    result.resync_values_applied += r.resync_values_applied;
+    result.max_recovery_latency =
+        std::max(result.max_recovery_latency, proc->max_recovery_latency());
+  }
+  return result;
+}
+
 ScenarioRunResult run_on_simulator(EngineConfig& config) {
   const graph::Distribution& dist = *config.distribution;
   const std::vector<Script>& scripts = *config.scripts;
@@ -311,6 +476,9 @@ ScenarioRunResult run(EngineConfig config) {
                "one script per process required");
   if (config.runtime == EngineRuntime::kThreads) {
     return run_on_threads(config);
+  }
+  if (config.runtime == EngineRuntime::kParallelSim) {
+    return run_on_parallel(config);
   }
   return run_on_simulator(config);
 }

@@ -171,8 +171,23 @@ enum class BatchPlacement : std::uint8_t {
 
 /// Which runtime executes the run.
 enum class EngineRuntime : std::uint8_t {
-  kSimulator,  ///< deterministic discrete-event simulator
-  kThreads,    ///< one OS thread per process (non-deterministic)
+  kSimulator,    ///< deterministic discrete-event simulator
+  kThreads,      ///< one OS thread per process (non-deterministic)
+  kParallelSim,  ///< sharded deterministic simulator (worker threads)
+};
+
+/// Parallel-simulator knobs (EngineRuntime::kParallelSim).  The shard
+/// assignment itself is derived from the share graph (cells of
+/// near-disjoint topologies map onto their own shards; connected
+/// topologies round-robin by process id) — see graph::shard_assignment.
+struct ParallelOptions {
+  /// Worker thread count == shard count.  Results are independent of this
+  /// value: the canonical event order and counter-based RNG streams make
+  /// a run a pure function of (config, seed), not of the thread count.
+  unsigned num_threads = 4;
+  /// Conservative barrier window; zero derives the largest safe value
+  /// from the latency model's lower bound.
+  Duration quantum{};
 };
 
 /// Everything one system run needs.  Pointer members are borrowed and
@@ -189,6 +204,9 @@ struct EngineConfig {
   std::uint64_t sim_seed = 1;
   ChannelOptions channel;
   std::unique_ptr<LatencyModel> latency;  ///< null = constant 1ms
+
+  // -- parallel simulator ---------------------------------------------------
+  ParallelOptions parallel;
 
   // -- transport stack ------------------------------------------------------
   ReliabilityMode reliability = ReliabilityMode::kAuto;

@@ -1,10 +1,25 @@
 #include "mcs/recorder.h"
 
+#include "simnet/check.h"
+
 namespace pardsm::mcs {
+
+void HistoryRecorder::use_canonical_order() {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(history_.size() == 0 && pending_.empty(),
+               "use_canonical_order: operations already recorded");
+  canonical_ = true;
+  pending_.resize(process_count_);
+}
 
 void HistoryRecorder::record_write(ProcessId p, VarId x, Value v, WriteId id,
                                    TimePoint invoked, TimePoint responded) {
   std::lock_guard lock(mu_);
+  if (canonical_) {
+    pending_[static_cast<std::size_t>(p)].push_back(
+        {true, x, v, id, invoked, responded});
+    return;
+  }
   const auto op = history_.push_write(p, x, v, id);
   history_.set_interval(op, invoked, responded);
 }
@@ -13,22 +28,55 @@ void HistoryRecorder::record_read(ProcessId p, VarId x, Value value,
                                   WriteId source, TimePoint invoked,
                                   TimePoint responded) {
   std::lock_guard lock(mu_);
+  if (canonical_) {
+    pending_[static_cast<std::size_t>(p)].push_back(
+        {false, x, value, source, invoked, responded});
+    return;
+  }
   const auto op = history_.push_read(p, x, value, source);
   history_.set_interval(op, invoked, responded);
 }
 
+hist::History HistoryRecorder::build_canonical() const {
+  // (process, program order): every local history is that process's own
+  // deterministic execution, so the rebuilt History is independent of how
+  // the processes' operations interleaved in wall time.
+  hist::History h(process_count_, var_count_);
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    for (const PendingOp& op : pending_[p]) {
+      const auto idx =
+          op.is_write
+              ? h.push_write(static_cast<ProcessId>(p), op.x, op.value, op.id)
+              : h.push_read(static_cast<ProcessId>(p), op.x, op.value, op.id);
+      h.set_interval(idx, op.invoked, op.responded);
+    }
+  }
+  return h;
+}
+
 hist::History HistoryRecorder::history() const {
   std::lock_guard lock(mu_);
+  if (canonical_) return build_canonical();
   return history_;
 }
 
 hist::History HistoryRecorder::take_history() {
   std::lock_guard lock(mu_);
+  if (canonical_) {
+    hist::History h = build_canonical();
+    pending_.assign(process_count_, {});
+    return h;
+  }
   return std::move(history_);
 }
 
 std::size_t HistoryRecorder::size() const {
   std::lock_guard lock(mu_);
+  if (canonical_) {
+    std::size_t total = 0;
+    for (const auto& ops : pending_) total += ops.size();
+    return total;
+  }
   return history_.size();
 }
 

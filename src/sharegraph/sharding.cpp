@@ -1,0 +1,35 @@
+#include "sharegraph/sharding.h"
+
+#include "simnet/check.h"
+
+namespace pardsm::graph {
+
+std::vector<int> shard_assignment(const Distribution& dist, int num_shards) {
+  PARDSM_CHECK(num_shards >= 1, "shard_assignment: need at least one shard");
+  const std::size_t n = dist.process_count();
+  std::vector<int> shard(n, 0);
+  if (num_shards == 1) return shard;
+
+  const ShareGraph sg(dist);
+  const auto components = sg.components();
+  if (components.size() <= 1) {
+    // One connected component: no cell structure to exploit; spread the
+    // processes evenly instead.
+    for (std::size_t p = 0; p < n; ++p) {
+      shard[p] = static_cast<int>(p) % num_shards;
+    }
+    return shard;
+  }
+  // components() is deterministic (sorted by minimum member), so this
+  // round-robin is too.  Every process of a cell lands on one shard,
+  // making the cell's entire protocol traffic shard-local.
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    const int s = static_cast<int>(c % static_cast<std::size_t>(num_shards));
+    for (ProcessId p : components[c]) {
+      shard[static_cast<std::size_t>(p)] = s;
+    }
+  }
+  return shard;
+}
+
+}  // namespace pardsm::graph

@@ -1,0 +1,29 @@
+// Shard assignment for the parallel simulation engine.
+//
+// The share graph tells us which processes can ever exchange protocol
+// traffic: messages only flow inside SG components (a variable's clique is
+// a clique of SG, and every protocol's traffic follows cliques).  Mapping
+// whole components onto shards therefore makes almost all traffic
+// shard-local — the sharded and hierarchical topologies of the paper's
+// efficiency argument decompose into many small cells, which is exactly
+// the regime where the parallel engine's barriers are cheap.  Connected
+// topologies (chains, cliques) have one component; there we fall back to
+// round-robin by process id, which keeps shard load even at the price of
+// cross-shard messages.
+#pragma once
+
+#include <vector>
+
+#include "sharegraph/share_graph.h"
+
+namespace pardsm::graph {
+
+/// Shard per process (values in [0, num_shards)) for running `dist` on
+/// the parallel engine: share-graph components are assigned round-robin
+/// to shards (by ascending minimum member, so the assignment is
+/// deterministic), keeping each cell's traffic on one shard; a single
+/// connected component degenerates to `p % num_shards`.
+[[nodiscard]] std::vector<int> shard_assignment(const Distribution& dist,
+                                                int num_shards);
+
+}  // namespace pardsm::graph

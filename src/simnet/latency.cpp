@@ -33,8 +33,13 @@ Duration ExponentialTailLatency::sample(ProcessId, ProcessId, Rng& rng) {
 
 MatrixLatency::MatrixLatency(std::vector<std::vector<Duration>> matrix)
     : matrix_(std::move(matrix)) {
+  bool first = true;
   for (const auto& row : matrix_) {
     PARDSM_CHECK(row.size() == matrix_.size(), "MatrixLatency must be square");
+    for (const Duration d : row) {
+      if (first || d < min_) min_ = d;
+      first = false;
+    }
   }
 }
 

@@ -22,6 +22,14 @@ class LatencyModel {
   /// Sample the latency of one message from `from` to `to`.
   virtual Duration sample(ProcessId from, ProcessId to, Rng& rng) = 0;
 
+  /// A value no sample() can undershoot, for any pair.  The parallel
+  /// engine sizes its conservative quantum from this (every message
+  /// crossing a shard boundary must span at least one quantum); the
+  /// default is the 1 µs clock granularity — always safe, but a model
+  /// with a real floor should report it or parallel windows degenerate
+  /// to single-tick lockstep.
+  [[nodiscard]] virtual Duration lower_bound() const { return micros(1); }
+
   /// Deep copy (each Network owns its own instance).
   [[nodiscard]] virtual std::unique_ptr<LatencyModel> clone() const = 0;
 };
@@ -31,6 +39,7 @@ class ConstantLatency final : public LatencyModel {
  public:
   explicit ConstantLatency(Duration fixed) : fixed_(fixed) {}
   Duration sample(ProcessId, ProcessId, Rng&) override { return fixed_; }
+  [[nodiscard]] Duration lower_bound() const override { return fixed_; }
   [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
     return std::make_unique<ConstantLatency>(fixed_);
   }
@@ -44,6 +53,7 @@ class UniformLatency final : public LatencyModel {
  public:
   UniformLatency(Duration lo, Duration hi);
   Duration sample(ProcessId, ProcessId, Rng& rng) override;
+  [[nodiscard]] Duration lower_bound() const override { return lo_; }
   [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
     return std::make_unique<UniformLatency>(lo_, hi_);
   }
@@ -58,6 +68,7 @@ class ExponentialTailLatency final : public LatencyModel {
  public:
   ExponentialTailLatency(Duration base, Duration mean_tail, Duration cap);
   Duration sample(ProcessId, ProcessId, Rng& rng) override;
+  [[nodiscard]] Duration lower_bound() const override { return base_; }
   [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
     return std::make_unique<ExponentialTailLatency>(base_, mean_, cap_);
   }
@@ -73,12 +84,14 @@ class MatrixLatency final : public LatencyModel {
   /// for loopback sends.
   explicit MatrixLatency(std::vector<std::vector<Duration>> matrix);
   Duration sample(ProcessId from, ProcessId to, Rng&) override;
+  [[nodiscard]] Duration lower_bound() const override { return min_; }
   [[nodiscard]] std::unique_ptr<LatencyModel> clone() const override {
     return std::make_unique<MatrixLatency>(matrix_);
   }
 
  private:
   std::vector<std::vector<Duration>> matrix_;
+  Duration min_ = micros(1);
 };
 
 }  // namespace pardsm

@@ -1,0 +1,526 @@
+#include "simnet/parallel_sim.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "simnet/check.h"
+
+namespace pardsm {
+
+namespace {
+
+/// Stream tags separating the two per-message channel streams (the
+/// parallel analogue of Network's latency_rng_ / fault_rng_ split).
+constexpr std::uint64_t kTagLatency = 0x4C41544EULL;  // "LATN"
+constexpr std::uint64_t kTagFault = 0x4641554CULL;    // "FAUL"
+constexpr std::uint64_t kTagChannel = 0x4348414EULL;  // "CHAN"
+
+/// Which shard (if any) the calling thread is currently draining, per
+/// simulator: workers of one simulator never call into another.
+struct ShardContext {
+  const void* sim = nullptr;
+  void* shard = nullptr;
+};
+thread_local ShardContext tl_shard_ctx;
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(ParallelSimOptions options)
+    : options_(std::move(options)) {
+  PARDSM_CHECK(options_.num_threads >= 1,
+               "ParallelSimulator needs at least one worker");
+  channel_seed_ = mix_word(options_.seed, kTagChannel);
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  // run() joins its workers on every path; this is a safety net for a
+  // simulator destroyed mid-run by an exception unwinding past run().
+  if (!workers_.empty()) {
+    {
+      std::lock_guard lk(mu_);
+      stop_workers_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+ProcessId ParallelSimulator::add_endpoint(Endpoint* ep) {
+  PARDSM_CHECK(ep != nullptr, "add_endpoint: null endpoint");
+  PARDSM_CHECK(!frozen_, "add_endpoint: registration is frozen");
+  endpoints_.push_back(ep);
+  return static_cast<ProcessId>(endpoints_.size() - 1);
+}
+
+void ParallelSimulator::set_var_hint(std::size_t m) {
+  if (m > var_hint_) var_hint_ = m;
+  stats_.set_var_hint(var_hint_);
+}
+
+void ParallelSimulator::freeze() {
+  if (frozen_) return;
+  const std::size_t n = endpoints_.size();
+  PARDSM_CHECK(n > 0, "freeze: no endpoints registered");
+
+  if (!options_.latency) {
+    options_.latency = std::make_unique<ConstantLatency>(millis(1));
+  }
+  const Duration floor = options_.latency->lower_bound();
+  PARDSM_CHECK(floor.us >= 1, "freeze: latency lower bound below 1us");
+  quantum_ = options_.quantum.us > 0 ? options_.quantum : floor;
+  PARDSM_CHECK(quantum_ <= floor,
+               "freeze: quantum exceeds the latency lower bound — a message "
+               "could arrive inside the window it was sent in");
+
+  const auto num_shards = static_cast<int>(options_.num_threads);
+  if (options_.shard_of.empty()) {
+    shard_of_.resize(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      shard_of_[p] = static_cast<int>(p) % num_shards;
+    }
+  } else {
+    PARDSM_CHECK(options_.shard_of.size() == n,
+                 "freeze: shard_of must cover every process");
+    for (int s : options_.shard_of) {
+      PARDSM_CHECK(s >= 0 && s < num_shards, "freeze: shard out of range");
+    }
+    shard_of_ = options_.shard_of;
+  }
+
+  shards_.reserve(options_.num_threads);
+  for (unsigned w = 0; w < options_.num_threads; ++w) {
+    auto shard = std::make_unique<Shard>();
+    shard->latency = options_.latency->clone();
+    shard->stats.set_var_hint(var_hint_);
+    shard->stats.resize(n);
+    shards_.push_back(std::move(shard));
+  }
+
+  // The fault network carries severed/down/rate-override state only; its
+  // internal RNG streams and clamp state are never consulted.
+  fault_net_ = std::make_unique<Network>(
+      n, options_.channel, options_.latency->clone(),
+      Rng(mix_word(options_.seed, 0x4E455457ULL)));  // "NETW"
+
+  send_seq_.assign(n, 0);
+  timer_seq_.assign(n, 0);
+  closure_seq_.assign(n, 0);
+  stats_.set_var_hint(var_hint_);
+  stats_.resize(n);
+  frozen_ = true;
+}
+
+Network& ParallelSimulator::fault_network() {
+  freeze();
+  return *fault_net_;
+}
+
+ParallelSimulator::Shard* ParallelSimulator::current_shard() const {
+  if (tl_shard_ctx.sim != this) return nullptr;
+  return static_cast<Shard*>(tl_shard_ctx.shard);
+}
+
+TimePoint ParallelSimulator::now() const {
+  if (const Shard* shard = current_shard()) return shard->now;
+  return coordinator_now_;
+}
+
+void ParallelSimulator::push_event(Shard& shard, PEvent e) {
+  shard.heap.push_back(std::move(e));
+  std::push_heap(shard.heap.begin(), shard.heap.end());
+}
+
+void ParallelSimulator::send(ProcessId from, ProcessId to,
+                             std::shared_ptr<const MessageBody> body,
+                             MessageMeta meta) {
+  PARDSM_CHECK(frozen_, "send before freeze()");
+  const std::size_t n = endpoints_.size();
+  PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n && to >= 0 &&
+                   static_cast<std::size_t>(to) < n,
+               "send: bad process");
+  Shard* ctx = current_shard();
+  const int sender_shard = shard_of_[static_cast<std::size_t>(from)];
+  Shard& ss = *shards_[static_cast<std::size_t>(sender_shard)];
+  // A worker may only send on behalf of its own processes; the coordinator
+  // (global events, pre-run setup) may send for anyone — workers are parked.
+  PARDSM_CHECK(ctx == nullptr || ctx == &ss,
+               "send: sender does not live on the calling shard");
+
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.body = std::move(body);
+  m.meta = std::move(meta);
+  m.send_time = ctx != nullptr ? ss.now : coordinator_now_;
+  ss.stats.on_send(m);
+  plan_and_schedule(ss, std::move(m));
+}
+
+void ParallelSimulator::plan_and_schedule(Shard& ss, Message&& m) {
+  const ProcessId from = m.from;
+  const ProcessId to = m.to;
+  const std::uint64_t send_seq = send_seq_[static_cast<std::size_t>(from)]++;
+  // Deterministic per-sender ids (the sequential engine's global counter
+  // would depend on cross-process interleaving).
+  m.id = ((static_cast<std::uint64_t>(from) + 1) << 40) | (send_seq + 1);
+
+  const std::uint64_t ij =
+      static_cast<std::uint64_t>(from) * endpoints_.size() +
+      static_cast<std::uint64_t>(to);
+  const std::uint64_t pair_k = ss.pair_seq.get_or_insert(ij, 0)++;
+
+  // Mirror of Network::plan_delivery with counter-based streams: the
+  // latency draw comes first, unconditionally, from the latency stream;
+  // fault decisions and the duplicate copy's latency from the fault
+  // stream.  Both are keyed on (seed, from, to, per-pair counter), so the
+  // draws are a function of the message's logical coordinates only.
+  Rng lat_rng = counter_rng(channel_seed_, static_cast<std::uint64_t>(from),
+                            static_cast<std::uint64_t>(to), pair_k,
+                            kTagLatency);
+  const Duration lat = ss.latency->sample(from, to, lat_rng);
+  PARDSM_CHECK(lat >= quantum_,
+               "latency sample below the quantum — conservative window "
+               "invariant violated");
+
+  if (fault_net_->severed(from, to)) {
+    ++ss.drops.severed;
+    return;
+  }
+  if (fault_net_->is_down(from) || fault_net_->is_down(to)) {
+    ++ss.drops.down;
+    return;
+  }
+  Rng fault_rng = counter_rng(channel_seed_, static_cast<std::uint64_t>(from),
+                              static_cast<std::uint64_t>(to), pair_k,
+                              kTagFault);
+  if (fault_rng.chance(fault_net_->effective_loss(from, to, m.send_time))) {
+    ++ss.drops.loss;
+    return;
+  }
+
+  DeliveryPlan deliveries;
+  const bool fifo = options_.channel.fifo;
+  const auto clamp_push = [&](TimePoint at) {
+    if (fifo) {
+      TimePoint& last = ss.last_delivery.get_or_insert(ij, TimePoint{});
+      if (at <= last) at = last + micros(1);
+      last = at;
+    }
+    deliveries.push(at);
+  };
+  clamp_push(m.send_time + lat);
+  if (fault_rng.chance(
+          fault_net_->effective_duplicate(from, to, m.send_time))) {
+    clamp_push(m.send_time + ss.latency->sample(from, to, fault_rng));
+  }
+
+  Shard* ctx = current_shard();
+  const int dest_shard = shard_of_[static_cast<std::size_t>(to)];
+  Shard& ds = *shards_[static_cast<std::size_t>(dest_shard)];
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    PEvent ev;
+    ev.when = deliveries[i];
+    ev.klass = 0;
+    ev.origin = from;
+    ev.seq = (send_seq << 1) | static_cast<std::uint64_t>(i);
+    ev.type = Event::Type::kDeliver;
+    if (i + 1 < deliveries.size()) {
+      ev.msg = m;  // duplicated delivery keeps a copy
+    } else {
+      ev.msg = std::move(m);
+    }
+    ev.msg.deliver_time = deliveries[i];
+    if (ctx != nullptr && &ds != ctx) {
+      // Cross-shard: parked in the sender's outbox until the barrier; the
+      // coordinator merges it before the next window.  Delivery lands at
+      // or after the window's end, so the detour is never late.
+      ss.outbox.push_back(std::move(ev));
+    } else {
+      push_event(ds, std::move(ev));
+    }
+  }
+}
+
+void ParallelSimulator::set_timer(ProcessId who, Duration delay,
+                                  TimerTag tag) {
+  PARDSM_CHECK(frozen_, "set_timer before freeze()");
+  PARDSM_CHECK(who >= 0 &&
+                   static_cast<std::size_t>(who) < endpoints_.size(),
+               "set_timer: bad process");
+  PARDSM_CHECK(delay.us >= 0, "set_timer: negative delay");
+  Shard* ctx = current_shard();
+  Shard& owner =
+      *shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(who)])];
+  PARDSM_CHECK(ctx == nullptr || ctx == &owner,
+               "set_timer: cross-shard timers are not supported (timers are "
+               "process-local by contract)");
+  PEvent ev;
+  ev.when = (ctx != nullptr ? owner.now : coordinator_now_) + delay;
+  ev.klass = 1;
+  ev.origin = who;
+  ev.seq = timer_seq_[static_cast<std::size_t>(who)]++;
+  ev.type = Event::Type::kTimer;
+  ev.timer_who = who;
+  ev.timer_tag = tag;
+  push_event(owner, std::move(ev));
+}
+
+void ParallelSimulator::schedule_at(TimePoint when, ProcessId owner,
+                                    std::function<void()> fn) {
+  freeze();
+  PARDSM_CHECK(owner >= 0 &&
+                   static_cast<std::size_t>(owner) < endpoints_.size(),
+               "schedule_at: bad owner");
+  Shard* ctx = current_shard();
+  Shard& os =
+      *shards_[static_cast<std::size_t>(shard_of_[static_cast<std::size_t>(owner)])];
+  PARDSM_CHECK(ctx == nullptr || ctx == &os,
+               "schedule_at: owner does not live on the calling shard");
+  PARDSM_CHECK(when >= (ctx != nullptr ? os.now : coordinator_now_),
+               "schedule_at: time in the past");
+  PEvent ev;
+  ev.when = when;
+  ev.klass = 2;
+  ev.origin = owner;
+  ev.seq = closure_seq_[static_cast<std::size_t>(owner)]++;
+  ev.type = Event::Type::kClosure;
+  ev.fire = std::move(fn);
+  push_event(os, std::move(ev));
+}
+
+void ParallelSimulator::schedule_global(TimePoint when,
+                                        std::function<void()> fn) {
+  freeze();
+  PARDSM_CHECK(current_shard() == nullptr,
+               "schedule_global: coordinator/setup only");
+  PARDSM_CHECK(when >= coordinator_now_, "schedule_global: time in the past");
+  globals_.push_back({when, next_global_seq_++, std::move(fn)});
+  std::push_heap(globals_.begin(), globals_.end(),
+                 [](const GlobalEvent& a, const GlobalEvent& b) {
+                   if (a.when != b.when) return a.when > b.when;
+                   return a.seq > b.seq;
+                 });
+}
+
+void ParallelSimulator::dispatch(Shard& shard, PEvent& e) {
+  switch (e.type) {
+    case Event::Type::kDeliver: {
+      Message& m = e.msg;
+      if (fault_net_->is_down(m.to)) {
+        // In flight toward a process that crashed after the send: lost
+        // with the crash, same as the sequential runtime.
+        ++shard.drops.in_flight;
+        return;
+      }
+      shard.stats.on_deliver(m);
+      endpoints_[static_cast<std::size_t>(m.to)]->on_message(m);
+      break;
+    }
+    case Event::Type::kTimer:
+      endpoints_[static_cast<std::size_t>(e.timer_who)]->on_timer(
+          e.timer_tag);
+      break;
+    case Event::Type::kClosure:
+      e.fire();
+      break;
+  }
+}
+
+void ParallelSimulator::drain_window(Shard& shard, TimePoint window_end) {
+  tl_shard_ctx = {this, &shard};
+  while (!shard.heap.empty() && shard.heap.front().when < window_end) {
+    std::pop_heap(shard.heap.begin(), shard.heap.end());
+    PEvent e = std::move(shard.heap.back());
+    shard.heap.pop_back();
+    PARDSM_CHECK(e.when >= shard.now, "shard clock went backwards");
+    shard.now = e.when;
+    ++shard.events_fired;
+    PARDSM_CHECK(shard.events_fired <= options_.max_events,
+                 "simulation exceeded max_events — non-terminating "
+                 "protocol?");
+    dispatch(shard, e);
+  }
+  tl_shard_ctx = {};
+}
+
+void ParallelSimulator::worker_loop(unsigned w) {
+  std::unique_lock lk(mu_);
+  // Start from generation 0 unconditionally: the coordinator only advances
+  // the generation after every worker acknowledged the previous one, so a
+  // worker that reads the *current* generation here could silently skip
+  // the first window and deadlock the barrier.
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    cv_work_.wait(lk, [&] {
+      return stop_workers_ || generation_ != seen_gen;
+    });
+    if (stop_workers_) return;
+    seen_gen = generation_;
+    const TimePoint window_end = window_end_;
+    lk.unlock();
+    try {
+      drain_window(*shards_[w], window_end);
+    } catch (...) {
+      tl_shard_ctx = {};
+      lk.lock();
+      worker_errors_[w] = std::current_exception();
+      lk.unlock();
+    }
+    lk.lock();
+    if (--working_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ParallelSimulator::run_window(TimePoint window_end) {
+  std::unique_lock lk(mu_);
+  window_end_ = window_end;
+  working_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return working_ == 0; });
+  for (auto& err : worker_errors_) {
+    if (err) {
+      const std::exception_ptr e = err;
+      err = nullptr;
+      lk.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ParallelSimulator::run() {
+  freeze();
+  PARDSM_CHECK(!running_, "run: already running");
+  running_ = true;
+
+  worker_errors_.assign(options_.num_threads, nullptr);
+  stop_workers_ = false;
+  workers_.reserve(options_.num_threads);
+  for (unsigned w = 0; w < options_.num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  const auto shutdown = [this] {
+    {
+      std::lock_guard lk(mu_);
+      stop_workers_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+    workers_.clear();
+  };
+
+  const auto global_min = [this] {
+    return globals_.empty() ? kTimeForever : globals_.front().when;
+  };
+  const auto pop_global = [this] {
+    std::pop_heap(globals_.begin(), globals_.end(),
+                  [](const GlobalEvent& a, const GlobalEvent& b) {
+                    if (a.when != b.when) return a.when > b.when;
+                    return a.seq > b.seq;
+                  });
+    GlobalEvent g = std::move(globals_.back());
+    globals_.pop_back();
+    return g;
+  };
+
+  try {
+    for (;;) {
+      TimePoint shard_min = kTimeForever;
+      bool have_shard_event = false;
+      for (const auto& shard : shards_) {
+        if (!shard->heap.empty()) {
+          have_shard_event = true;
+          shard_min = std::min(shard_min, shard->heap.front().when);
+        }
+      }
+      const TimePoint g_min = global_min();
+      if (!have_shard_event && globals_.empty()) break;
+
+      if (g_min <= shard_min) {
+        // Stop-the-world instant: every scenario event at this time fires
+        // on the coordinator, before any same-time traffic — matching the
+        // sequential engine, where scenario closures carry earlier
+        // insertion sequence numbers than all run-time traffic.
+        coordinator_now_ = g_min;
+        while (!globals_.empty() && globals_.front().when == g_min) {
+          GlobalEvent g = pop_global();
+          ++coordinator_events_;
+          g.fire();
+        }
+        continue;
+      }
+
+      const TimePoint window_start = shard_min;
+      TimePoint window_end = window_start + quantum_;
+      if (g_min < window_end) window_end = g_min;
+      coordinator_now_ = window_start;
+      run_window(window_end);
+
+      // Merge the windows' cross-shard deliveries.  Heap order is the
+      // canonical key, so merge order is irrelevant to execution order.
+      std::uint64_t total_events = coordinator_events_;
+      for (auto& src : shards_) {
+        for (PEvent& ev : src->outbox) {
+          Shard& dst = *shards_[static_cast<std::size_t>(
+              shard_of_[static_cast<std::size_t>(ev.msg.to)])];
+          push_event(dst, std::move(ev));
+        }
+        src->outbox.clear();
+        total_events += src->events_fired;
+      }
+      PARDSM_CHECK(total_events <= options_.max_events,
+                   "simulation exceeded max_events — non-terminating "
+                   "protocol?");
+    }
+  } catch (...) {
+    shutdown();
+    running_ = false;
+    throw;
+  }
+  shutdown();
+
+  for (const auto& shard : shards_) {
+    coordinator_now_ = std::max(coordinator_now_, shard->now);
+    stats_.merge_from(shard->stats);
+  }
+  running_ = false;
+}
+
+DropCounters ParallelSimulator::drop_counters() const {
+  DropCounters total;
+  for (const auto& shard : shards_) {
+    total.loss += shard->drops.loss;
+    total.severed += shard->drops.severed;
+    total.down += shard->drops.down;
+    total.in_flight += shard->drops.in_flight;
+  }
+  return total;
+}
+
+std::size_t ParallelSimulator::fifo_pairs() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->last_delivery.size();
+  return total;
+}
+
+std::size_t ParallelSimulator::state_bytes() const {
+  std::size_t total = fault_net_ ? fault_net_->state_bytes() : 0;
+  for (const auto& shard : shards_) {
+    total +=
+        shard->last_delivery.memory_bytes() + shard->pair_seq.memory_bytes();
+  }
+  return total;
+}
+
+std::uint64_t ParallelSimulator::events_fired() const {
+  std::uint64_t total = coordinator_events_;
+  for (const auto& shard : shards_) total += shard->events_fired;
+  return total;
+}
+
+}  // namespace pardsm

@@ -112,4 +112,27 @@ class Rng {
   std::uint64_t state_[4] = {};
 };
 
+/// Fold one word into a running SplitMix64 chain.  Chaining mix_word over a
+/// tuple of coordinates yields a seed that depends on every coordinate and
+/// on their order, with SplitMix64's full-avalanche output guaranteeing
+/// adjacent tuples (counter, counter+1) decorrelate.
+inline std::uint64_t mix_word(std::uint64_t acc, std::uint64_t word) {
+  std::uint64_t sm = acc ^ (word + 0x9E3779B97F4A7C15ULL);
+  return splitmix64(sm);
+}
+
+/// Counter-based stream: a generator fully determined by logical
+/// coordinates instead of draw order.  The parallel engine keys channel
+/// randomness on (run seed, sender, dest, per-pair message counter, stream
+/// tag), so latency and fault draws are identical for any thread count and
+/// any interleaving — the coordinates, not the schedule, pick the stream.
+inline Rng counter_rng(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t counter, std::uint64_t tag) {
+  std::uint64_t acc = mix_word(seed, tag);
+  acc = mix_word(acc, a);
+  acc = mix_word(acc, b);
+  acc = mix_word(acc, counter);
+  return Rng(acc);
+}
+
 }  // namespace pardsm

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "simnet/check.h"
+#include "simnet/parallel_sim.h"
 #include "simnet/simulator.h"
 
 namespace pardsm {
@@ -152,9 +153,8 @@ Scenario& Scenario::crash(ProcessId p, TimePoint at, TimePoint recover_at) {
   return add({FaultEvent::Type::kRecover, recover_at, p, {}});
 }
 
-void Scenario::fire(const FaultEvent& e, Simulator& sim,
+void Scenario::fire(const FaultEvent& e, Network& net,
                     const ScenarioHooks& hooks) const {
-  Network& net = sim.ensure_network();
   const auto n = net.process_count();
   switch (e.type) {
     case FaultEvent::Type::kSever:
@@ -185,6 +185,18 @@ void Scenario::fire(const FaultEvent& e, Simulator& sim,
   }
 }
 
+std::vector<const FaultEvent*> Scenario::ordered_events() const {
+  std::vector<const FaultEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const FaultEvent& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     if (a->at != b->at) return a->at < b->at;
+                     return closes_condition(*a) && !closes_condition(*b);
+                   });
+  return ordered;
+}
+
 void Scenario::apply(Simulator& sim, ScenarioHooks hooks) const {
   Network& net = sim.ensure_network();
   PARDSM_CHECK(max_process_ == kNoProcess ||
@@ -199,20 +211,35 @@ void Scenario::apply(Simulator& sim, ScenarioHooks hooks) const {
   // Structural events, in timeline order independent of builder call
   // order: by time, closing edges before opening edges at equal times,
   // builder order as the tie break (stable sort).
-  std::vector<const FaultEvent*> ordered;
-  ordered.reserve(events_.size());
-  for (const FaultEvent& e : events_) ordered.push_back(&e);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const FaultEvent* a, const FaultEvent* b) {
-                     if (a->at != b->at) return a->at < b->at;
-                     return closes_condition(*a) && !closes_condition(*b);
-                   });
-  for (const FaultEvent* ep : ordered) {
+  for (const FaultEvent* ep : ordered_events()) {
     const FaultEvent& e = *ep;
     if (e.at <= sim.now()) {
-      fire(e, sim, hooks);
+      fire(e, net, hooks);
     } else {
-      sim.schedule_at(e.at, [this, &sim, hooks, &e] { fire(e, sim, hooks); });
+      sim.schedule_at(e.at, [this, &net, hooks, &e] { fire(e, net, hooks); });
+    }
+  }
+}
+
+void Scenario::apply(ParallelSimulator& sim, ScenarioHooks hooks) const {
+  Network& net = sim.fault_network();
+  PARDSM_CHECK(max_process_ == kNoProcess ||
+                   static_cast<std::size_t>(max_process_) <
+                       net.process_count(),
+               "scenario mentions a process outside the system");
+  if (!loss_windows_.empty() || !dup_windows_.empty()) {
+    net.set_rate_override(std::make_shared<Rates>(this));
+  }
+  // Structural events mutate shared fault state, so each becomes a
+  // stop-the-world global: the coordinator fires it with every worker
+  // parked, at its exact time (windows never span a global's instant).
+  for (const FaultEvent* ep : ordered_events()) {
+    const FaultEvent& e = *ep;
+    if (e.at <= sim.now()) {
+      fire(e, net, hooks);
+    } else {
+      sim.schedule_global(e.at,
+                          [this, &net, hooks, &e] { fire(e, net, hooks); });
     }
   }
 }

@@ -48,6 +48,8 @@
 
 namespace pardsm {
 
+class Network;
+class ParallelSimulator;
 class Simulator;
 
 /// Timeline helper: the absolute simulated time `d` after the epoch.
@@ -174,6 +176,13 @@ class Scenario {
   /// registration via Simulator::ensure_network().
   void apply(Simulator& sim, ScenarioHooks hooks = {}) const;
 
+  /// Parallel-engine variant: probability windows install on the fault
+  /// network exactly as above, and every structural event becomes a
+  /// *stop-the-world* global event — it mutates fault state (and runs the
+  /// crash/recovery hooks) on the coordinator with all workers parked,
+  /// which is the only time that state may change.
+  void apply(ParallelSimulator& sim, ScenarioHooks hooks = {}) const;
+
  private:
   /// RateOverride over the window lists (defined in scenario.cpp).
   class Rates;
@@ -182,8 +191,11 @@ class Scenario {
   Scenario& add_window(std::vector<ProbWindow>& windows, ProcessId a,
                        ProcessId b, double probability, TimePoint from,
                        TimePoint until, const char* what);
-  void fire(const FaultEvent& e, Simulator& sim,
+  void fire(const FaultEvent& e, Network& net,
             const ScenarioHooks& hooks) const;
+  /// The timeline in execution order: by time, closing edges before
+  /// opening edges at equal times, builder order as the tie break.
+  [[nodiscard]] std::vector<const FaultEvent*> ordered_events() const;
   /// The rate the most recently opened active window imposes on (from,
   /// to) at `now`, or -1 when no window covers it.
   [[nodiscard]] static double window_rate(

@@ -132,6 +132,26 @@ std::uint64_t NetworkStats::messages_delivered() const {
   return sum;
 }
 
+void NetworkStats::merge_from(const NetworkStats& other) {
+  std::scoped_lock lock(mu_, other.mu_);
+  PARDSM_CHECK(other.per_process_.size() <= per_process_.size(),
+               "merge_from: other covers more processes");
+  for (std::size_t p = 0; p < other.per_process_.size(); ++p) {
+    const auto& src = other.per_process_[p];
+    auto& dst = per_process_[p];
+    dst.msgs_sent += src.msgs_sent;
+    dst.msgs_received += src.msgs_received;
+    dst.control_bytes_sent += src.control_bytes_sent;
+    dst.payload_bytes_sent += src.payload_bytes_sent;
+    dst.control_bytes_received += src.control_bytes_received;
+    dst.payload_bytes_received += src.payload_bytes_received;
+    const auto& srow = other.exposure_[p];
+    auto& drow = exposure_[p];
+    if (drow.size() < srow.size()) drow.resize(srow.size(), 0);
+    for (std::size_t x = 0; x < srow.size(); ++x) drow[x] += srow[x];
+  }
+}
+
 void NetworkStats::clear() {
   std::lock_guard lock(mu_);
   for (auto& t : per_process_) t = ProcessTraffic{};

@@ -87,6 +87,13 @@ class NetworkStats {
   /// Total messages delivered across all processes.
   [[nodiscard]] std::uint64_t messages_delivered() const;
 
+  /// Element-wise add another instance's counters into this one.  The
+  /// parallel engine keeps one NetworkStats per shard (each process's row
+  /// is written only by its owning shard) and folds them into the engine's
+  /// shared instance after the run; `other` must cover no more processes
+  /// than this instance.
+  void merge_from(const NetworkStats& other);
+
   /// Reset all counters, keeping the size.
   void clear();
 
