@@ -49,6 +49,7 @@ constexpr std::array kBenches = {
     "bench_latency",            "bench_checkers_scaling",
     "bench_oblivious_apps",     "bench_open_question",
     "bench_scenarios",          "bench_scale",
+    "bench_sockets",
 };
 
 std::string self_dir() {

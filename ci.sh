@@ -9,6 +9,10 @@
 #   SANITIZE=tsan ./ci.sh   # ThreadSanitizer build + ctest — gates the
 #                           # parallel engine's worker threads and the
 #                           # std::thread runtime
+#   SOCKETS_SMOKE=1 ./ci.sh # release build + socket-layer tests + real
+#                           # multi-process pardsm_node drills over
+#                           # loopback TCP, incl. a kill -9 / respawn /
+#                           # resync cycle (see docs/DEPLOYMENT.md)
 #   BUILD_DIR=out ./ci.sh
 #   BENCH_FILTER=batching ./ci.sh   # only benches matching the regex
 #
@@ -24,6 +28,11 @@ if [ "$SANITIZE" = "tsan" ]; then
 elif [ "$SANITIZE" != "0" ]; then
   BUILD_DIR="${BUILD_DIR:-build-asan}"
   SANITIZE_FLAVOUR=asan
+elif [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
+  # Own build tree: the smoke configures with benches off, which must not
+  # stick in the regular build directory's CMake cache.
+  BUILD_DIR="${BUILD_DIR:-build-sockets}"
+  SANITIZE_FLAVOUR=
 else
   BUILD_DIR="${BUILD_DIR:-build}"
   SANITIZE_FLAVOUR=
@@ -44,12 +53,43 @@ if [ "$SANITIZE" != "0" ]; then
   # instrumented.
   cmake -B "$BUILD_DIR" -S . "-DPARDSM_SANITIZE=$SANITIZE_FLAVOUR" \
         -DPARDSM_BUILD_BENCHES=OFF "${CMAKE_EXTRA[@]}"
+elif [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
+  # Benches are irrelevant to the deployment smoke; skipping them keeps
+  # the job's build well under the minute budget.
+  cmake -B "$BUILD_DIR" -S . -DPARDSM_BUILD_BENCHES=OFF "${CMAKE_EXTRA[@]}"
 else
   cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 fi
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
+  # Deployment smoke: the socket-rooted test binaries plus real
+  # multi-process drills — pardsm_node forks n OS processes that speak
+  # length-prefixed TCP over loopback, so this exercises fork/exec, the
+  # wire codec, heartbeat failure detection and RSYNC state transfer in a
+  # way the in-process suite cannot.  Keep it under a minute: small n,
+  # short scripts.  Kill drills use home-based protocols (cache-partial /
+  # atomic-home / sequencer-sc) — pram's writer-only resync adoption
+  # cannot refill a killed node's whole replica (docs/DEPLOYMENT.md).
+  echo "== sockets smoke: in-process socket suites =="
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS" \
+      -R 'Sockets\.|SocketStacks')
+  NODE="$BUILD_DIR/src/apps/pardsm_node"
+  echo "== sockets smoke: lossless multi-process sweep =="
+  for proto in pram-partial sequencer-sc; do
+    "$NODE" --spawn --protocol "$proto" --nodes 3 --writes 4 --delay-us 1000
+  done
+  echo "== sockets smoke: chaos disconnect sweep =="
+  "$NODE" --spawn --protocol atomic-home --nodes 3 --writes 4 \
+      --delay-us 1000 --chaos-disconnect 0.1
+  echo "== sockets smoke: kill -9 / respawn / resync drill =="
+  "$NODE" --spawn --protocol cache-partial --nodes 3 --writes 5 \
+      --delay-us 2000 --kill 2 --kill-after-ms 120 --respawn-after-ms 350
+  echo "== done (sockets smoke) =="
+  exit 0
+fi
 
 echo "== test =="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -9,6 +11,14 @@ namespace {
 struct ReadRequest final : MessageBody {
   VarId x = kNoVar;
   std::uint64_t rpc = 0;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAtomicReadRequest;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.u64(rpc);
+  }
 };
 
 struct ReadReply final : MessageBody {
@@ -16,6 +26,16 @@ struct ReadReply final : MessageBody {
   Value v = kBottom;
   WriteId source{};
   std::uint64_t rpc = 0;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAtomicReadReply;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, source);
+    w.u64(rpc);
+  }
 };
 
 struct WriteRequest final : MessageBody {
@@ -23,18 +43,91 @@ struct WriteRequest final : MessageBody {
   Value v = kBottom;
   WriteId id{};
   std::uint64_t rpc = 0;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAtomicWriteRequest;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    w.u64(rpc);
+  }
 };
 
 struct WriteAck final : MessageBody {
   VarId x = kNoVar;
   std::uint64_t rpc = 0;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAtomicWriteAck;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.u64(rpc);
+  }
 };
 
 struct Refresh final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAtomicRefresh;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+  }
 };
+
+const wire::BodyRegistrar atomic_rreq_codec(
+    wire::kAtomicReadRequest,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<ReadRequest>();
+      b->x = r.i32();
+      b->rpc = r.u64();
+      return b;
+    });
+const wire::BodyRegistrar atomic_rrsp_codec(
+    wire::kAtomicReadReply,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<ReadReply>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->source = wire::get_write_id(r);
+      b->rpc = r.u64();
+      return b;
+    });
+const wire::BodyRegistrar atomic_wreq_codec(
+    wire::kAtomicWriteRequest,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<WriteRequest>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->rpc = r.u64();
+      return b;
+    });
+const wire::BodyRegistrar atomic_wack_codec(
+    wire::kAtomicWriteAck,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<WriteAck>();
+      b->x = r.i32();
+      b->rpc = r.u64();
+      return b;
+    });
+const wire::BodyRegistrar atomic_refresh_codec(
+    wire::kAtomicRefresh,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<Refresh>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      return b;
+    });
 
 /// Message kinds, interned once so the send path never hits the table.
 const KindId kReadReqKind("RREQ");

@@ -4,8 +4,27 @@
 #include <map>
 
 #include "simnet/message.h"
+#include "simnet/wire.h"
 
 namespace pardsm::mcs::detail {
+
+inline void put_prior_counts(WireWriter& w,
+                             const std::map<ProcessId, std::int64_t>& m) {
+  w.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [q, c] : m) {
+    w.i32(q);
+    w.i64(c);
+  }
+}
+inline std::map<ProcessId, std::int64_t> get_prior_counts(WireReader& r) {
+  std::map<ProcessId, std::int64_t> m;
+  const std::size_t n = r.u32();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProcessId q = r.i32();
+    m[q] = r.i64();
+  }
+  return m;
+}
 
 /// Writer -> home: please sequence this write.
 struct CacheWriteReq final : MessageBody {
@@ -17,6 +36,18 @@ struct CacheWriteReq final : MessageBody {
   /// Per receiver q ∈ C(x): number of the writer's prior writes on
   /// variables q replicates (processor consistency only; empty for cache).
   std::map<ProcessId, std::int64_t> prior_counts;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kCacheWriteReq;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    wire::put_time(w, invoked);
+    w.i64(writer_seq);
+    put_prior_counts(w, prior_counts);
+  }
 };
 
 /// Home -> C(x): the write, with its position in x's total order.
@@ -29,6 +60,20 @@ struct CacheCommit final : MessageBody {
   TimePoint invoked{};
   std::int64_t writer_seq = 0;
   std::map<ProcessId, std::int64_t> prior_counts;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kCacheCommit;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    w.i64(var_seq);
+    w.i32(requester);
+    wire::put_time(w, invoked);
+    w.i64(writer_seq);
+    put_prior_counts(w, prior_counts);
+  }
 };
 
 }  // namespace pardsm::mcs::detail

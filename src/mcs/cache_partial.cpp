@@ -12,6 +12,35 @@ namespace {
 const KindId kWriteReqKind("CWRQ");
 const KindId kCommitKind("CCMT");
 
+// Decoders for the shared cache/processor bodies live here (exactly one TU
+// may register each tag; processor_partial.cpp reuses these bodies).
+const wire::BodyRegistrar cache_wreq_codec(
+    wire::kCacheWriteReq,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<detail::CacheWriteReq>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->invoked = wire::get_time(r);
+      b->writer_seq = r.i64();
+      b->prior_counts = detail::get_prior_counts(r);
+      return b;
+    });
+const wire::BodyRegistrar cache_commit_codec(
+    wire::kCacheCommit,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<detail::CacheCommit>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->var_seq = r.i64();
+      b->requester = r.i32();
+      b->invoked = wire::get_time(r);
+      b->writer_seq = r.i64();
+      b->prior_counts = detail::get_prior_counts(r);
+      return b;
+    });
+
 }  // namespace
 
 CachePartialProcess::CachePartialProcess(ProcessId self,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -12,7 +14,28 @@ struct CausalUpdate final : MessageBody {
   Value v = kBottom;
   WriteId id{};
   VectorClock vc;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kCausalUpdate;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    put_vector_clock(w, vc);
+  }
 };
+
+const wire::BodyRegistrar causal_codec(
+    wire::kCausalUpdate,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<CausalUpdate>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->vc = get_vector_clock(r);
+      return b;
+    });
 
 /// All variables of the distribution (full replication ignores X_i for
 /// storage purposes; the *application* still only accesses X_i).

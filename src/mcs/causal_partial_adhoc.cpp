@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -23,7 +25,50 @@ struct AdHocMsg final : MessageBody {
   WriteId id{};
   std::int64_t var_seq = 0;
   std::shared_ptr<const DepSnapshot> deps;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kAdHocMsg;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    w.boolean(has_value);
+    wire::put_write_id(w, id);
+    w.i64(var_seq);
+    // The in-memory snapshot is shared by every copy of the multicast; on
+    // the wire each frame carries its own copy (real frames cannot share).
+    w.u32(static_cast<std::uint32_t>(deps ? deps->size() : 0));
+    if (deps) {
+      for (const auto& [y, counts] : *deps) {
+        w.i32(y);
+        w.u32(static_cast<std::uint32_t>(counts.size()));
+        for (std::int64_t c : counts) w.i64(c);
+      }
+    }
+  }
 };
+
+const wire::BodyRegistrar adhoc_codec(
+    wire::kAdHocMsg,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<AdHocMsg>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->has_value = r.boolean();
+      b->id = wire::get_write_id(r);
+      b->var_seq = r.i64();
+      auto deps = std::make_shared<DepSnapshot>();
+      const std::size_t vars = r.u32();
+      deps->reserve(vars);
+      for (std::size_t i = 0; i < vars; ++i) {
+        const VarId y = r.i32();
+        std::vector<std::int64_t> counts(r.u32());
+        for (auto& c : counts) c = r.i64();
+        deps->emplace_back(y, std::move(counts));
+      }
+      b->deps = std::move(deps);
+      return b;
+    });
 
 /// Message kinds, interned once so the send path never hits the table.
 const KindId kUpdateKind("AUPD");

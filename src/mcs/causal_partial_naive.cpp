@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -14,7 +16,30 @@ struct PartialCausalMsg final : MessageBody {
   bool has_value = false;
   WriteId id{};
   VectorClock vc;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kPartialCausalMsg;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    w.boolean(has_value);
+    wire::put_write_id(w, id);
+    put_vector_clock(w, vc);
+  }
 };
+
+const wire::BodyRegistrar partial_causal_codec(
+    wire::kPartialCausalMsg,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<PartialCausalMsg>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->has_value = r.boolean();
+      b->id = wire::get_write_id(r);
+      b->vc = get_vector_clock(r);
+      return b;
+    });
 
 /// Message kinds, interned once so the send path never hits the table.
 const KindId kUpdateKind("PUPD");

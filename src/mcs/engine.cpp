@@ -1,5 +1,8 @@
 #include "mcs/engine.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "sharegraph/sharding.h"
 #include "simnet/parallel_sim.h"
 #include "simnet/thread_runtime.h"
@@ -99,9 +102,33 @@ bool needs_reliable(const EngineConfig& config) {
     case ReliabilityMode::kAuto:
       break;
   }
+  // Socket chaos that can *lose* frames (drops, duplicates) needs ARQ just
+  // like a lossy simulated channel; delays and disconnects do not — queued
+  // frames survive a reconnect and arrive in order after the HELLO.
+  const bool lossy_chaos =
+      config.runtime == EngineRuntime::kSockets &&
+      (config.sockets.chaos.drop_probability > 0.0 ||
+       config.sockets.chaos.duplicate_probability > 0.0);
   return (config.scenario != nullptr && config.scenario->faulty()) ||
          config.channel.drop_probability > 0.0 ||
-         config.channel.duplicate_probability > 0.0;
+         config.channel.duplicate_probability > 0.0 || lossy_chaos;
+}
+
+/// Fold the ARQ layer's dead-channel ledger into the result and enforce
+/// the client-completion contract: with every channel alive an unfinished
+/// client is a hard error, but once the ARQ layer gave a channel up
+/// (OnExhausted::kDeadChannel) some scripts legitimately cannot complete
+/// — the run reports them instead of throwing.
+void finish_clients(ScenarioRunResult& result, const ReliableTransport* rel,
+                    std::size_t unfinished) {
+  if (rel != nullptr) {
+    result.dead_channels = rel->dead_channels();
+    result.drops.dead_channel = rel->dead_channel_drops();
+  }
+  result.unfinished_clients = unfinished;
+  PARDSM_CHECK(unfinished == 0 || !result.dead_channels.empty(),
+               "run quiesced before a client finished its script — stuck "
+               "protocol, unhealed fault or lost completion");
 }
 
 /// Self-driving client for the thread runtime: each completion issues the
@@ -199,6 +226,242 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
   ScenarioRunResult result;
   collect_common(recorder, rt.stats(), processes, dist.var_count, result);
   if (batch) result.batching = batch->stats();
+  return result;
+}
+
+/// ThreadedClient's twin for the sockets root, with ScriptedClient's
+/// crash-awareness: issue() and every completion run on the owning
+/// process's mailbox thread (so does crash()/recover(), posted there by
+/// the timeline), which keeps the stall/resume handshake race-free
+/// without locks.  Think-time delays are ignored, as under kThreads.
+class SocketClient {
+ public:
+  SocketClient(McsProcess& process, Script script)
+      : process_(process), script_(std::move(script)) {}
+
+  void issue() {
+    if (next_ >= script_.size()) {
+      done_ = true;
+      return;
+    }
+    if (process_.crashed()) {
+      // Hold this operation and our place in the script until the
+      // recovery hook posts resume() to this same mailbox.
+      stalled_ = true;
+      return;
+    }
+    const ScriptOp& op = script_[next_];
+    ++next_;
+    if (op.kind == ScriptOp::Kind::kRead) {
+      process_.read(op.var, [this](Value v) {
+        reads_.push_back(v);
+        issue();
+      });
+    } else {
+      process_.write(op.var, op.value, [this] { issue(); });
+    }
+  }
+
+  void resume() {
+    if (!stalled_) return;
+    stalled_ = false;
+    issue();  // next_ never advanced past the stalled operation
+  }
+
+  [[nodiscard]] bool done() const { return done_ || script_.empty(); }
+
+ private:
+  McsProcess& process_;
+  Script script_;
+  std::size_t next_ = 0;
+  std::vector<Value> reads_;
+  bool done_ = false;
+  bool stalled_ = false;
+};
+
+ScenarioRunResult run_on_sockets(const EngineConfig& config) {
+  const graph::Distribution& dist = *config.distribution;
+  const std::vector<Script>& scripts = *config.scripts;
+  const std::size_t n = dist.process_count();
+  const bool reliable = needs_reliable(config);
+  const bool batching =
+      config.force_batching_layer || config.batching.window.us > 0;
+
+  PARDSM_CHECK(config.latency == nullptr,
+               "latency models require the simulator runtime");
+  PARDSM_CHECK(config.channel.drop_probability == 0.0 &&
+                   config.channel.duplicate_probability == 0.0,
+               "channel loss on the sockets runtime is modelled by "
+               "SocketOptions.chaos, not ChannelOptions");
+  PARDSM_CHECK(config.sockets.local_ids.empty(),
+               "EngineRuntime::kSockets runs all-local — multi-process "
+               "deployments are driven by pardsm_node");
+  PARDSM_CHECK(config.scenario == nullptr ||
+                   config.scenario->max_process() == kNoProcess ||
+                   static_cast<std::size_t>(config.scenario->max_process()) < n,
+               "scenario mentions a process outside the system");
+
+  SocketOptions socket_options = config.sockets;
+  socket_options.total_processes = n;
+  SocketTransport st(std::move(socket_options));
+  st.stats().set_var_hint(dist.var_count);
+
+  // The same decorator stack as every other root: the shims' per-process
+  // state only ever runs on the owning mailbox thread.
+  std::optional<BatchingTransport> batch;
+  std::optional<ReliableTransport> rel;
+  HostTransport* top = &st;
+  if (batching && config.batch_placement == BatchPlacement::kBelowReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+  if (reliable) {
+    rel.emplace(*top, config.reliable);
+    top = &*rel;
+  }
+  if (batching && config.batch_placement == BatchPlacement::kAboveReliable) {
+    batch.emplace(*top, config.batching);
+    top = &*batch;
+  }
+
+  HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  auto processes = make_processes(config.protocol, dist, recorder);
+  for (auto& proc : processes) {
+    const ProcessId assigned = top->add_endpoint(proc.get());
+    PARDSM_CHECK(assigned == proc->id(), "process id mismatch");
+    proc->attach(*top);
+    if (config.multicast != nullptr) proc->use_multicast(*config.multicast);
+  }
+
+  std::vector<std::unique_ptr<SocketClient>> clients;
+  clients.reserve(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    clients.push_back(
+        std::make_unique<SocketClient>(*processes[p], scripts[p]));
+  }
+
+  // -- scenario replay on the wall clock ------------------------------------
+  // There is no Network to install a RateOverride on, so the timeline is
+  // walked explicitly: 1 simulated µs = 1 wall µs from the epoch.  At each
+  // window edge every pair's loss/duplication rate is re-sampled into the
+  // socket layer's atomic per-pair rates (draws come from the same
+  // deterministic chaos streams); structural events map onto
+  // set_severed()/set_down() plus crash()/recover() posted to the owner
+  // mailbox.  Partitions are counted cuts, exactly as in Network.
+  std::vector<int> cut_count(n * n, 0);
+  const auto apply_instant = [&](TimePoint t) {
+    if (config.scenario == nullptr) return;
+    for (const FaultEvent* ep : config.scenario->execution_order()) {
+      const FaultEvent& e = *ep;
+      if (e.at != t) continue;
+      switch (e.type) {
+        case FaultEvent::Type::kSever:
+        case FaultEvent::Type::kHeal: {
+          // Group id per process: listed processes get their group's
+          // index, everyone else a unique singleton id.
+          std::vector<std::size_t> gid(n);
+          std::size_t next = e.groups.size();
+          for (std::size_t p = 0; p < n; ++p) gid[p] = next++;
+          for (std::size_t g = 0; g < e.groups.size(); ++g) {
+            for (ProcessId p : e.groups[g]) {
+              gid[static_cast<std::size_t>(p)] = g;
+            }
+          }
+          const int delta = e.type == FaultEvent::Type::kSever ? 1 : -1;
+          for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+              if (i == j || gid[i] == gid[j]) continue;
+              int& cuts = cut_count[i * n + j];
+              cuts += delta;
+              st.set_severed(static_cast<ProcessId>(i),
+                             static_cast<ProcessId>(j), cuts > 0);
+            }
+          }
+          break;
+        }
+        case FaultEvent::Type::kCrash:
+          st.set_down(e.a, true);
+          st.post(e.a, [proc = processes[static_cast<std::size_t>(e.a)].get()] {
+            proc->crash();
+          });
+          break;
+        case FaultEvent::Type::kRecover:
+          st.set_down(e.a, false);
+          st.post(e.a,
+                  [proc = processes[static_cast<std::size_t>(e.a)].get(),
+                   client = clients[static_cast<std::size_t>(e.a)].get()] {
+                    proc->recover();
+                    client->resume();
+                  });
+          break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const auto a = static_cast<ProcessId>(i);
+        const auto b = static_cast<ProcessId>(j);
+        st.set_loss_rate(a, b,
+                         std::max(0.0, config.scenario->loss_rate(a, b, t)));
+        st.set_duplicate_rate(
+            a, b, std::max(0.0, config.scenario->duplicate_rate(a, b, t)));
+      }
+    }
+  };
+
+  std::vector<TimePoint> edges;
+  if (config.scenario != nullptr) edges = config.scenario->window_edges();
+
+  st.start();
+  // Edges at t <= 0 take effect before the first message, exactly like
+  // Scenario::apply(): a timeline that starts lossy is lossy from op one.
+  apply_instant(kTimeZero);
+  std::thread timeline([&] {
+    const auto epoch = std::chrono::steady_clock::now();
+    for (TimePoint t : edges) {
+      if (t <= kTimeZero) continue;
+      std::this_thread::sleep_until(epoch + std::chrono::microseconds(t.us));
+      apply_instant(t);
+    }
+  });
+
+  for (std::size_t p = 0; p < clients.size(); ++p) {
+    st.post(static_cast<ProcessId>(p),
+            [client = clients[p].get()] { client->issue(); });
+  }
+
+  // The timeline must run to completion before quiescence means anything:
+  // a crashed process's client is stalled (zero pending work) until the
+  // recovery event resumes it.
+  timeline.join();
+  const bool quiet = st.await_quiescence(config.quiesce_timeout);
+  PARDSM_CHECK(quiet, "sockets runtime failed to quiesce — protocol stuck?");
+
+  std::size_t unfinished = 0;
+  for (const auto& client : clients) {
+    if (!client->done()) ++unfinished;
+  }
+
+  ScenarioRunResult result;
+  collect_common(recorder, st.stats(), processes, dist.var_count, result);
+  result.finished_at = st.now();
+  result.used_reliable_transport = reliable;
+  result.retransmissions = rel ? rel->retransmissions() : 0;
+  result.drops = st.drops();
+  finish_clients(result, rel ? &*rel : nullptr, unfinished);
+  result.socket_counters = st.counters();
+  if (batch) result.batching = batch->stats();
+  for (const auto& proc : processes) {
+    const RecoveryStats& r = proc->recovery_stats();
+    result.crashes += r.crashes;
+    result.resync_messages +=
+        r.resync_requests_sent + r.resync_responses_served;
+    result.resync_bytes += r.resync_bytes;
+    result.resync_values_applied += r.resync_values_applied;
+    result.max_recovery_latency =
+        std::max(result.max_recovery_latency, proc->max_recovery_latency());
+  }
+  st.stop();
   return result;
 }
 
@@ -335,10 +598,9 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
   for (auto& client : clients) client->start(kTimeZero);
   sim.run();
 
+  std::size_t unfinished = 0;
   for (const auto& client : clients) {
-    PARDSM_CHECK(client->done(),
-                 "run quiesced before a client finished its script — stuck "
-                 "protocol, unhealed fault or lost completion");
+    if (!client->done()) ++unfinished;
   }
 
   ScenarioRunResult result;
@@ -349,6 +611,7 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
   result.used_reliable_transport = reliable;
   result.retransmissions = rel ? rel->retransmissions() : 0;
   result.drops = sim.drop_counters();
+  finish_clients(result, rel ? &*rel : nullptr, unfinished);
   result.active_channel_pairs = sim.fifo_pairs();
   result.channel_state_bytes = sim.state_bytes();
   if (batch) result.batching = batch->stats();
@@ -437,10 +700,9 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
   for (auto& client : clients) client->start(kTimeZero);
   sim.run();
 
+  std::size_t unfinished = 0;
   for (const auto& client : clients) {
-    PARDSM_CHECK(client->done(),
-                 "run quiesced before a client finished its script — stuck "
-                 "protocol, unhealed fault or lost completion");
+    if (!client->done()) ++unfinished;
   }
 
   ScenarioRunResult result;
@@ -451,6 +713,7 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
   result.used_reliable_transport = reliable;
   result.retransmissions = rel ? rel->retransmissions() : 0;
   result.drops = sim.network().drop_counters();
+  finish_clients(result, rel ? &*rel : nullptr, unfinished);
   result.active_channel_pairs = sim.network().fifo_pairs();
   result.channel_state_bytes = sim.network().state_bytes();
   if (batch) result.batching = batch->stats();
@@ -479,6 +742,9 @@ ScenarioRunResult run(EngineConfig config) {
   }
   if (config.runtime == EngineRuntime::kParallelSim) {
     return run_on_parallel(config);
+  }
+  if (config.runtime == EngineRuntime::kSockets) {
+    return run_on_sockets(config);
   }
   return run_on_simulator(config);
 }

@@ -10,10 +10,11 @@
 //
 // Transport stack assembled by run(), bottom-up:
 //
-//   Simulator | ThreadRuntime          (root HostTransport)
-//     └─ BatchingTransport             (placement kBelowReliable)
-//         └─ ReliableTransport         (when the run needs ARQ)
-//             └─ BatchingTransport     (placement kAboveReliable, default)
+//   Simulator | ThreadRuntime |
+//   ParallelSimulator | SocketTransport  (root HostTransport)
+//     └─ BatchingTransport               (placement kBelowReliable)
+//         └─ ReliableTransport           (when the run needs ARQ)
+//             └─ BatchingTransport       (placement kAboveReliable, default)
 //                 └─ McsProcess endpoints
 //
 // Layers are only constructed when configured: a lossless, unbatched run
@@ -23,6 +24,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "mcs/factory.h"
@@ -30,6 +32,7 @@
 #include "simnet/reliable.h"
 #include "simnet/scenario.h"
 #include "simnet/simulator.h"
+#include "simnet/socket_transport.h"
 
 namespace pardsm::mcs {
 
@@ -137,6 +140,18 @@ struct ScenarioRunResult : RunResult {
   Duration max_recovery_latency{};
   /// Batching-layer ledger (all zero without a batching layer).
   BatchingStats batching;
+  /// Directed pairs the ARQ layer declared dead after exhausting
+  /// max_retransmits (OnExhausted::kDeadChannel).  Empty on every default
+  /// configuration — the engine default effectively never gives up.
+  std::vector<std::pair<ProcessId, ProcessId>> dead_channels;
+  /// Clients that could not finish their script because a channel died.
+  /// Non-zero only when dead_channels is non-empty; with live channels an
+  /// unfinished client is still a hard error.
+  std::size_t unfinished_clients = 0;
+  /// Socket-layer wire ledger (all zero off the sockets runtime): frames
+  /// and bytes actually written/read, heartbeats, dials, reconnects and
+  /// chaos injections.
+  SocketCounters socket_counters;
 };
 
 /// The engine's ARQ default: effectively never gives up — scenario
@@ -174,6 +189,13 @@ enum class EngineRuntime : std::uint8_t {
   kSimulator,    ///< deterministic discrete-event simulator
   kThreads,      ///< one OS thread per process (non-deterministic)
   kParallelSim,  ///< sharded deterministic simulator (worker threads)
+  /// Real TCP sockets over loopback, all endpoints in this OS process
+  /// (SocketTransport root; pardsm_node drives the multi-process shape).
+  /// Fault timelines replay on the wall clock — 1 simulated µs = 1 µs —
+  /// with loss/duplication windows mapped onto the socket layer's
+  /// deterministic chaos streams.  Message *timing* is as
+  /// non-deterministic as kThreads; fault draws are reproducible.
+  kSockets,
 };
 
 /// Parallel-simulator knobs (EngineRuntime::kParallelSim).  The shard
@@ -224,13 +246,21 @@ struct EngineConfig {
   MulticastService* multicast = nullptr;
 
   // -- thread runtime -------------------------------------------------------
-  /// Bound on the wait for quiescence (kThreads only).
+  /// Bound on the wait for quiescence (kThreads and kSockets).
   std::chrono::milliseconds quiesce_timeout{10000};
+
+  // -- sockets runtime ------------------------------------------------------
+  /// Socket-root knobs (heartbeats, backoff, chaos injection).  The engine
+  /// always runs the all-local loopback shape: total_processes and
+  /// local_ids are derived from the distribution and must be left alone.
+  SocketOptions sockets;
 };
 
 /// Execute the configured run.  Deterministic per config on the simulator
-/// runtime; non-deterministic by design on threads (fault timelines and
-/// the ARQ layer require the simulator).
+/// runtimes; timing is non-deterministic by design on kThreads and
+/// kSockets (the sockets root still replays fault timelines and runs the
+/// full transport stack — chaos and backoff draws are seeded, only the
+/// wall-clock interleaving varies; see docs/DEPLOYMENT.md).
 [[nodiscard]] ScenarioRunResult run(EngineConfig config);
 
 }  // namespace pardsm::mcs

@@ -1,5 +1,7 @@
 #include "mcs/pram_partial.h"
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -8,7 +10,25 @@ struct PramUpdate final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kPramUpdate;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+  }
 };
+
+const wire::BodyRegistrar pram_codec(
+    wire::kPramUpdate, [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<PramUpdate>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      return b;
+    });
 
 /// Message kinds, interned once so the send path never hits the table.
 const KindId kUpdateKind("PRAM");

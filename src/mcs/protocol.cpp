@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -13,6 +15,15 @@ namespace {
 struct ResyncRequest final : MessageBody {
   std::uint32_t epoch = 0;  ///< recovery round (stale responses are ignored)
   std::vector<VarId> vars;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kResyncRequest;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.u32(epoch);
+    w.u32(static_cast<std::uint32_t>(vars.size()));
+    for (VarId x : vars) w.i32(x);
+  }
 };
 
 struct ResyncEntry {
@@ -24,7 +35,43 @@ struct ResyncEntry {
 struct ResyncResponse final : MessageBody {
   std::uint32_t epoch = 0;
   std::vector<ResyncEntry> entries;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kResyncResponse;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.u32(epoch);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const ResyncEntry& e : entries) {
+      w.i32(e.x);
+      w.i64(e.value);
+      wire::put_write_id(w, e.source);
+    }
+  }
 };
+
+const wire::BodyRegistrar resync_req_codec(
+    wire::kResyncRequest,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<ResyncRequest>();
+      b->epoch = r.u32();
+      b->vars.resize(r.u32());
+      for (auto& x : b->vars) x = r.i32();
+      return b;
+    });
+const wire::BodyRegistrar resync_resp_codec(
+    wire::kResyncResponse,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<ResyncResponse>();
+      b->epoch = r.u32();
+      b->entries.resize(r.u32());
+      for (auto& e : b->entries) {
+        e.x = r.i32();
+        e.value = r.i64();
+        e.source = wire::get_write_id(r);
+      }
+      return b;
+    });
 
 /// Message kinds, interned once (the base intercepts them by KindId before
 /// protocol dispatch, so regular traffic pays one 2-byte compare, not a

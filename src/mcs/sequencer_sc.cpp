@@ -1,5 +1,7 @@
 #include "mcs/sequencer_sc.h"
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -9,6 +11,16 @@ struct WriteRequest final : MessageBody {
   Value v = kBottom;
   WriteId id{};
   TimePoint invoked{};
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kSeqWriteRequest;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    wire::put_time(w, invoked);
+  }
 };
 
 struct WriteCommit final : MessageBody {
@@ -18,7 +30,43 @@ struct WriteCommit final : MessageBody {
   std::int64_t gseq = 0;
   ProcessId requester = kNoProcess;
   TimePoint invoked{};
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kSeqWriteCommit;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    w.i64(gseq);
+    w.i32(requester);
+    wire::put_time(w, invoked);
+  }
 };
+
+const wire::BodyRegistrar seq_req_codec(
+    wire::kSeqWriteRequest,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<WriteRequest>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->invoked = wire::get_time(r);
+      return b;
+    });
+
+const wire::BodyRegistrar seq_commit_codec(
+    wire::kSeqWriteCommit,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<WriteCommit>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->gseq = r.i64();
+      b->requester = r.i32();
+      b->invoked = wire::get_time(r);
+      return b;
+    });
 
 /// Message kinds, interned once so the send path never hits the table.
 const KindId kWriteReqKind("WREQ");

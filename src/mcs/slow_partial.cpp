@@ -1,5 +1,7 @@
 #include "mcs/slow_partial.h"
 
+#include "simnet/wire.h"
+
 namespace pardsm::mcs {
 
 namespace {
@@ -9,7 +11,28 @@ struct SlowUpdate final : MessageBody {
   Value v = kBottom;
   WriteId id{};
   std::int64_t var_seq = 0;  ///< per-(writer, x) sequence, 1-based
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kSlowUpdate;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(x);
+    w.i64(v);
+    wire::put_write_id(w, id);
+    w.i64(var_seq);
+  }
 };
+
+const wire::BodyRegistrar slow_codec(
+    wire::kSlowUpdate,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto b = std::make_shared<SlowUpdate>();
+      b->x = r.i32();
+      b->v = r.i64();
+      b->id = wire::get_write_id(r);
+      b->var_seq = r.i64();
+      return b;
+    });
 
 /// Deterministic application jitter (microseconds) per (writer, var, seq):
 /// spreads the apply times of different variables' updates so the

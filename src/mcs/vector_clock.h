@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "simnet/ids.h"
+#include "simnet/wire.h"
 
 namespace pardsm::mcs {
 
@@ -50,5 +51,21 @@ class VectorClock {
  private:
   std::vector<std::int64_t> entries_;
 };
+
+/// Wire codec helpers shared by the causal protocol bodies.
+inline void put_vector_clock(WireWriter& w, const VectorClock& vc) {
+  w.u32(static_cast<std::uint32_t>(vc.size()));
+  for (std::size_t p = 0; p < vc.size(); ++p) {
+    w.i64(vc.at(static_cast<ProcessId>(p)));
+  }
+}
+inline VectorClock get_vector_clock(WireReader& r) {
+  const std::size_t n = r.u32();
+  VectorClock vc(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    vc.set(static_cast<ProcessId>(p), r.i64());
+  }
+  return vc;
+}
 
 }  // namespace pardsm::mcs

@@ -14,6 +14,19 @@ constexpr TimerTag kBatchTimerBit = 1ULL << 62;
 /// Frame kind, interned once.
 const KindId kBatchKind("BATCH");
 
+const wire::BodyRegistrar batch_codec(
+    wire::kBatchFrame,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto f = std::make_shared<BatchFrame>();
+      f->items.resize(r.u32());
+      for (auto& item : f->items) {
+        item.enqueued = wire::get_time(r);
+        item.meta = wire::decode_meta(r);
+        item.body = wire::decode_body(r);
+      }
+      return f;
+    });
+
 }  // namespace
 
 /// Per-process shim: holds the sender-side coalescing queues and unpacks

@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "simnet/transport.h"
+#include "simnet/wire.h"
 
 namespace pardsm {
 
@@ -70,6 +71,18 @@ struct BatchFrame final : MessageBody {
     TimePoint enqueued{};  ///< send_time the application observed
   };
   std::vector<Item> items;
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kBatchFrame;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.u32(static_cast<std::uint32_t>(items.size()));
+    for (const Item& item : items) {
+      wire::put_time(w, item.enqueued);
+      wire::encode_meta(w, item.meta);
+      wire::encode_body(w, *item.body);
+    }
+  }
 };
 
 /// Aggregate batching counters (all senders).

@@ -22,10 +22,25 @@
 
 namespace pardsm {
 
+class WireWriter;  // simnet/wire.h
+
 /// Base class for protocol-defined message contents.
+///
+/// Bodies are plain in-memory objects for the simulated runtimes (one
+/// address space, no serialization).  The real-sockets root needs bytes:
+/// a body that may cross a TCP frame overrides wire_type()/wire_encode()
+/// and registers a decoder (wire::BodyRegistrar).  The default wire_type
+/// of 0 means "not serializable" — SocketTransport rejects such bodies
+/// loudly instead of silently corrupting a frame.
 class MessageBody {
  public:
   virtual ~MessageBody() = default;
+
+  /// Stable wire tag (wire::WireType); 0 = cannot cross a socket.
+  [[nodiscard]] virtual std::uint32_t wire_type() const { return 0; }
+
+  /// Append the body's fields to `w` (inverse of the registered decoder).
+  virtual void wire_encode(WireWriter& w) const { (void)w; }
 };
 
 /// Accounting metadata attached to every message by the sending protocol.

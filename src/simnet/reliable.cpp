@@ -1,8 +1,11 @@
 #include "simnet/reliable.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "simnet/check.h"
+#include "simnet/rng.h"
+#include "simnet/wire.h"
 
 namespace pardsm {
 
@@ -15,16 +18,52 @@ struct DataFrame final : MessageBody {
   MessageMeta payload_meta;
   KindId wrapped_kind;  ///< "ARQ:"+kind, resolved once per frame so
                         ///< (re)transmissions never touch the table lock
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kArqData;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.u64(seq);
+    wire::encode_meta(w, payload_meta);
+    wire::encode_body(w, *payload);
+  }
 };
 
 /// Acknowledgement: cumulative per directed pair.
 struct AckFrame final : MessageBody {
   std::uint64_t cumulative = 0;  ///< all seq <= cumulative received
+
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kArqAck;
+  }
+  void wire_encode(WireWriter& w) const override { w.u64(cumulative); }
 };
+
+const wire::BodyRegistrar arq_data_codec(
+    wire::kArqData,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto f = std::make_shared<DataFrame>();
+      f->seq = r.u64();
+      f->payload_meta = wire::decode_meta(r);
+      f->payload = wire::decode_body(r);
+      f->wrapped_kind = arq_wrapped(f->payload_meta.kind);
+      return f;
+    });
+
+const wire::BodyRegistrar arq_ack_codec(
+    wire::kArqAck,
+    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
+      auto f = std::make_shared<AckFrame>();
+      f->cumulative = r.u64();
+      return f;
+    });
 
 /// Timer tags: the ARQ layer owns the upper bit space so application tags
 /// pass through unchanged.
 constexpr TimerTag kArqTimerBit = 1ULL << 63;
+
+/// Stream tag of the retransmit-jitter draws (see ReliableOptions::jitter).
+constexpr std::uint64_t kJitterStreamTag = 0xA7'0B0F;
 
 /// Cumulative-ack kind, interned once.
 const KindId kAckKind("ARQ:ACK");
@@ -42,6 +81,10 @@ class ReliableTransport::Shim final : public Endpoint {
   void send_app(ProcessId to, std::shared_ptr<const MessageBody> body,
                 MessageMeta meta) {
     auto& out = outgoing_[to];
+    if (out.dead) {
+      ++dead_drops_;
+      return;
+    }
     const std::uint64_t seq = ++out.next_seq;
     auto frame = std::make_shared<DataFrame>();
     frame->seq = seq;
@@ -52,7 +95,16 @@ class ReliableTransport::Shim final : public Endpoint {
     Pending& pending = out.unacked[seq];
     pending.frame = std::move(frame);
     transmit(to, pending.frame);
-    arm_timer();
+    if (owner_.adaptive_) {
+      if (out.unacked.size() == 1) {
+        // First pending frame on this channel: (re)base the schedule.
+        out.interval = owner_.options_.retransmit_after;
+        out.next_fire = owner_.lower_.now() + jittered(to, out.interval);
+        arm_until(out.next_fire);
+      }
+    } else {
+      arm_timer();
+    }
   }
 
   void transmit(ProcessId to, const std::shared_ptr<DataFrame>& frame) {
@@ -70,6 +122,8 @@ class ReliableTransport::Shim final : public Endpoint {
            it != out.unacked.end() && it->first <= ack->cumulative;) {
         it = out.unacked.erase(it);
       }
+      // Progress resets the backoff: the channel is alive again.
+      if (out.unacked.empty()) out.interval = Duration{};
       return;
     }
     const auto* frame = m.as<DataFrame>();
@@ -112,29 +166,24 @@ class ReliableTransport::Shim final : public Endpoint {
       app_->on_timer(tag);
       return;
     }
+    if (owner_.adaptive_) {
+      on_backoff_timer();
+      return;
+    }
     timer_armed_ = false;
     bool anything_pending = false;
     for (auto& [to, out] : outgoing_) {
-      for (auto& [seq, pending] : out.unacked) {
-        PARDSM_CHECK(++pending.retries <= owner_.options_.max_retransmits,
-                     "ARQ gave up: frame retransmitted too often");
-        ++retransmissions_;
-        transmit(to, pending.frame);
-        anything_pending = true;
-      }
+      if (retransmit_all(to, out)) anything_pending = true;
     }
     if (anything_pending) arm_timer();
   }
 
-  void arm_timer() {
-    if (timer_armed_) return;
-    timer_armed_ = true;
-    owner_.lower_.set_timer(self_, owner_.options_.retransmit_after,
-                          kArqTimerBit);
-  }
-
   [[nodiscard]] std::uint64_t retransmissions() const {
     return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t dead_drops() const { return dead_drops_; }
+  [[nodiscard]] const std::vector<ProcessId>& dead_targets() const {
+    return dead_targets_;
   }
 
  private:
@@ -147,11 +196,110 @@ class ReliableTransport::Shim final : public Endpoint {
   struct Outgoing {
     std::uint64_t next_seq = 0;
     std::map<std::uint64_t, Pending> unacked;
+    // Backoff-scheduler state (unused by the legacy fixed-period path).
+    Duration interval{};    ///< current retransmit interval
+    TimePoint next_fire{};  ///< next scheduled retransmission round
+    std::uint64_t jitter_draws = 0;  ///< per-destination draw index
+    bool dead = false;
   };
   struct Incoming {
     std::uint64_t delivered = 0;
     std::map<std::uint64_t, DataFrame> pending;
   };
+
+  /// Retransmit every pending frame to `to`; returns true if frames remain
+  /// pending afterwards (false also when the channel just died).
+  bool retransmit_all(ProcessId to, Outgoing& out) {
+    for (auto& [seq, pending] : out.unacked) {
+      if (++pending.retries > owner_.options_.max_retransmits) {
+        give_up(to, out);
+        return false;
+      }
+      ++retransmissions_;
+      transmit(to, pending.frame);
+    }
+    return !out.unacked.empty();
+  }
+
+  /// A frame exhausted max_retransmits.
+  void give_up(ProcessId to, Outgoing& out) {
+    if (owner_.options_.on_exhausted == OnExhausted::kThrow) {
+      PARDSM_CHECK(false, "ARQ gave up: frame retransmitted too often");
+    }
+    dead_drops_ += out.unacked.size();
+    out.unacked.clear();
+    out.dead = true;
+    dead_targets_.push_back(to);
+  }
+
+  /// Legacy scheduler: one shared fixed-period timer per process.
+  void arm_timer() {
+    if (timer_armed_) return;
+    timer_armed_ = true;
+    owner_.lower_.set_timer(self_, owner_.options_.retransmit_after,
+                          kArqTimerBit);
+  }
+
+  // ---- per-destination backoff scheduler ----------------------------------
+
+  /// Scale `interval` by a deterministic jitter factor in
+  /// [1 - jitter, 1 + jitter].  The draw is keyed on logical coordinates
+  /// (seed, sender, destination, draw index), so it does not depend on the
+  /// interleaving of timers across destinations or processes.
+  Duration jittered(ProcessId to, Duration interval) {
+    const double j = owner_.options_.jitter;
+    if (j <= 0.0) return interval;
+    Rng rng = counter_rng(owner_.options_.jitter_seed,
+                          static_cast<std::uint64_t>(self_),
+                          static_cast<std::uint64_t>(to),
+                          outgoing_[to].jitter_draws++, kJitterStreamTag);
+    const double factor = 1.0 + j * (2.0 * rng.uniform01() - 1.0);
+    const auto us = static_cast<std::int64_t>(
+        static_cast<double>(interval.us) * factor);
+    return Duration{std::max<std::int64_t>(us, 1)};
+  }
+
+  [[nodiscard]] Duration interval_cap() const {
+    return owner_.options_.retransmit_max.us > 0
+               ? owner_.options_.retransmit_max
+               : Duration{owner_.options_.retransmit_after.us * 32};
+  }
+
+  /// Make sure an ARQ timer fires no later than `deadline`.  Extra timers
+  /// from earlier arms fire spuriously and simply re-scan.
+  void arm_until(TimePoint deadline) {
+    if (timer_armed_ && armed_deadline_.us <= deadline.us) return;
+    timer_armed_ = true;
+    armed_deadline_ = deadline;
+    const TimePoint t = owner_.lower_.now();
+    owner_.lower_.set_timer(
+        self_, Duration{std::max<std::int64_t>(deadline.us - t.us, 0)},
+        kArqTimerBit);
+  }
+
+  void on_backoff_timer() {
+    timer_armed_ = false;
+    const TimePoint t = owner_.lower_.now();
+    bool have_next = false;
+    TimePoint next{};
+    for (auto& [to, out] : outgoing_) {
+      if (out.dead || out.unacked.empty()) continue;
+      if (out.next_fire.us <= t.us) {
+        if (!retransmit_all(to, out)) continue;  // acked empty or died
+        const double f = std::max(owner_.options_.backoff_factor, 1.0);
+        const auto grown = static_cast<std::int64_t>(
+            static_cast<double>(out.interval.us) * f);
+        out.interval =
+            Duration{std::min<std::int64_t>(grown, interval_cap().us)};
+        out.next_fire = t + jittered(to, out.interval);
+      }
+      if (!have_next || out.next_fire.us < next.us) {
+        have_next = true;
+        next = out.next_fire;
+      }
+    }
+    if (have_next) arm_until(next);
+  }
 
   ReliableTransport& owner_;
   Endpoint* app_;
@@ -159,12 +307,15 @@ class ReliableTransport::Shim final : public Endpoint {
   std::map<ProcessId, Outgoing> outgoing_;
   std::map<ProcessId, Incoming> incoming_;
   std::uint64_t retransmissions_ = 0;
+  std::uint64_t dead_drops_ = 0;
+  std::vector<ProcessId> dead_targets_;
   bool timer_armed_ = false;
+  TimePoint armed_deadline_{};
 };
 
 ReliableTransport::ReliableTransport(HostTransport& lower,
                                      ReliableOptions options)
-    : lower_(lower), options_(options) {}
+    : lower_(lower), options_(options), adaptive_(options.adaptive()) {}
 
 ReliableTransport::~ReliableTransport() = default;
 
@@ -200,6 +351,23 @@ std::size_t ReliableTransport::process_count() const { return shims_.size(); }
 std::uint64_t ReliableTransport::retransmissions() const {
   std::uint64_t sum = 0;
   for (const auto& shim : shims_) sum += shim->retransmissions();
+  return sum;
+}
+
+std::vector<std::pair<ProcessId, ProcessId>> ReliableTransport::dead_channels()
+    const {
+  std::vector<std::pair<ProcessId, ProcessId>> out;
+  for (std::size_t i = 0; i < shims_.size(); ++i) {
+    for (ProcessId to : shims_[i]->dead_targets()) {
+      out.emplace_back(static_cast<ProcessId>(i), to);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ReliableTransport::dead_channel_drops() const {
+  std::uint64_t sum = 0;
+  for (const auto& shim : shims_) sum += shim->dead_drops();
   return sum;
 }
 

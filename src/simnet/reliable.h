@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "simnet/transport.h"
@@ -49,11 +50,52 @@ namespace pardsm {
 /// retransmit timer, not protocol complexity, dominates recovery latency:
 /// a frame lost to a fault window is repaired at the first timer fire
 /// after the window closes (bench_scenarios measures this).
+///
+/// Reaction when one frame exhausts `max_retransmits`.
+enum class OnExhausted : std::uint8_t {
+  /// Declare the directed channel dead: drop its pending frames (counted
+  /// in dead_channel_drops()), silently discard later sends on it, and
+  /// let the run continue degraded.  RunResult surfaces the dead pairs.
+  kDeadChannel,
+  /// Abort the run (the pre-dead-channel behavior; opt-in for tests that
+  /// want a hard liveness guarantee).
+  kThrow,
+};
+
 struct ReliableOptions {
-  /// Retransmit timer: unacked frames are re-sent this often.
+  /// Retransmit timer: base period between retransmission rounds.
   Duration retransmit_after = millis(40);
-  /// Give up (throw) after this many retransmissions of one frame.
+  /// Give up on a directed channel after this many retransmissions of one
+  /// frame (see on_exhausted for what "give up" means).
   std::uint32_t max_retransmits = 100;
+
+  // Members below are appended so existing two-field aggregate inits keep
+  // their meaning; the defaults preserve the fixed-period schedule and its
+  // golden traffic tables bit-for-bit.
+
+  /// Per-round interval multiplier for a destination with pending frames.
+  /// <= 1.0 selects the legacy fixed-period scheduler (one shared timer
+  /// per process, every destination retransmitted each round); > 1.0
+  /// selects per-destination capped exponential backoff.
+  double backoff_factor = 1.0;
+  /// Interval cap for the backoff scheduler.  Zero means 32x
+  /// retransmit_after.  Ignored by the legacy scheduler.
+  Duration retransmit_max{};
+  /// Jitter amplitude: each scheduled interval is scaled by a factor
+  /// uniform in [1 - jitter, 1 + jitter].  Draws come from a counter-based
+  /// stream keyed on (jitter_seed, sender, destination, draw index), so
+  /// they are independent of timer interleaving.  Zero disables jitter
+  /// (and keeps the legacy scheduler when backoff_factor <= 1).
+  double jitter = 0.0;
+  /// Seed of the jitter stream.
+  std::uint64_t jitter_seed = 0x51C0'0C15ULL;
+  /// What to do when a frame exhausts max_retransmits.
+  OnExhausted on_exhausted = OnExhausted::kDeadChannel;
+
+  /// True if the per-destination backoff scheduler is selected.
+  [[nodiscard]] bool adaptive() const {
+    return backoff_factor > 1.0 || jitter > 0.0;
+  }
 };
 
 /// Exactly-once, per-pair-FIFO transport decorator.
@@ -79,11 +121,22 @@ class ReliableTransport final : public HostTransport {
   /// Retransmissions performed so far (all senders).
   [[nodiscard]] std::uint64_t retransmissions() const;
 
+  /// Directed (from, to) channels declared dead under
+  /// OnExhausted::kDeadChannel, in the order they died.
+  [[nodiscard]] std::vector<std::pair<ProcessId, ProcessId>> dead_channels()
+      const;
+
+  /// Frames discarded because their channel was (or became) dead: the
+  /// pending frames dropped at the moment of death plus every later send
+  /// attempted on a dead channel.
+  [[nodiscard]] std::uint64_t dead_channel_drops() const;
+
  private:
   class Shim;
 
   HostTransport& lower_;
   ReliableOptions options_;
+  bool adaptive_ = false;  ///< options_.adaptive(), resolved once
   std::vector<std::unique_ptr<Shim>> shims_;
 };
 

@@ -185,6 +185,25 @@ void Scenario::fire(const FaultEvent& e, Network& net,
   }
 }
 
+std::vector<TimePoint> Scenario::window_edges() const {
+  std::vector<TimePoint> edges;
+  const auto add = [&edges](TimePoint t) {
+    if (t != kTimeForever) edges.push_back(t);
+  };
+  for (const ProbWindow& w : loss_windows_) {
+    add(w.open);
+    add(w.close);
+  }
+  for (const ProbWindow& w : dup_windows_) {
+    add(w.open);
+    add(w.close);
+  }
+  for (const FaultEvent& e : events_) add(e.at);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
 std::vector<const FaultEvent*> Scenario::ordered_events() const {
   std::vector<const FaultEvent*> ordered;
   ordered.reserve(events_.size());

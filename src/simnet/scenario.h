@@ -183,6 +183,31 @@ class Scenario {
   /// which is the only time that state may change.
   void apply(ParallelSimulator& sim, ScenarioHooks hooks = {}) const;
 
+  // -- sockets-root replay ---------------------------------------------------
+  // The sockets engine cannot install a RateOverride (there is no Network);
+  // it instead samples the windows and walks the event list itself, mapping
+  // simulated microseconds onto wall time.
+
+  /// The loss rate the timeline imposes on (from, to) at simulated time
+  /// `now`, or -1 when no window covers the pair (use the base rate).
+  [[nodiscard]] double loss_rate(ProcessId from, ProcessId to,
+                                 TimePoint now) const {
+    return window_rate(loss_windows_, from, to, now);
+  }
+  /// Same for duplication windows.
+  [[nodiscard]] double duplicate_rate(ProcessId from, ProcessId to,
+                                      TimePoint now) const {
+    return window_rate(dup_windows_, from, to, now);
+  }
+  /// Edge times of every probability window (rate-change instants a
+  /// wall-clock replay must visit), plus the structural event times.
+  [[nodiscard]] std::vector<TimePoint> window_edges() const;
+  /// The structural timeline in execution order (by time, closing edges
+  /// before opening edges, builder order as the tie break).
+  [[nodiscard]] std::vector<const FaultEvent*> execution_order() const {
+    return ordered_events();
+  }
+
  private:
   /// RateOverride over the window lists (defined in scenario.cpp).
   class Rates;

@@ -19,6 +19,8 @@
 #include "simnet/batching.h"
 #include "simnet/reliable.h"
 #include "simnet/simulator.h"
+#include "simnet/socket_transport.h"
+#include "simnet/wire.h"
 
 namespace pardsm {
 namespace {
@@ -76,7 +78,24 @@ const char* kStacks[] = {"sim", "reliable", "batching",
 struct Payload final : MessageBody {
   ProcessId sender = kNoProcess;
   int seq = 0;
+
+  // Wire codec so the same payload crosses the socket-rooted stacks.
+  [[nodiscard]] std::uint32_t wire_type() const override {
+    return wire::kTestPayload;
+  }
+  void wire_encode(WireWriter& w) const override {
+    w.i32(sender);
+    w.i32(seq);
+  }
 };
+
+std::shared_ptr<const MessageBody> decode_test_payload(WireReader& r) {
+  auto p = std::make_shared<Payload>();
+  p->sender = r.i32();
+  p->seq = r.i32();
+  return p;
+}
+const wire::BodyRegistrar kPayloadReg(wire::kTestPayload, decode_test_payload);
 
 /// Records (sender, seq, sim-time) of everything delivered.
 struct Collector final : Endpoint {
@@ -375,6 +394,171 @@ TEST(TransportConformance, RunWorkloadEqualsEngineRun) {
   EXPECT_EQ(via_wrapper.finished_at.us, via_engine.finished_at.us);
   EXPECT_EQ(via_wrapper.history.to_string(), via_engine.history.to_string());
   EXPECT_EQ(via_wrapper.final_replicas, via_engine.final_replicas);
+}
+
+// ---------------------------------------------------------------------------
+// Socket-rooted stacks: the same decorator contract over real loopback
+// TCP.  Wall-clock timing is non-deterministic, so these assert ordering
+// and accounting, never exact times.  Sends are posted onto the owner's
+// mailbox thread — decorator shims are owner-thread-only, exactly like
+// protocol code above them.
+// ---------------------------------------------------------------------------
+
+struct SocketStack {
+  std::unique_ptr<SocketTransport> root;
+  std::unique_ptr<BatchingTransport> batch_low;
+  std::unique_ptr<ReliableTransport> rel;
+  std::unique_ptr<BatchingTransport> batch_high;
+  HostTransport* top = nullptr;
+};
+
+SocketStack make_socket_stack(const std::string& name, std::size_t n) {
+  SocketStack s;
+  SocketOptions o;
+  o.total_processes = n;
+  s.root = std::make_unique<SocketTransport>(std::move(o));
+  s.top = s.root.get();
+  if (name == "socket") return s;
+  if (name == "socket-reliable") {
+    s.rel = std::make_unique<ReliableTransport>(*s.root, ReliableOptions{});
+    s.top = s.rel.get();
+    return s;
+  }
+  if (name == "socket-batching") {
+    s.batch_high =
+        std::make_unique<BatchingTransport>(*s.root, BatchingOptions{kWindow});
+    s.top = s.batch_high.get();
+    return s;
+  }
+  if (name == "socket-batching-over-reliable") {
+    s.rel = std::make_unique<ReliableTransport>(*s.root, ReliableOptions{});
+    s.batch_high =
+        std::make_unique<BatchingTransport>(*s.rel, BatchingOptions{kWindow});
+    s.top = s.batch_high.get();
+    return s;
+  }
+  if (name == "socket-reliable-over-batching") {
+    s.batch_low =
+        std::make_unique<BatchingTransport>(*s.root, BatchingOptions{kWindow});
+    s.rel =
+        std::make_unique<ReliableTransport>(*s.batch_low, ReliableOptions{});
+    s.top = s.rel.get();
+    return s;
+  }
+  ADD_FAILURE() << "unknown socket stack " << name;
+  return s;
+}
+
+const char* kSocketStacks[] = {"socket", "socket-reliable", "socket-batching",
+                               "socket-batching-over-reliable",
+                               "socket-reliable-over-batching"};
+
+constexpr std::chrono::milliseconds kSocketQuiesce{20000};
+
+TEST(TransportConformance, SocketStacksPerPairFifo) {
+  for (const char* stack_name : kSocketStacks) {
+    SCOPED_TRACE(stack_name);
+    SocketStack stack = make_socket_stack(stack_name, 3);
+    Collector a, b, c;
+    const ProcessId pa = stack.top->add_endpoint(&a);
+    const ProcessId pb = stack.top->add_endpoint(&b);
+    const ProcessId pc = stack.top->add_endpoint(&c);
+    stack.root->start();
+
+    stack.root->post(pa, [&] {
+      for (int i = 0; i < 20; ++i) {
+        send_seq(*stack.top, pa, pc, i, /*urgent=*/i % 5 == 4);
+      }
+    });
+    stack.root->post(pb, [&] {
+      for (int i = 0; i < 20; ++i) send_seq(*stack.top, pb, pc, 100 + i);
+    });
+    ASSERT_TRUE(stack.root->await_quiescence(kSocketQuiesce));
+
+    ASSERT_EQ(c.got.size(), 40u);
+    int next_a = 0;
+    int next_b = 100;
+    for (const auto& g : c.got) {
+      if (g.from == pa) {
+        EXPECT_EQ(g.seq, next_a++);
+      } else {
+        EXPECT_EQ(g.from, pb);
+        EXPECT_EQ(g.seq, next_b++);
+      }
+    }
+    EXPECT_EQ(next_a, 20);
+    EXPECT_EQ(next_b, 120);
+    EXPECT_TRUE(a.got.empty());
+    EXPECT_TRUE(b.got.empty());
+    stack.root->stop();
+  }
+}
+
+TEST(TransportConformance, SocketStacksStatsAttribution) {
+  constexpr int k = 10;
+  for (const char* stack_name : kSocketStacks) {
+    SCOPED_TRACE(stack_name);
+    SocketStack stack = make_socket_stack(stack_name, 2);
+    Collector a, b;
+    const ProcessId pa = stack.top->add_endpoint(&a);
+    const ProcessId pb = stack.top->add_endpoint(&b);
+    stack.root->start();
+
+    stack.root->post(pa, [&] {
+      for (int i = 0; i < k; ++i) send_seq(*stack.top, pa, pb, i);
+    });
+    ASSERT_TRUE(stack.root->await_quiescence(kSocketQuiesce));
+
+    ASSERT_EQ(b.got.size(), static_cast<std::size_t>(k));
+    const ProcessTraffic total = stack.root->stats().total();
+    // Payload conserved exactly — same contract as the simulator stacks.
+    EXPECT_EQ(total.payload_bytes_sent, 8u * k);
+    EXPECT_EQ(total.payload_bytes_received, 8u * k);
+    EXPECT_EQ(stack.root->stats().exposure(pb, 2),
+              static_cast<std::uint64_t>(k));
+    EXPECT_EQ(stack.root->stats().exposure(pa, 2), 0u);
+    const std::uint64_t app_control = 24u * k;
+    EXPECT_GE(total.control_bytes_sent, app_control);
+    EXPECT_LE(total.control_bytes_sent,
+              app_control + (16u + 8u + 2 * kPerItemFramingBytes) * k);
+    // The wire ledger saw real frames (exact counts depend on batching
+    // windows and ack timing — wall clock, so only inequalities hold).
+    const SocketCounters sc = stack.root->counters();
+    EXPECT_GT(sc.frames_sent, 0u);
+    EXPECT_EQ(sc.frames_sent, sc.frames_received);
+    EXPECT_GT(sc.bytes_sent, 0u);
+    stack.root->stop();
+  }
+}
+
+TEST(TransportConformance, SocketStacksTimerOrderingAndTagPassThrough) {
+  struct Timed final : Endpoint {
+    std::vector<TimerTag> fired;
+    void on_message(const Message&) override {}
+    void on_timer(TimerTag t) override { fired.push_back(t); }
+  };
+  for (const char* stack_name : kSocketStacks) {
+    SCOPED_TRACE(stack_name);
+    SocketStack stack = make_socket_stack(stack_name, 1);
+    Timed t;
+    const ProcessId p = stack.top->add_endpoint(&t);
+    stack.root->start();
+
+    // Generous spacing: the assertion is the firing order and the intact
+    // tags, not the exact wall-clock instants.
+    stack.root->post(p, [&] {
+      stack.top->set_timer(p, millis(150), 30);
+      stack.top->set_timer(p, millis(50), 10);
+      stack.top->set_timer(p, millis(100), 20);
+    });
+    ASSERT_TRUE(stack.root->await_quiescence(kSocketQuiesce));
+
+    ASSERT_EQ(t.fired.size(), 3u);
+    EXPECT_EQ(t.fired[0], 10u);
+    EXPECT_EQ(t.fired[1], 20u);
+    EXPECT_EQ(t.fired[2], 30u);
+    stack.root->stop();
+  }
 }
 
 }  // namespace
