@@ -49,8 +49,18 @@ constexpr std::array kBenches = {
     "bench_latency",            "bench_checkers_scaling",
     "bench_oblivious_apps",     "bench_open_question",
     "bench_scenarios",          "bench_scale",
-    "bench_sockets",
+    "bench_sockets",            "bench_workload",
 };
+
+/// Bench-JSON schemas this runner understands.  The v4 row format is a
+/// strict superset of v3 (new percentile columns only), so rows from
+/// either version parse with the same line-oriented reader — which is
+/// what lets --baseline diff a v3 BENCH_ALL.json against a v4 run.
+/// Rows under any *other* schema are skipped (and counted) rather than
+/// misparsed.
+bool known_schema(const std::string& schema) {
+  return schema == "pardsm-bench-v3" || schema == "pardsm-bench-v4";
+}
 
 std::string self_dir() {
   std::array<char, 4096> buf{};
@@ -97,11 +107,20 @@ std::map<std::string, double> wall_ns_by_row(const std::string& doc,
   std::istringstream in(doc);
   std::string line;
   std::string bench;
+  bool parseable = true;
   while (std::getline(in, line)) {
     const std::string b = string_field(line, "bench");
     if (!b.empty()) bench = b;
+    const std::string schema = string_field(line, "schema");
+    if (!schema.empty()) parseable = known_schema(schema);
     const std::string label = string_field(line, "label");
     if (label.empty()) continue;
+    if (!parseable) {
+      // A future (or foreign) schema version: its rows are not ours to
+      // interpret — count them as unmatched instead of misparsing.
+      ++skipped;
+      continue;
+    }
     const double wall_ns = number_field(line, "wall_ns");
     if (wall_ns <= 0 || !std::isfinite(wall_ns)) {
       ++skipped;
@@ -282,7 +301,7 @@ int main(int argc, char** argv) {
   }
 
   std::ostringstream doc;
-  doc << "{\n  \"schema\": \"pardsm-bench-v3\",\n  \"quick\": "
+  doc << "{\n  \"schema\": \"pardsm-bench-v4\",\n  \"quick\": "
       << (quick ? "true" : "false") << ",\n" << baseline_json
       << "  \"benches\": [\n" << benches_json.str() << "  ]\n}\n";
 

@@ -9,19 +9,28 @@
 //   --quick        skip the google-benchmark timing section
 //   --json=PATH    where to write results (default BENCH_<name>.json)
 //
-// JSON schema (pardsm-bench-v3): one object per bench with a `results`
+// JSON schema (pardsm-bench-v4): one object per bench with a `results`
 // array; each result row carries protocol, distribution, ops, messages,
 // bytes, sim_time_ms, wall_ns (real time spent producing the row, 0 when
-// not measured), ops_per_sec (derived, 0 when not applicable) and
+// not measured), ops_per_sec (derived, 0 when not applicable),
 // max_rss_kb (process peak RSS observed at row completion, 0 when not
 // sampled — a high-water mark, so only rows a bench runs in ascending
-// working-set order give per-configuration numbers), plus bench-specific
-// `extra` key/value pairs.
+// working-set order give per-configuration numbers), the latency
+// percentile columns p50_us / p99_us / p999_us plus censored_ops (all 0
+// on rows that do not capture per-op latency; censored ops are issued-
+// but-never-completed, see docs/WORKLOADS.md), plus bench-specific
+// `extra` key/value pairs.  v4 is a strict superset of v3 — every v3
+// field keeps its name and meaning, so v3 baselines still diff.
+//
+// All doubles are emitted through finite_or(): JSON has no inf/NaN, so a
+// non-finite measurement becomes 0 ("unmeasured") instead of corrupting
+// the document.
 #pragma once
 
 #include <sys/resource.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -117,14 +126,34 @@ struct Result {
   /// Process peak RSS at row completion (0 = not sampled).  High-water,
   /// not per-row: see max_rss_kb().
   std::uint64_t max_rss_kb = 0;
+  /// Per-op latency percentiles in microseconds (0 = not captured; a
+  /// censored percentile — rank beyond the completed samples — is also
+  /// reported as 0 with the mass visible in censored_ops).
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  /// Ops issued or due that never completed (dead channel, unrecovered
+  /// crash); they are accounted above every percentile bucket.
+  std::uint64_t censored_ops = 0;
   std::vector<std::pair<std::string, double>> extra;
 
   /// Application operations per wall-clock second (0 when unmeasured).
+  /// Guarded: ops * 1e9 is computed in double (no uint64 overflow at any
+  /// real count) and a non-finite ratio reports as unmeasured rather
+  /// than leaking inf/NaN into the JSON.
   [[nodiscard]] double ops_per_sec() const {
     if (wall_ns == 0 || ops == 0) return 0.0;
-    return static_cast<double>(ops) * 1e9 / static_cast<double>(wall_ns);
+    const double rate =
+        static_cast<double>(ops) * 1e9 / static_cast<double>(wall_ns);
+    return std::isfinite(rate) ? rate : 0.0;
   }
 };
+
+/// JSON-safe double: JSON cannot carry inf/NaN, so non-finite values are
+/// written as `fallback` (0 = "unmeasured") instead of breaking parsers.
+inline double finite_or(double v, double fallback = 0.0) {
+  return std::isfinite(v) ? v : fallback;
+}
 
 inline std::string json_escape(const std::string& s) {
   std::string out;
@@ -185,7 +214,7 @@ class Harness {
       return 1;
     }
     os << "    {\n      \"bench\": \"" << json_escape(name_)
-       << "\",\n      \"schema\": \"pardsm-bench-v3\",\n      \"results\": [\n";
+       << "\",\n      \"schema\": \"pardsm-bench-v4\",\n      \"results\": [\n";
     for (std::size_t i = 0; i < results_.size(); ++i) {
       const Result& r = results_[i];
       os << "        {\"label\": \"" << json_escape(r.label)
@@ -193,13 +222,16 @@ class Harness {
          << "\", \"distribution\": \"" << json_escape(r.distribution)
          << "\", \"ops\": " << r.ops << ", \"messages\": " << r.messages
          << ", \"bytes\": " << r.bytes << ", \"sim_time_ms\": " << std::fixed
-         << std::setprecision(3) << r.sim_time_ms << ", \"wall_ns\": "
-         << r.wall_ns << ", \"ops_per_sec\": " << std::fixed
-         << std::setprecision(1) << r.ops_per_sec()
-         << ", \"max_rss_kb\": " << r.max_rss_kb;
+         << std::setprecision(3) << finite_or(r.sim_time_ms)
+         << ", \"wall_ns\": " << r.wall_ns << ", \"ops_per_sec\": "
+         << std::fixed << std::setprecision(1) << r.ops_per_sec()
+         << ", \"max_rss_kb\": " << r.max_rss_kb << ", \"p50_us\": "
+         << std::fixed << std::setprecision(3) << finite_or(r.p50_us)
+         << ", \"p99_us\": " << finite_or(r.p99_us) << ", \"p999_us\": "
+         << finite_or(r.p999_us) << ", \"censored_ops\": " << r.censored_ops;
       for (const auto& [key, value] : r.extra) {
         os << ", \"" << json_escape(key) << "\": " << std::fixed
-           << std::setprecision(3) << value;
+           << std::setprecision(3) << finite_or(value);
       }
       os << "}";
       if (i + 1 < results_.size()) os << ",";

@@ -114,11 +114,18 @@ python3 - "$BUILD_DIR/$BENCH_OUT" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 rows = sum(len(b["results"]) for b in doc["benches"])
-assert doc["schema"] == "pardsm-bench-v3" and doc["benches"], doc.keys()
+assert doc["schema"] == "pardsm-bench-v4" and doc["benches"], doc.keys()
 for b in doc["benches"]:
-    assert b["schema"] == "pardsm-bench-v3", b["bench"]
+    assert b["schema"] == "pardsm-bench-v4", b["bench"]
     for r in b["results"]:
         assert "max_rss_kb" in r, (b["bench"], r.get("label"))
+        # v4 percentile columns: present on every row, and monotone
+        # whenever the row actually captured latency (p999 > 0).
+        for key in ("p50_us", "p99_us", "p999_us", "censored_ops"):
+            assert key in r, (b["bench"], r.get("label"), key)
+        if r["p999_us"] > 0:
+            assert r["p50_us"] <= r["p99_us"] <= r["p999_us"], \
+                (b["bench"], r.get("label"), r["p50_us"], r["p99_us"], r["p999_us"])
 timed = [r for b in doc["benches"] for r in b["results"] if r.get("wall_ns", 0) > 0]
 total_ms = sum(r["wall_ns"] for r in timed) / 1e6
 rss_rows = [r for b in doc["benches"] for r in b["results"] if r["max_rss_kb"] > 0]

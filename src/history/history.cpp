@@ -28,7 +28,7 @@ OpIndex History::push_write(ProcessId proc, VarId var, Value value,
   op.write_id = explicit_id.value_or(
       WriteId{proc, writes_by_proc_[static_cast<std::size_t>(proc)]});
   ++writes_by_proc_[static_cast<std::size_t>(proc)];
-  const auto idx = static_cast<OpIndex>(ops_.size());
+  const OpIndex idx = checked_op_index(ops_.size());
   ops_.push_back(op);
   per_process_[static_cast<std::size_t>(proc)].push_back(idx);
   return idx;
@@ -53,10 +53,17 @@ OpIndex History::push_read(ProcessId proc, VarId var, Value value,
   } else {
     op.write_id = WriteId{kNoProcess, -2};  // "unresolved": match by value
   }
-  const auto idx = static_cast<OpIndex>(ops_.size());
+  const OpIndex idx = checked_op_index(ops_.size());
   ops_.push_back(op);
   per_process_[static_cast<std::size_t>(proc)].push_back(idx);
   return idx;
+}
+
+OpIndex History::checked_op_index(std::size_t op_count) {
+  PARDSM_CHECK(op_count <= 0x7FFF'FFFEULL,
+               "history exceeds 2^31-1 operations — use the recorder's "
+               "discard mode for streamed runs");
+  return static_cast<OpIndex>(op_count);
 }
 
 void History::set_interval(OpIndex op, TimePoint invoked,

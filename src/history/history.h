@@ -37,6 +37,15 @@ class History {
   /// Set the real-time interval of an operation (protocol recorders).
   void set_interval(OpIndex op, TimePoint invoked, TimePoint responded);
 
+  /// Global index of the next pushed operation.  OpIndex is a 32-bit
+  /// signed handle (it rides in every read-from edge and projection), so
+  /// a history asked to hold more than 2^31-1 operations must fail
+  /// loudly instead of wrapping into negative indices — million-op runs
+  /// that do not need a history stream through
+  /// HistoryRecorder::use_discard_mode() instead.  Public static so the
+  /// wrap regression test can probe the boundary without 2^31 real ops.
+  [[nodiscard]] static OpIndex checked_op_index(std::size_t op_count);
+
   [[nodiscard]] std::size_t process_count() const { return per_process_.size(); }
   [[nodiscard]] std::size_t var_count() const { return var_count_; }
   [[nodiscard]] std::size_t size() const { return ops_.size(); }

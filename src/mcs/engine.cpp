@@ -5,6 +5,7 @@
 
 #include "sharegraph/sharding.h"
 #include "simnet/parallel_sim.h"
+#include "simnet/rng.h"
 #include "simnet/thread_runtime.h"
 
 namespace pardsm::mcs {
@@ -55,6 +56,75 @@ void ScriptedClient::issue() {
     });
   } else {
     process_.write(op.var, op.value, continue_after);
+  }
+}
+
+WorkloadClient::WorkloadClient(McsProcess& process, Simulator& sim,
+                               const workload::Generator& gen)
+    : process_(process), sim_(sim), gen_(gen) {}
+
+void WorkloadClient::start(TimePoint start) {
+  start_ = start;
+  if (gen_.open_loop()) {
+    sim_.schedule_at(gen_.arrival(start_, 0), [this] { arrive(); });
+  } else {
+    arrivals_ = gen_.ops_per_process();
+    sim_.schedule_at(start_, [this] { pump(); });
+  }
+}
+
+void WorkloadClient::resume(TimePoint at) {
+  if (!stalled_) return;
+  PARDSM_CHECK(!process_.crashed(), "resume while the process is still down");
+  stalled_ = false;
+  sim_.schedule_at(at, [this] { pump(); });
+}
+
+void WorkloadClient::arrive() {
+  ++arrivals_;
+  if (arrivals_ < gen_.ops_per_process()) {
+    // Arrivals chain one event at a time, so the queue holds O(1) client
+    // events no matter how many ops the stream has left.
+    sim_.schedule_at(gen_.arrival(start_, arrivals_), [this] { arrive(); });
+  }
+  pump();
+}
+
+void WorkloadClient::pump() {
+  if (outstanding_ || issued_ >= arrivals_) return;
+  if (process_.crashed()) {
+    // The open-loop world keeps arriving; *issuing* waits for recovery,
+    // and the queued ops' latencies keep their scheduled arrival clocks.
+    stalled_ = true;
+    return;
+  }
+  const std::uint64_t k = issued_++;
+  outstanding_ = true;
+  // Latency clock: open loop from the scheduled arrival (queueing behind
+  // a slow or down system is charged to the op — no coordinated
+  // omission); closed loop from the issue instant.
+  const TimePoint t0 =
+      gen_.open_loop() ? gen_.arrival(start_, k) : sim_.now();
+  const workload::OpSpec op = gen_.op(process_.id(), k);
+  if (op.is_read) {
+    process_.read(op.var, [this, t0](Value v) {
+      reads_digest_ = mix_word(reads_digest_, static_cast<std::uint64_t>(v));
+      complete(t0);
+    });
+  } else {
+    process_.write(op.var, op.value, [this, t0] { complete(t0); });
+  }
+}
+
+void WorkloadClient::complete(TimePoint t0) {
+  const Duration d = sim_.now() - t0;
+  latency_.record(d.us > 0 ? static_cast<std::uint64_t>(d.us) : 0);
+  ++completed_;
+  outstanding_ = false;
+  if (issued_ < arrivals_) {
+    // Re-enter via the queue so the event loop stays in control (same
+    // discipline as ScriptedClient's continue_after).
+    sim_.schedule_at(sim_.now(), [this] { pump(); });
   }
 }
 
@@ -131,6 +201,29 @@ void finish_clients(ScenarioRunResult& result, const ReliableTransport* rel,
                "protocol, unhealed fault or lost completion");
 }
 
+/// Fold every workload client's ledger into the result: histograms merge
+/// element-wise (associative and commutative, so per-shard order cannot
+/// matter), and the shortfall against the generator's schedule becomes
+/// the censored mass — an op that arrived but never completed is
+/// accounted above every latency bucket, never dropped and never a ~0
+/// sample.
+template <typename Client>
+void collect_workload(const workload::Generator& gen,
+                      const std::vector<std::unique_ptr<Client>>& clients,
+                      ScenarioRunResult& result) {
+  for (const auto& client : clients) {
+    result.op_latency.merge_from(client->latency());
+    result.ops_issued += client->issued();
+    result.ops_completed += client->completed();
+  }
+  const std::uint64_t target =
+      gen.ops_per_process() * static_cast<std::uint64_t>(clients.size());
+  PARDSM_CHECK(result.ops_completed <= target,
+               "workload completed more ops than were generated");
+  result.ops_censored = target - result.ops_completed;
+  result.op_latency.add_censored(result.ops_censored);
+}
+
 /// Self-driving client for the thread runtime: each completion issues the
 /// next operation, always on the owning process's thread.
 class ThreadedClient {
@@ -167,9 +260,57 @@ class ThreadedClient {
   bool done_ = false;
 };
 
+/// WorkloadClient's twin for the thread runtime: closed loop only (run()
+/// rejects open-loop specs off the simulated clock), each completion
+/// issuing the next generated op on the owning thread.  Latency is the
+/// root transport's wall-microsecond clock.
+class ThreadedWorkloadClient {
+ public:
+  ThreadedWorkloadClient(McsProcess& process, const workload::Generator& gen)
+      : process_(process), gen_(gen) {}
+
+  void issue() {
+    if (next_ >= gen_.ops_per_process()) return;
+    const std::uint64_t k = next_++;
+    const TimePoint t0 = process_.now();
+    const workload::OpSpec op = gen_.op(process_.id(), k);
+    if (op.is_read) {
+      process_.read(op.var, [this, t0](Value v) {
+        reads_digest_ =
+            mix_word(reads_digest_, static_cast<std::uint64_t>(v));
+        finish(t0);
+      });
+    } else {
+      process_.write(op.var, op.value, [this, t0] { finish(t0); });
+    }
+  }
+
+  [[nodiscard]] bool done() const {
+    return completed_ == gen_.ops_per_process();
+  }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  void finish(TimePoint t0) {
+    const Duration d = process_.now() - t0;
+    latency_.record(d.us > 0 ? static_cast<std::uint64_t>(d.us) : 0);
+    ++completed_;
+    issue();
+  }
+
+  McsProcess& process_;
+  const workload::Generator& gen_;
+  std::uint64_t next_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t reads_digest_ = 0;
+  LatencyHistogram latency_;
+};
+
 ScenarioRunResult run_on_threads(const EngineConfig& config) {
   const graph::Distribution& dist = *config.distribution;
-  const std::vector<Script>& scripts = *config.scripts;
+  const std::vector<Script>* scripts = config.scripts;
   PARDSM_CHECK(config.scenario == nullptr,
                "fault timelines require the simulator runtime");
   PARDSM_CHECK(!needs_reliable(config),
@@ -195,7 +336,11 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
     top = &*batch;
   }
 
+  std::optional<workload::Generator> gen;
+  if (config.workload != nullptr) gen.emplace(dist, *config.workload);
+
   HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  if (!config.record_history) recorder.use_discard_mode();
   auto processes = make_processes(config.protocol, dist, recorder);
   for (auto& proc : processes) {
     const ProcessId assigned = top->add_endpoint(proc.get());
@@ -205,15 +350,26 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
   }
 
   std::vector<std::unique_ptr<ThreadedClient>> clients;
+  std::vector<std::unique_ptr<ThreadedWorkloadClient>> wclients;
   for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(
-        std::make_unique<ThreadedClient>(*processes[p], scripts[p]));
+    if (gen) {
+      wclients.push_back(
+          std::make_unique<ThreadedWorkloadClient>(*processes[p], *gen));
+    } else {
+      clients.push_back(
+          std::make_unique<ThreadedClient>(*processes[p], (*scripts)[p]));
+    }
   }
 
   rt.start();
-  for (std::size_t p = 0; p < clients.size(); ++p) {
-    rt.post(static_cast<ProcessId>(p),
-            [client = clients[p].get()] { client->issue(); });
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    if (gen) {
+      rt.post(static_cast<ProcessId>(p),
+              [client = wclients[p].get()] { client->issue(); });
+    } else {
+      rt.post(static_cast<ProcessId>(p),
+              [client = clients[p].get()] { client->issue(); });
+    }
   }
   const bool quiet = rt.await_quiescence(config.quiesce_timeout);
   PARDSM_CHECK(quiet, "thread runtime failed to quiesce — protocol stuck?");
@@ -222,9 +378,14 @@ ScenarioRunResult run_on_threads(const EngineConfig& config) {
   for (const auto& client : clients) {
     PARDSM_CHECK(client->done(), "threaded client did not finish its script");
   }
+  for (const auto& client : wclients) {
+    PARDSM_CHECK(client->done(),
+                 "threaded client did not finish its workload");
+  }
 
   ScenarioRunResult result;
   collect_common(recorder, rt.stats(), processes, dist.var_count, result);
+  if (gen) collect_workload(*gen, wclients, result);
   if (batch) result.batching = batch->stats();
   return result;
 }
@@ -279,9 +440,68 @@ class SocketClient {
   bool stalled_ = false;
 };
 
+/// WorkloadClient's twin for the sockets root: closed loop with
+/// SocketClient's crash-awareness — everything runs on the owning
+/// mailbox thread, a crashed issue attempt stalls until the recovery
+/// hook posts resume().  Latency is the socket root's wall-µs clock.
+class SocketWorkloadClient {
+ public:
+  SocketWorkloadClient(McsProcess& process, const workload::Generator& gen)
+      : process_(process), gen_(gen) {}
+
+  void issue() {
+    if (next_ >= gen_.ops_per_process()) return;
+    if (process_.crashed()) {
+      stalled_ = true;
+      return;
+    }
+    const std::uint64_t k = next_++;
+    const TimePoint t0 = process_.now();
+    const workload::OpSpec op = gen_.op(process_.id(), k);
+    if (op.is_read) {
+      process_.read(op.var, [this, t0](Value v) {
+        reads_digest_ =
+            mix_word(reads_digest_, static_cast<std::uint64_t>(v));
+        finish(t0);
+      });
+    } else {
+      process_.write(op.var, op.value, [this, t0] { finish(t0); });
+    }
+  }
+
+  void resume() {
+    if (!stalled_) return;
+    stalled_ = false;
+    issue();
+  }
+
+  [[nodiscard]] bool done() const {
+    return completed_ == gen_.ops_per_process();
+  }
+  [[nodiscard]] std::uint64_t issued() const { return next_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  void finish(TimePoint t0) {
+    const Duration d = process_.now() - t0;
+    latency_.record(d.us > 0 ? static_cast<std::uint64_t>(d.us) : 0);
+    ++completed_;
+    issue();
+  }
+
+  McsProcess& process_;
+  const workload::Generator& gen_;
+  std::uint64_t next_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t reads_digest_ = 0;
+  bool stalled_ = false;
+  LatencyHistogram latency_;
+};
+
 ScenarioRunResult run_on_sockets(const EngineConfig& config) {
   const graph::Distribution& dist = *config.distribution;
-  const std::vector<Script>& scripts = *config.scripts;
+  const std::vector<Script>* scripts = config.scripts;
   const std::size_t n = dist.process_count();
   const bool reliable = needs_reliable(config);
   const bool batching =
@@ -324,7 +544,11 @@ ScenarioRunResult run_on_sockets(const EngineConfig& config) {
     top = &*batch;
   }
 
+  std::optional<workload::Generator> gen;
+  if (config.workload != nullptr) gen.emplace(dist, *config.workload);
+
   HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  if (!config.record_history) recorder.use_discard_mode();
   auto processes = make_processes(config.protocol, dist, recorder);
   for (auto& proc : processes) {
     const ProcessId assigned = top->add_endpoint(proc.get());
@@ -334,10 +558,15 @@ ScenarioRunResult run_on_sockets(const EngineConfig& config) {
   }
 
   std::vector<std::unique_ptr<SocketClient>> clients;
-  clients.reserve(processes.size());
+  std::vector<std::unique_ptr<SocketWorkloadClient>> wclients;
   for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(
-        std::make_unique<SocketClient>(*processes[p], scripts[p]));
+    if (gen) {
+      wclients.push_back(
+          std::make_unique<SocketWorkloadClient>(*processes[p], *gen));
+    } else {
+      clients.push_back(
+          std::make_unique<SocketClient>(*processes[p], (*scripts)[p]));
+    }
   }
 
   // -- scenario replay on the wall clock ------------------------------------
@@ -387,12 +616,14 @@ ScenarioRunResult run_on_sockets(const EngineConfig& config) {
           break;
         case FaultEvent::Type::kRecover:
           st.set_down(e.a, false);
-          st.post(e.a,
-                  [proc = processes[static_cast<std::size_t>(e.a)].get(),
-                   client = clients[static_cast<std::size_t>(e.a)].get()] {
-                    proc->recover();
-                    client->resume();
-                  });
+          st.post(e.a, [&, p = static_cast<std::size_t>(e.a)] {
+            processes[p]->recover();
+            if (!wclients.empty()) {
+              wclients[p]->resume();
+            } else {
+              clients[p]->resume();
+            }
+          });
           break;
       }
     }
@@ -425,9 +656,14 @@ ScenarioRunResult run_on_sockets(const EngineConfig& config) {
     }
   });
 
-  for (std::size_t p = 0; p < clients.size(); ++p) {
-    st.post(static_cast<ProcessId>(p),
-            [client = clients[p].get()] { client->issue(); });
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    if (gen) {
+      st.post(static_cast<ProcessId>(p),
+              [client = wclients[p].get()] { client->issue(); });
+    } else {
+      st.post(static_cast<ProcessId>(p),
+              [client = clients[p].get()] { client->issue(); });
+    }
   }
 
   // The timeline must run to completion before quiescence means anything:
@@ -441,9 +677,13 @@ ScenarioRunResult run_on_sockets(const EngineConfig& config) {
   for (const auto& client : clients) {
     if (!client->done()) ++unfinished;
   }
+  for (const auto& client : wclients) {
+    if (!client->done()) ++unfinished;
+  }
 
   ScenarioRunResult result;
   collect_common(recorder, st.stats(), processes, dist.var_count, result);
+  if (gen) collect_workload(*gen, wclients, result);
   result.finished_at = st.now();
   result.used_reliable_transport = reliable;
   result.retransmissions = rel ? rel->retransmissions() : 0;
@@ -526,9 +766,102 @@ class ParallelScriptedClient {
   bool stalled_ = false;
 };
 
+/// WorkloadClient's twin for the parallel engine: identical open/closed
+/// loop and stall semantics, every closure scheduled with its owning
+/// process so it lands on the right shard with a canonical ordering
+/// slot.  The per-client histogram is only ever touched on the owner's
+/// shard; the engine merges them after the run (order-independent).
+class ParallelWorkloadClient {
+ public:
+  ParallelWorkloadClient(McsProcess& process, ParallelSimulator& sim,
+                         const workload::Generator& gen)
+      : process_(process), sim_(sim), gen_(gen) {}
+
+  void start(TimePoint start) {
+    start_ = start;
+    if (gen_.open_loop()) {
+      sim_.schedule_at(gen_.arrival(start_, 0), process_.id(),
+                       [this] { arrive(); });
+    } else {
+      arrivals_ = gen_.ops_per_process();
+      sim_.schedule_at(start_, process_.id(), [this] { pump(); });
+    }
+  }
+
+  void resume(TimePoint at) {
+    if (!stalled_) return;
+    PARDSM_CHECK(!process_.crashed(),
+                 "resume while the process is still down");
+    stalled_ = false;
+    sim_.schedule_at(at, process_.id(), [this] { pump(); });
+  }
+
+  [[nodiscard]] bool done() const {
+    return completed_ == gen_.ops_per_process();
+  }
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t reads_digest() const { return reads_digest_; }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  void arrive() {
+    ++arrivals_;
+    if (arrivals_ < gen_.ops_per_process()) {
+      sim_.schedule_at(gen_.arrival(start_, arrivals_), process_.id(),
+                       [this] { arrive(); });
+    }
+    pump();
+  }
+
+  void pump() {
+    if (outstanding_ || issued_ >= arrivals_) return;
+    if (process_.crashed()) {
+      stalled_ = true;
+      return;
+    }
+    const std::uint64_t k = issued_++;
+    outstanding_ = true;
+    const TimePoint t0 =
+        gen_.open_loop() ? gen_.arrival(start_, k) : sim_.now();
+    const workload::OpSpec op = gen_.op(process_.id(), k);
+    if (op.is_read) {
+      process_.read(op.var, [this, t0](Value v) {
+        reads_digest_ =
+            mix_word(reads_digest_, static_cast<std::uint64_t>(v));
+        complete(t0);
+      });
+    } else {
+      process_.write(op.var, op.value, [this, t0] { complete(t0); });
+    }
+  }
+
+  void complete(TimePoint t0) {
+    const Duration d = sim_.now() - t0;
+    latency_.record(d.us > 0 ? static_cast<std::uint64_t>(d.us) : 0);
+    ++completed_;
+    outstanding_ = false;
+    if (issued_ < arrivals_) {
+      sim_.schedule_at(sim_.now(), process_.id(), [this] { pump(); });
+    }
+  }
+
+  McsProcess& process_;
+  ParallelSimulator& sim_;
+  const workload::Generator& gen_;
+  TimePoint start_{};
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t reads_digest_ = 0;
+  bool outstanding_ = false;
+  bool stalled_ = false;
+  LatencyHistogram latency_;
+};
+
 ScenarioRunResult run_on_parallel(EngineConfig& config) {
   const graph::Distribution& dist = *config.distribution;
-  const std::vector<Script>& scripts = *config.scripts;
+  const std::vector<Script>* scripts = config.scripts;
   const bool reliable = needs_reliable(config);
   const bool batching =
       config.force_batching_layer || config.batching.window.us > 0;
@@ -563,10 +896,14 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
     top = &*batch;
   }
 
+  std::optional<workload::Generator> gen;
+  if (config.workload != nullptr) gen.emplace(dist, *config.workload);
+
   HistoryRecorder recorder(dist.process_count(), dist.var_count);
   // History global order is insertion order; parallel execution makes
   // arrival interleaving thread-dependent, so rebuild it canonically.
   recorder.use_canonical_order();
+  if (!config.record_history) recorder.use_discard_mode();
   auto processes = make_processes(config.protocol, dist, recorder);
   for (auto& proc : processes) {
     const ProcessId assigned = top->add_endpoint(proc.get());
@@ -576,10 +913,15 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
   }
 
   std::vector<std::unique_ptr<ParallelScriptedClient>> clients;
-  clients.reserve(processes.size());
+  std::vector<std::unique_ptr<ParallelWorkloadClient>> wclients;
   for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(std::make_unique<ParallelScriptedClient>(
-        *processes[p], sim, scripts[p]));
+    if (gen) {
+      wclients.push_back(std::make_unique<ParallelWorkloadClient>(
+          *processes[p], sim, *gen));
+    } else {
+      clients.push_back(std::make_unique<ParallelScriptedClient>(
+          *processes[p], sim, (*scripts)[p]));
+    }
   }
 
   sim.freeze();
@@ -588,23 +930,33 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
     hooks.on_crash = [&processes](ProcessId p, TimePoint) {
       processes[static_cast<std::size_t>(p)]->crash();
     };
-    hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
+    hooks.on_recover = [&processes, &clients, &wclients](ProcessId p,
+                                                         TimePoint at) {
       processes[static_cast<std::size_t>(p)]->recover();
-      clients[static_cast<std::size_t>(p)]->resume(at);
+      if (!wclients.empty()) {
+        wclients[static_cast<std::size_t>(p)]->resume(at);
+      } else {
+        clients[static_cast<std::size_t>(p)]->resume(at);
+      }
     };
     config.scenario->apply(sim, hooks);
   }
 
   for (auto& client : clients) client->start(kTimeZero);
+  for (auto& client : wclients) client->start(kTimeZero);
   sim.run();
 
   std::size_t unfinished = 0;
   for (const auto& client : clients) {
     if (!client->done()) ++unfinished;
   }
+  for (const auto& client : wclients) {
+    if (!client->done()) ++unfinished;
+  }
 
   ScenarioRunResult result;
   collect_common(recorder, sim.stats(), processes, dist.var_count, result);
+  if (gen) collect_workload(*gen, wclients, result);
   result.finished_at = sim.now();
   result.events = sim.events_fired();
 
@@ -630,7 +982,7 @@ ScenarioRunResult run_on_parallel(EngineConfig& config) {
 
 ScenarioRunResult run_on_simulator(EngineConfig& config) {
   const graph::Distribution& dist = *config.distribution;
-  const std::vector<Script>& scripts = *config.scripts;
+  const std::vector<Script>* scripts = config.scripts;
   const bool reliable = needs_reliable(config);
   const bool batching =
       config.force_batching_layer || config.batching.window.us > 0;
@@ -665,7 +1017,11 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
     top = &*batch;
   }
 
+  std::optional<workload::Generator> gen;
+  if (config.workload != nullptr) gen.emplace(dist, *config.workload);
+
   HistoryRecorder recorder(dist.process_count(), dist.var_count);
+  if (!config.record_history) recorder.use_discard_mode();
   auto processes = make_processes(config.protocol, dist, recorder);
   for (auto& proc : processes) {
     const ProcessId assigned = top->add_endpoint(proc.get());
@@ -675,10 +1031,15 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
   }
 
   std::vector<std::unique_ptr<ScriptedClient>> clients;
-  clients.reserve(processes.size());
+  std::vector<std::unique_ptr<WorkloadClient>> wclients;
   for (std::size_t p = 0; p < processes.size(); ++p) {
-    clients.push_back(
-        std::make_unique<ScriptedClient>(*processes[p], sim, scripts[p]));
+    if (gen) {
+      wclients.push_back(
+          std::make_unique<WorkloadClient>(*processes[p], sim, *gen));
+    } else {
+      clients.push_back(std::make_unique<ScriptedClient>(*processes[p], sim,
+                                                         (*scripts)[p]));
+    }
   }
 
   // Apply the timeline before any client op is scheduled: events at t<=0
@@ -690,23 +1051,33 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
     hooks.on_crash = [&processes](ProcessId p, TimePoint) {
       processes[static_cast<std::size_t>(p)]->crash();
     };
-    hooks.on_recover = [&processes, &clients](ProcessId p, TimePoint at) {
+    hooks.on_recover = [&processes, &clients, &wclients](ProcessId p,
+                                                         TimePoint at) {
       processes[static_cast<std::size_t>(p)]->recover();
-      clients[static_cast<std::size_t>(p)]->resume(at);
+      if (!wclients.empty()) {
+        wclients[static_cast<std::size_t>(p)]->resume(at);
+      } else {
+        clients[static_cast<std::size_t>(p)]->resume(at);
+      }
     };
     config.scenario->apply(sim, hooks);
   }
 
   for (auto& client : clients) client->start(kTimeZero);
+  for (auto& client : wclients) client->start(kTimeZero);
   sim.run();
 
   std::size_t unfinished = 0;
   for (const auto& client : clients) {
     if (!client->done()) ++unfinished;
   }
+  for (const auto& client : wclients) {
+    if (!client->done()) ++unfinished;
+  }
 
   ScenarioRunResult result;
   collect_common(recorder, sim.stats(), processes, dist.var_count, result);
+  if (gen) collect_workload(*gen, wclients, result);
   result.finished_at = sim.now();
   result.events = sim.events_fired();
 
@@ -734,9 +1105,21 @@ ScenarioRunResult run_on_simulator(EngineConfig& config) {
 
 ScenarioRunResult run(EngineConfig config) {
   PARDSM_CHECK(config.distribution != nullptr, "run: distribution required");
-  PARDSM_CHECK(config.scripts != nullptr, "run: scripts required");
-  PARDSM_CHECK(config.scripts->size() == config.distribution->process_count(),
-               "one script per process required");
+  PARDSM_CHECK((config.scripts != nullptr) != (config.workload != nullptr),
+               "run: exactly one of scripts / workload required");
+  if (config.scripts != nullptr) {
+    PARDSM_CHECK(
+        config.scripts->size() == config.distribution->process_count(),
+        "one script per process required");
+  }
+  if (config.workload != nullptr && config.workload->arrival_rate > 0.0) {
+    // Open-loop arrival control is a simulated-time construct; on the
+    // wall-clock runtimes the client loop is closed by design, so an
+    // open-loop spec there would silently measure something else.
+    PARDSM_CHECK(config.runtime == EngineRuntime::kSimulator ||
+                     config.runtime == EngineRuntime::kParallelSim,
+                 "open-loop arrival rates require a simulator runtime");
+  }
   if (config.runtime == EngineRuntime::kThreads) {
     return run_on_threads(config);
   }

@@ -1,12 +1,12 @@
 // The one engine every system run goes through.
 //
 // An EngineConfig names a complete experiment — protocol, distribution,
-// per-process scripts, the transport stack (raw / ARQ / batching, in
-// either stacking order), an optional fault timeline and the runtime to
-// execute on — and run() executes it.  run_workload, run_scenario and
-// run_workload_threaded (driver.h) are thin wrappers that fill in a
-// config; benches and tests that sweep transport parameters use run()
-// directly.
+// the load (per-process scripts, or a generated streaming workload), the
+// transport stack (raw / ARQ / batching, in either stacking order), an
+// optional fault timeline and the runtime to execute on — and run()
+// executes it.  run_workload, run_scenario and run_workload_threaded
+// (driver.h) are thin wrappers that fill in a config; benches and tests
+// that sweep transport parameters use run() directly.
 //
 // Transport stack assembled by run(), bottom-up:
 //
@@ -29,10 +29,12 @@
 
 #include "mcs/factory.h"
 #include "simnet/batching.h"
+#include "simnet/latency_histogram.h"
 #include "simnet/reliable.h"
 #include "simnet/scenario.h"
 #include "simnet/simulator.h"
 #include "simnet/socket_transport.h"
+#include "workload/generator.h"
 
 namespace pardsm::mcs {
 
@@ -92,6 +94,63 @@ class ScriptedClient {
   bool stalled_ = false;
 };
 
+/// ScriptedClient's twin for generated workloads (EngineConfig::workload,
+/// simulator runtime): streams ops out of a workload::Generator instead
+/// of replaying a stored Script, so a million-op run holds no per-op
+/// state — the client is a fixed-size cursor (indices, a latency
+/// histogram, a digest of read results) no matter how long the stream is.
+///
+/// Closed loop (arrival_rate == 0): op k+1 is issued when op k completes,
+/// latency measured from the issue instant.  Open loop (positive rate):
+/// op k *arrives* at start + k/rate on the simulated clock regardless of
+/// system progress; at most one op is outstanding per process, the rest
+/// queue as a backlog counter, and latency is measured from the scheduled
+/// arrival, so head-of-line queueing behind a slow (or crashed — the
+/// stall/resume handshake matches ScriptedClient) system is charged to
+/// the op rather than omitted.
+class WorkloadClient {
+ public:
+  WorkloadClient(McsProcess& process, Simulator& sim,
+                 const workload::Generator& gen);
+
+  /// Schedule the first arrival (open loop) or first issue (closed loop).
+  void start(TimePoint start);
+
+  /// Re-enter the issue loop after the process recovered (no-op if the
+  /// client was not stalled).
+  void resume(TimePoint at);
+
+  [[nodiscard]] bool done() const {
+    return completed_ == gen_.ops_per_process();
+  }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  /// Ops handed to the protocol / completed so far.  At quiescence
+  /// issued - completed is 0 or, with a dead channel, the censored op.
+  [[nodiscard]] std::uint64_t issued() const { return issued_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Order-sensitive digest of every read result — O(1) memory stand-in
+  /// for ScriptedClient's stored read vector.
+  [[nodiscard]] std::uint64_t reads_digest() const { return reads_digest_; }
+  [[nodiscard]] const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  void arrive();
+  void pump();
+  void complete(TimePoint t0);
+
+  McsProcess& process_;
+  Simulator& sim_;
+  const workload::Generator& gen_;
+  TimePoint start_{};
+  std::uint64_t arrivals_ = 0;  ///< ops arrived (== total in closed loop)
+  std::uint64_t issued_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t reads_digest_ = 0;
+  bool outstanding_ = false;
+  bool stalled_ = false;
+  LatencyHistogram latency_;
+};
+
 /// Final (value, provenance) copy of one replicated variable.
 struct ReplicaEntry {
   VarId x = kNoVar;
@@ -119,6 +178,16 @@ struct RunResult {
   /// O(active pairs) memory model (docs/SCALING.md).
   std::size_t active_channel_pairs = 0;
   std::size_t channel_state_bytes = 0;
+  /// Generated-workload runs only (EngineConfig::workload): the per-op
+  /// latency ledger, merged over every client (and thus every shard on
+  /// the parallel root).  ops_censored = ops that arrived per the
+  /// generator's schedule but never completed — dead channel or
+  /// never-recovered crash; they sit in the histogram's censored mass,
+  /// above every bucket, never as ~0 latencies (docs/WORKLOADS.md).
+  LatencyHistogram op_latency;
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t ops_censored = 0;
 };
 
 /// run() / run_scenario result: the ordinary run outcome plus the fault
@@ -217,7 +286,15 @@ struct ParallelOptions {
 struct EngineConfig {
   ProtocolKind protocol = ProtocolKind::kPramPartial;
   const graph::Distribution* distribution = nullptr;  ///< required
-  const std::vector<Script>* scripts = nullptr;       ///< required
+  /// The load: exactly one of `scripts` (replayed verbatim) or `workload`
+  /// (streamed from a generator, never materialized) must be set.
+  const std::vector<Script>* scripts = nullptr;
+  const workload::Spec* workload = nullptr;
+  /// Record every op into RunResult::history (the consistency checkers
+  /// need it).  Turn off for million-op workload runs: the recorder then
+  /// only counts, memory stays O(1) in the op count, and
+  /// RunResult::history comes back empty.
+  bool record_history = true;
   /// Optional fault timeline (null = lossless run, no scenario events).
   const Scenario* scenario = nullptr;
   EngineRuntime runtime = EngineRuntime::kSimulator;

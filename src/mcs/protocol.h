@@ -230,6 +230,12 @@ class McsProcess : public Endpoint {
   [[nodiscard]] virtual bool wait_free() const = 0;
 
   [[nodiscard]] ProcessId id() const { return self_; }
+  /// The attached transport's clock (simulated or wall, per runtime).
+  /// Public so engine clients can timestamp operations on the same clock
+  /// the protocol runs on.
+  [[nodiscard]] TimePoint now() const {
+    return transport_ ? transport_->now() : TimePoint{};
+  }
   [[nodiscard]] const ProtocolStats& stats() const { return pstats_; }
   [[nodiscard]] const ReplicaStore& store() const { return store_; }
   [[nodiscard]] bool replicates(VarId x) const { return store_.holds(x); }
@@ -278,9 +284,6 @@ class McsProcess : public Endpoint {
   [[nodiscard]] Transport& transport() {
     PARDSM_CHECK(transport_ != nullptr, "McsProcess used before attach()");
     return *transport_;
-  }
-  [[nodiscard]] TimePoint now() const {
-    return transport_ ? transport_->now() : TimePoint{};
   }
   [[nodiscard]] const graph::Distribution& distribution() const {
     return dist_;

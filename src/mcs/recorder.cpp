@@ -12,9 +12,28 @@ void HistoryRecorder::use_canonical_order() {
   pending_.resize(process_count_);
 }
 
+void HistoryRecorder::use_discard_mode() {
+  std::lock_guard lock(mu_);
+  PARDSM_CHECK(history_.size() == 0 && discarded_ == 0,
+               "use_discard_mode: operations already recorded");
+  for (const auto& ops : pending_) {
+    PARDSM_CHECK(ops.empty(), "use_discard_mode: operations already recorded");
+  }
+  discard_ = true;
+}
+
+std::uint64_t HistoryRecorder::discarded_ops() const {
+  std::lock_guard lock(mu_);
+  return discarded_;
+}
+
 void HistoryRecorder::record_write(ProcessId p, VarId x, Value v, WriteId id,
                                    TimePoint invoked, TimePoint responded) {
   std::lock_guard lock(mu_);
+  if (discard_) {
+    ++discarded_;
+    return;
+  }
   if (canonical_) {
     pending_[static_cast<std::size_t>(p)].push_back(
         {true, x, v, id, invoked, responded});
@@ -28,6 +47,10 @@ void HistoryRecorder::record_read(ProcessId p, VarId x, Value value,
                                   WriteId source, TimePoint invoked,
                                   TimePoint responded) {
   std::lock_guard lock(mu_);
+  if (discard_) {
+    ++discarded_;
+    return;
+  }
   if (canonical_) {
     pending_[static_cast<std::size_t>(p)].push_back(
         {false, x, value, source, invoked, responded});
@@ -72,6 +95,7 @@ hist::History HistoryRecorder::take_history() {
 
 std::size_t HistoryRecorder::size() const {
   std::lock_guard lock(mu_);
+  if (discard_) return static_cast<std::size_t>(discarded_);
   if (canonical_) {
     std::size_t total = 0;
     for (const auto& ops : pending_) total += ops.size();

@@ -38,6 +38,17 @@ class HistoryRecorder {
   /// before any operation is recorded.
   void use_canonical_order();
 
+  /// Count-only mode: record_* keep per-op counters but store nothing, so
+  /// memory stays O(1) no matter how many operations stream through —
+  /// what lets a generated-workload run push millions of ops with peak
+  /// RSS independent of the op count.  take_history()/history() return an
+  /// empty (correctly-shaped) History.  Must be called before any
+  /// operation is recorded; overrides canonical buffering.
+  void use_discard_mode();
+
+  /// Operations seen while in discard mode (0 otherwise).
+  [[nodiscard]] std::uint64_t discarded_ops() const;
+
   /// Record a completed write (its WriteId must be the one the protocol
   /// attached to the stored value).
   void record_write(ProcessId p, VarId x, Value v, WriteId id,
@@ -76,6 +87,8 @@ class HistoryRecorder {
   std::size_t process_count_;
   std::size_t var_count_;
   bool canonical_ = false;
+  bool discard_ = false;
+  std::uint64_t discarded_ = 0;  ///< ops seen in discard mode
   /// Canonical mode only: per-process program-order operation buffers.
   std::vector<std::vector<PendingOp>> pending_;
 };

@@ -9,7 +9,7 @@ namespace pardsm {
 Event& EventQueue::alloc(TimePoint when, Event::Type type) {
   std::uint32_t slot;
   if (free_.empty()) {
-    slot = static_cast<std::uint32_t>(pool_.size());
+    slot = checked_slot(pool_.size());
     pool_.emplace_back();
   } else {
     slot = free_.back();

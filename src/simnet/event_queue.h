@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "simnet/check.h"
 #include "simnet/ids.h"
 #include "simnet/message.h"
 #include "simnet/sim_time.h"
@@ -91,6 +92,19 @@ class EventQueue {
 
   /// Pool slots ever allocated (== peak queue depth; tests assert reuse).
   [[nodiscard]] std::size_t pool_slots() const { return pool_.size(); }
+
+  /// Slot handles are 32-bit (they ride in every 24-byte heap entry), so
+  /// a pool asked to grow past 2^32 slots — four billion *simultaneously
+  /// pending* events — must fail loudly instead of wrapping the new
+  /// slot's index into an alias of slot 0.  Public static so the wrap
+  /// regression test can probe the boundary without four billion live
+  /// events (the same seeded-harness discipline as
+  /// SmallVec::next_capacity).
+  [[nodiscard]] static std::uint32_t checked_slot(std::size_t pool_size) {
+    PARDSM_CHECK(pool_size <= 0xFFFF'FFFFULL,
+                 "event pool exceeds 2^32 slots");
+    return static_cast<std::uint32_t>(pool_size);
+  }
 
  private:
   /// What the binary heap actually stores and moves.
