@@ -1,0 +1,33 @@
+#include "alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+namespace pardsm::benchutil {
+
+std::uint64_t allocs_so_far() noexcept {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace pardsm::benchutil
+
+// new is malloc-backed so the matching delete frees with std::free; GCC
+// cannot see the pairing across the replaced global operators and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,19 @@
+// Heap-allocation counter for benches that report allocs_per_op.
+//
+// A bench target that links alloc_hook.cpp replaces global operator new
+// with a counting malloc shim (one relaxed atomic increment per
+// allocation — noise-free enough for a per-op *count*, which is the
+// point: the pooled message plane makes the steady-state count ~0, and
+// the committed baseline pins it there).  Targets that do not link the
+// hook keep the stock allocator and must not call allocs_so_far().
+#pragma once
+
+#include <cstdint>
+
+namespace pardsm::benchutil {
+
+/// Total operator-new calls in this process so far (monotone; diff
+/// around a region of interest).
+[[nodiscard]] std::uint64_t allocs_so_far() noexcept;
+
+}  // namespace pardsm::benchutil

@@ -22,7 +22,17 @@
 // in either document are skipped (and counted) rather than turned into
 // inf/NaN speedups.  The parser is deliberately minimal — it reads the
 // line-oriented format this harness itself emits, not arbitrary JSON.
+//
+// --gate[=MIN] turns the baseline diff into a pass/fail perf smoke (ci.sh
+// runs it against the committed BENCH_BASELINE.json): the run fails when
+// any current row carries a non-finite wall_ns, when no rows match the
+// baseline at all (a silently dead gate is a failure, not a pass), or
+// when any matched row is wildly regressed — speedup below MIN (default
+// 0.1, i.e. 10x slower).  The threshold is deliberately loose: quick-mode
+// rows are short and CI machines are noisy, so the gate exists to catch
+// order-of-magnitude regressions and NaN corruption, not percent drift.
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -99,10 +109,15 @@ double number_field(const std::string& line, const std::string& key) {
 /// wall_ns per (bench, label, protocol, distribution) row of a BENCH_ALL
 /// document.  Rows whose wall_ns is missing, zero or non-finite are
 /// counted into `skipped` instead of being kept: a 0/absent measurement
-/// must never become an inf/NaN speedup downstream.
+/// must never become an inf/NaN speedup downstream.  Non-finite rows are
+/// additionally counted into `nonfinite` — the harness writes doubles
+/// through finite_or(), so a NaN/inf here means a corrupted document and
+/// the --gate smoke fails on it.
 std::map<std::string, double> wall_ns_by_row(const std::string& doc,
-                                             std::size_t& skipped) {
+                                             std::size_t& skipped,
+                                             std::size_t& nonfinite) {
   skipped = 0;
+  nonfinite = 0;
   std::map<std::string, double> out;
   std::istringstream in(doc);
   std::string line;
@@ -122,7 +137,12 @@ std::map<std::string, double> wall_ns_by_row(const std::string& doc,
       continue;
     }
     const double wall_ns = number_field(line, "wall_ns");
-    if (wall_ns <= 0 || !std::isfinite(wall_ns)) {
+    if (!std::isfinite(wall_ns)) {
+      ++nonfinite;
+      ++skipped;
+      continue;
+    }
+    if (wall_ns <= 0) {
       ++skipped;
       continue;
     }
@@ -134,18 +154,30 @@ std::map<std::string, double> wall_ns_by_row(const std::string& doc,
   return out;
 }
 
-/// Print the per-row speedup table and return a JSON "baseline" object
-/// holding only finite, guarded speedups (empty string when nothing
-/// matched).
-std::string diff_against_baseline(const std::string& baseline_doc,
-                                  const std::string& current_doc) {
+/// Outcome of the baseline diff, for the optional --gate verdict.
+struct BaselineDiff {
+  std::string json;           ///< "baseline" JSON section ("" = no match)
+  std::size_t matched = 0;
+  double min_speedup = 0.0;   ///< worst matched row (0 when none matched)
+  std::size_t nonfinite_current = 0;  ///< corrupted rows in the new doc
+};
+
+/// Print the per-row speedup table and return the diff outcome; the JSON
+/// "baseline" object holds only finite, guarded speedups (empty string
+/// when nothing matched).
+BaselineDiff diff_against_baseline(const std::string& baseline_doc,
+                                   const std::string& current_doc) {
+  BaselineDiff result;
   // Skip counters kept per document: a quick-mode baseline is full of
   // unmeasured rows that could never match a filtered run — lumping them
   // together would make the current run's coverage look artificially low.
   std::size_t skipped_baseline = 0;
   std::size_t skipped_current = 0;
-  const auto before = wall_ns_by_row(baseline_doc, skipped_baseline);
-  const auto after = wall_ns_by_row(current_doc, skipped_current);
+  std::size_t nonfinite_baseline = 0;
+  const auto before =
+      wall_ns_by_row(baseline_doc, skipped_baseline, nonfinite_baseline);
+  const auto after =
+      wall_ns_by_row(current_doc, skipped_current, result.nonfinite_current);
   std::printf("\n%-72s %12s %12s %8s\n", "row (bench | label | protocol | dist)",
               "old ns", "new ns", "speedup");
   std::ostringstream rows;
@@ -164,26 +196,32 @@ std::string diff_against_baseline(const std::string& baseline_doc,
          << ", \"new_ns\": " << new_ns << ", \"speedup\": " << speedup
          << "}";
     log_sum += std::log(speedup);
+    result.min_speedup =
+        matched == 0 ? speedup : std::min(result.min_speedup, speedup);
     ++matched;
   }
+  result.matched = matched;
   if (matched == 0) {
     std::printf("[bench_all] baseline: no matching wall_ns rows "
                 "(%zu current / %zu baseline rows unmeasured)\n",
                 skipped_current, skipped_baseline);
-    return {};
+    return result;
   }
   const double geomean = std::exp(log_sum / static_cast<double>(matched));
   std::printf("[bench_all] baseline: %zu rows matched, geomean speedup "
-              "%.2fx (%zu current / %zu baseline rows unmeasured, "
-              "skipped)\n",
-              matched, geomean, skipped_current, skipped_baseline);
+              "%.2fx, worst row %.2fx (%zu current / %zu baseline rows "
+              "unmeasured, skipped)\n",
+              matched, geomean, result.min_speedup, skipped_current,
+              skipped_baseline);
   std::ostringstream os;
   os << "  \"baseline\": {\n    \"matched\": " << matched
      << ",\n    \"skipped_unmeasured_current\": " << skipped_current
      << ",\n    \"skipped_unmeasured_baseline\": " << skipped_baseline
      << ",\n    \"geomean_speedup\": " << geomean
+     << ",\n    \"min_speedup\": " << result.min_speedup
      << ",\n    \"rows\": [\n" << rows.str() << "\n    ]\n  },\n";
-  return os.str();
+  result.json = os.str();
+  return result;
 }
 
 }  // namespace
@@ -192,6 +230,8 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool list = false;
   bool out_explicit = false;
+  bool gate = false;
+  double gate_min = 0.1;  // a matched row 10x slower than baseline fails
   std::string out = "BENCH_ALL.json";
   std::string baseline;
   std::string filter;
@@ -201,6 +241,16 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      gate = true;
+      gate_min = std::atof(arg.c_str() + 7);
+      if (!(gate_min > 0) || !std::isfinite(gate_min)) {
+        std::cerr << "bench_all: --gate threshold must be a positive "
+                     "number, got '" << arg << "'\n";
+        return 2;
+      }
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
       out_explicit = true;
@@ -217,9 +267,14 @@ int main(int argc, char** argv) {
       filter = argv[++i];
     } else {
       std::cerr << "usage: bench_all [--quick] [--out BENCH_ALL.json] "
-                   "[--baseline OLD.json] [--filter REGEX] [--list]\n";
+                   "[--baseline OLD.json] [--gate[=MIN_SPEEDUP]] "
+                   "[--filter REGEX] [--list]\n";
       return 2;
     }
+  }
+  if (gate && baseline.empty()) {
+    std::cerr << "bench_all: --gate requires --baseline\n";
+    return 2;
   }
 
   if (list) {
@@ -291,13 +346,37 @@ int main(int argc, char** argv) {
   // The guarded baseline diff runs before the write so its (finite-only)
   // speedup rows land inside the merged document.
   std::string baseline_json;
+  int gate_failures = 0;
   if (!baseline.empty()) {
     const std::string baseline_doc = read_file(baseline);
     if (baseline_doc.empty()) {
       std::cerr << "[bench_all] cannot read baseline " << baseline << '\n';
       return 1;
     }
-    baseline_json = diff_against_baseline(baseline_doc, benches_json.str());
+    const BaselineDiff diff =
+        diff_against_baseline(baseline_doc, benches_json.str());
+    baseline_json = diff.json;
+    if (gate) {
+      if (diff.nonfinite_current != 0) {
+        std::cerr << "[bench_all] GATE FAILED: " << diff.nonfinite_current
+                  << " current rows carry non-finite wall_ns\n";
+        ++gate_failures;
+      }
+      if (diff.matched == 0) {
+        std::cerr << "[bench_all] GATE FAILED: no rows matched the "
+                     "baseline (dead gate)\n";
+        ++gate_failures;
+      } else if (diff.min_speedup < gate_min) {
+        std::cerr << "[bench_all] GATE FAILED: worst matched row speedup "
+                  << diff.min_speedup << "x is below the --gate threshold "
+                  << gate_min << "x\n";
+        ++gate_failures;
+      }
+      if (gate_failures == 0) {
+        std::cout << "[bench_all] gate passed: " << diff.matched
+                  << " rows within " << gate_min << "x of baseline\n";
+      }
+    }
   }
 
   std::ostringstream doc;
@@ -311,5 +390,5 @@ int main(int argc, char** argv) {
 
   std::cout << "[bench_all] wrote " << out << " (" << merged.size() << "/"
             << selected << " selected benches)\n";
-  return failures == 0 ? 0 : 1;
+  return failures == 0 && gate_failures == 0 ? 0 : 1;
 }

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "bench_util.h"
 #include "mcs/engine.h"
 #include "sharegraph/topologies.h"
@@ -91,7 +92,9 @@ void run_cell(bu::Harness& h, ProtocolKind kind,
   if (cell.threads != 0) config.parallel.num_threads = cell.threads;
 
   ScenarioRunResult run;
+  const std::uint64_t allocs_before = bu::allocs_so_far();
   const std::uint64_t wall_ns = bu::time_ns([&] { run = mcs::run(std::move(config)); });
+  const std::uint64_t allocs = bu::allocs_so_far() - allocs_before;
 
   const auto pct = [&](double q) {
     const auto ans = run.op_latency.quantile(q);
@@ -115,7 +118,15 @@ void run_cell(bu::Harness& h, ProtocolKind kind,
             .p99_us = p99,
             .p999_us = p999,
             .censored_ops = run.ops_censored,
-            .extra = {{"ops_issued", static_cast<double>(run.ops_issued)}}});
+            .extra = {{"ops_issued", static_cast<double>(run.ops_issued)},
+                      // Whole-run heap allocations per completed op (the
+                      // run includes system construction, so warm
+                      // steady-state is strictly better than this).
+                      {"allocs_per_op",
+                       run.ops_completed == 0
+                           ? 0.0
+                           : static_cast<double>(allocs) /
+                                 static_cast<double>(run.ops_completed)}}});
 }
 
 void header() {

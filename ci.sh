@@ -107,6 +107,11 @@ BENCH_ARGS=(--quick)
 if [ -n "${BENCH_FILTER:-}" ]; then
   BENCH_OUT=BENCH_FILTERED.json
   BENCH_ARGS+=(--filter "$BENCH_FILTER")
+elif [ -f BENCH_BASELINE.json ]; then
+  # Perf smoke against the committed baseline: fails on non-finite
+  # wall_ns rows or any row wildly (>10x) slower than the baseline.
+  # Filtered runs skip it — a subset diff would under-match the baseline.
+  BENCH_ARGS+=(--baseline "$PWD/BENCH_BASELINE.json" --gate)
 fi
 BENCH_ARGS+=(--out "$BENCH_OUT")
 (cd "$BUILD_DIR" && ./bench/bench_all "${BENCH_ARGS[@]}")

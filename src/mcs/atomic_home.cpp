@@ -6,9 +6,7 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
-struct ReadRequest final : MessageBody {
+struct AtomicReadRequest final : MessageBody {
   VarId x = kNoVar;
   std::uint64_t rpc = 0;
 
@@ -21,7 +19,7 @@ struct ReadRequest final : MessageBody {
   }
 };
 
-struct ReadReply final : MessageBody {
+struct AtomicReadReply final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId source{};
@@ -38,7 +36,7 @@ struct ReadReply final : MessageBody {
   }
 };
 
-struct WriteRequest final : MessageBody {
+struct AtomicWriteRequest final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
@@ -55,7 +53,7 @@ struct WriteRequest final : MessageBody {
   }
 };
 
-struct WriteAck final : MessageBody {
+struct AtomicWriteAck final : MessageBody {
   VarId x = kNoVar;
   std::uint64_t rpc = 0;
 
@@ -68,7 +66,7 @@ struct WriteAck final : MessageBody {
   }
 };
 
-struct Refresh final : MessageBody {
+struct AtomicRefresh final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
@@ -83,50 +81,47 @@ struct Refresh final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar atomic_rreq_codec(
-    wire::kAtomicReadRequest,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<ReadRequest>();
+    wire::kAtomicReadRequest, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AtomicReadRequest>();
       b->x = r.i32();
       b->rpc = r.u64();
-      return b;
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar atomic_rrsp_codec(
-    wire::kAtomicReadReply,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<ReadReply>();
+    wire::kAtomicReadReply, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AtomicReadReply>();
       b->x = r.i32();
       b->v = r.i64();
       b->source = wire::get_write_id(r);
       b->rpc = r.u64();
-      return b;
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar atomic_wreq_codec(
-    wire::kAtomicWriteRequest,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<WriteRequest>();
+    wire::kAtomicWriteRequest, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AtomicWriteRequest>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->rpc = r.u64();
-      return b;
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar atomic_wack_codec(
-    wire::kAtomicWriteAck,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<WriteAck>();
+    wire::kAtomicWriteAck, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AtomicWriteAck>();
       b->x = r.i32();
       b->rpc = r.u64();
-      return b;
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar atomic_refresh_codec(
-    wire::kAtomicRefresh,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<Refresh>();
+    wire::kAtomicRefresh, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AtomicRefresh>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once so the send path never hits the table.
@@ -142,6 +137,14 @@ AtomicHomeProcess::AtomicHomeProcess(ProcessId self,
                                      const graph::Distribution& dist,
                                      HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder) {}
+
+void AtomicHomeProcess::on_attach() {
+  read_req_pool_ = &arena().pool<AtomicReadRequest>();
+  read_reply_pool_ = &arena().pool<AtomicReadReply>();
+  write_req_pool_ = &arena().pool<AtomicWriteRequest>();
+  write_ack_pool_ = &arena().pool<AtomicWriteAck>();
+  refresh_pool_ = &arena().pool<AtomicRefresh>();
+}
 
 ProcessId AtomicHomeProcess::home_of(VarId x) const {
   const auto& replicas = replicas_of(x);
@@ -161,14 +164,14 @@ void AtomicHomeProcess::read(VarId x, ReadCallback done) {
   const std::uint64_t rpc = next_rpc_++;
   pending_reads_[rpc] = PendingRead{std::move(done), now()};
 
-  auto body = std::make_shared<ReadRequest>();
+  auto* body = read_req_pool_->create();
   body->x = x;
   body->rpc = rpc;
   MessageMeta meta;
   meta.kind = kReadReqKind;
   meta.control_bytes = 8 + 8;
   meta.vars_mentioned = {x};
-  emit_to(home, std::move(body), std::move(meta), /*urgent=*/true);
+  emit_to(home, BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
 }
 
 void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
@@ -181,12 +184,12 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
     recorder().record_write(id(), x, v, wid, t, t);
     ++mutable_stats().writes;
     // Refresh the standby replicas.
-    auto refresh = std::make_shared<Refresh>();
+    auto* refresh = refresh_pool_->create();
     refresh->x = x;
     refresh->v = v;
     refresh->id = wid;
     SendPlan plan;
-    plan.body = std::move(refresh);
+    plan.body = BodyRef::adopt(refresh);
     plan.meta.kind = kRefreshKind;
     plan.meta.control_bytes = 16 + 8;
     plan.meta.payload_bytes = 8;
@@ -208,7 +211,7 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
   pending.invoked = now();
   pending_writes_[rpc] = std::move(pending);
 
-  auto body = std::make_shared<WriteRequest>();
+  auto* body = write_req_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
@@ -218,14 +221,14 @@ void AtomicHomeProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  emit_to(home, std::move(body), std::move(meta), /*urgent=*/true);
+  emit_to(home, BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
 }
 
 void AtomicHomeProcess::handle_message(const Message& m) {
-  if (const auto* rr = m.as<ReadRequest>()) {
+  if (const auto* rr = m.try_as<AtomicReadRequest>()) {
     PARDSM_CHECK(home_of(rr->x) == id(), "read request at non-home");
     const Stored& s = mutable_store().get(rr->x);
-    auto reply = std::make_shared<ReadReply>();
+    auto* reply = read_reply_pool_->create();
     reply->x = rr->x;
     reply->v = s.value;
     reply->source = s.source;
@@ -235,10 +238,10 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     meta.control_bytes = 16 + 8 + 8;
     meta.payload_bytes = 8;
     meta.vars_mentioned = {rr->x};
-    emit_to(m.from, std::move(reply), std::move(meta), /*urgent=*/true);
+    emit_to(m.from, BodyRef::adopt(reply), std::move(meta), /*urgent=*/true);
     return;
   }
-  if (const auto* reply = m.as<ReadReply>()) {
+  if (const auto* reply = m.try_as<AtomicReadReply>()) {
     auto it = pending_reads_.find(reply->rpc);
     if (it == pending_reads_.end()) return;  // duplicated reply
     PendingRead pending = std::move(it->second);
@@ -248,21 +251,21 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     pending.done(reply->v);
     return;
   }
-  if (const auto* wr = m.as<WriteRequest>()) {
+  if (const auto* wr = m.try_as<AtomicWriteRequest>()) {
     PARDSM_CHECK(home_of(wr->x) == id(), "write request at non-home");
     // Apply at most once (duplicated requests re-ack but must not revert
     // the authoritative copy to an older value).
-    if (applied_ids_.insert(wr->id).second) {
+    if (applied_ids_.insert(wr->id)) {
       mutable_store().put(wr->x, wr->v, wr->id);
       ++mutable_stats().updates_applied;
     }
     // Refresh standbys (everyone in C(x) except home and writer).
-    auto refresh = std::make_shared<Refresh>();
+    auto* refresh = refresh_pool_->create();
     refresh->x = wr->x;
     refresh->v = wr->v;
     refresh->id = wr->id;
     SendPlan rplan;
-    rplan.body = std::move(refresh);
+    rplan.body = BodyRef::adopt(refresh);
     rplan.meta.kind = kRefreshKind;
     rplan.meta.control_bytes = 16 + 8;
     rplan.meta.payload_bytes = 8;
@@ -271,17 +274,17 @@ void AtomicHomeProcess::handle_message(const Message& m) {
       if (q != id() && q != m.from) rplan.to.push_back(q);
     }
     emit(std::move(rplan));
-    auto ack = std::make_shared<WriteAck>();
+    auto* ack = write_ack_pool_->create();
     ack->x = wr->x;
     ack->rpc = wr->rpc;
     MessageMeta meta;
     meta.kind = kWriteAckKind;
     meta.control_bytes = 8 + 8;
     meta.vars_mentioned = {wr->x};
-    emit_to(m.from, std::move(ack), std::move(meta), /*urgent=*/true);
+    emit_to(m.from, BodyRef::adopt(ack), std::move(meta), /*urgent=*/true);
     return;
   }
-  if (const auto* ack = m.as<WriteAck>()) {
+  if (const auto* ack = m.try_as<AtomicWriteAck>()) {
     auto it = pending_writes_.find(ack->rpc);
     if (it == pending_writes_.end()) return;  // duplicated ack
     PendingWrite pending = std::move(it->second);
@@ -291,8 +294,8 @@ void AtomicHomeProcess::handle_message(const Message& m) {
     pending.done();
     return;
   }
-  PARDSM_CHECK(m.as<Refresh>() != nullptr, "atomic-home: unexpected body");
-  const auto* refresh = m.as<Refresh>();
+  const auto* refresh = m.as<AtomicRefresh>();
+  PARDSM_CHECK(refresh != nullptr, "atomic-home: unexpected body");
   // Standby copy; never read while this process is not the home.
   if (replicates(refresh->x)) {
     mutable_store().put(refresh->x, refresh->v, refresh->id);

@@ -16,11 +16,18 @@
 #pragma once
 
 #include <map>
-#include <set>
 
 #include "mcs/protocol.h"
+#include "mcs/write_id_dedup.h"
+#include "simnet/recycling_alloc.h"
 
 namespace pardsm::mcs {
+
+struct AtomicReadRequest;
+struct AtomicReadReply;
+struct AtomicWriteRequest;
+struct AtomicWriteAck;
+struct AtomicRefresh;
 
 /// One process of the home-based atomic protocol.
 class AtomicHomeProcess final : public McsProcess {
@@ -31,6 +38,7 @@ class AtomicHomeProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "atomic-home"; }
   [[nodiscard]] bool wait_free() const override { return false; }
@@ -61,12 +69,30 @@ class AtomicHomeProcess final : public McsProcess {
     TimePoint invoked{};
   };
 
+  /// Pool handles cached at attach() so each RPC leg is a freelist pop.
+  BodyPool<AtomicReadRequest>* read_req_pool_ = nullptr;
+  BodyPool<AtomicReadReply>* read_reply_pool_ = nullptr;
+  BodyPool<AtomicWriteRequest>* write_req_pool_ = nullptr;
+  BodyPool<AtomicWriteAck>* write_ack_pool_ = nullptr;
+  BodyPool<AtomicRefresh>* refresh_pool_ = nullptr;
   std::int64_t next_write_seq_ = 0;
   std::uint64_t next_rpc_ = 1;
-  std::map<std::uint64_t, PendingRead> pending_reads_;
-  std::map<std::uint64_t, PendingWrite> pending_writes_;
-  /// Home-side duplicate suppression: writes already applied here.
-  std::set<WriteId> applied_ids_;
+  /// Node freelist for the per-in-flight-RPC maps below (declared first:
+  /// containers must die before their pool).
+  RecyclingPool node_pool_;
+  std::map<std::uint64_t, PendingRead, std::less<std::uint64_t>,
+           RecyclingAlloc<std::pair<const std::uint64_t, PendingRead>>>
+      pending_reads_{
+          RecyclingAlloc<std::pair<const std::uint64_t, PendingRead>>(
+              &node_pool_)};
+  std::map<std::uint64_t, PendingWrite, std::less<std::uint64_t>,
+           RecyclingAlloc<std::pair<const std::uint64_t, PendingWrite>>>
+      pending_writes_{
+          RecyclingAlloc<std::pair<const std::uint64_t, PendingWrite>>(
+              &node_pool_)};
+  /// Home-side duplicate suppression: writes already applied here
+  /// (watermark + frontier — a std::set would grow one node per write).
+  WriteIdDedup applied_ids_;
 };
 
 }  // namespace pardsm::mcs

@@ -1,29 +1,50 @@
 // Wire messages shared by the cache- and processor-consistency protocols.
 #pragma once
 
-#include <map>
-
 #include "simnet/message.h"
+#include "simnet/small_vec.h"
 #include "simnet/wire.h"
 
 namespace pardsm::mcs::detail {
 
-inline void put_prior_counts(WireWriter& w,
-                             const std::map<ProcessId, std::int64_t>& m) {
+/// One (receiver, count) entry of a processor-consistency prior-count
+/// vector.  Kept sorted by ascending ProcessId — the same order the old
+/// std::map representation serialized in, so the wire bytes are unchanged.
+struct PriorCount {
+  ProcessId q = kNoProcess;
+  std::int64_t count = 0;
+};
+
+/// Flat sorted prior-count vector.  C(x) has ≤ 8 members in every golden
+/// configuration, so the steady-state path never leaves inline storage
+/// (the map it replaces paid one node allocation per entry per write).
+using PriorCounts = SmallVec<PriorCount, 8>;
+
+inline void put_prior_counts(WireWriter& w, const PriorCounts& m) {
   w.u32(static_cast<std::uint32_t>(m.size()));
   for (const auto& [q, c] : m) {
     w.i32(q);
     w.i64(c);
   }
 }
-inline std::map<ProcessId, std::int64_t> get_prior_counts(WireReader& r) {
-  std::map<ProcessId, std::int64_t> m;
+inline void get_prior_counts(WireReader& r, PriorCounts& m) {
+  m.clear();
   const std::size_t n = r.u32();
   for (std::size_t i = 0; i < n; ++i) {
-    const ProcessId q = r.i32();
-    m[q] = r.i64();
+    PriorCount pc;
+    pc.q = r.i32();
+    pc.count = r.i64();
+    m.push_back(pc);
   }
-  return m;
+}
+
+/// Lookup by receiver id; nullptr when the vector carries no entry for q.
+[[nodiscard]] inline const std::int64_t* find_prior(const PriorCounts& m,
+                                                    ProcessId q) {
+  for (const auto& pc : m) {
+    if (pc.q == q) return &pc.count;
+  }
+  return nullptr;
 }
 
 /// Writer -> home: please sequence this write.
@@ -35,7 +56,11 @@ struct CacheWriteReq final : MessageBody {
   std::int64_t writer_seq = 0;
   /// Per receiver q ∈ C(x): number of the writer's prior writes on
   /// variables q replicates (processor consistency only; empty for cache).
-  std::map<ProcessId, std::int64_t> prior_counts;
+  PriorCounts prior_counts;
+
+  /// Pool recycling: scalar fields are overwritten on reuse; the vector
+  /// clears but keeps its (inline) capacity.
+  void reset() { prior_counts.clear(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kCacheWriteReq;
@@ -59,7 +84,9 @@ struct CacheCommit final : MessageBody {
   ProcessId requester = kNoProcess;
   TimePoint invoked{};
   std::int64_t writer_seq = 0;
-  std::map<ProcessId, std::int64_t> prior_counts;
+  PriorCounts prior_counts;
+
+  void reset() { prior_counts.clear(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kCacheCommit;

@@ -15,21 +15,19 @@ const KindId kCommitKind("CCMT");
 // Decoders for the shared cache/processor bodies live here (exactly one TU
 // may register each tag; processor_partial.cpp reuses these bodies).
 const wire::BodyRegistrar cache_wreq_codec(
-    wire::kCacheWriteReq,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<detail::CacheWriteReq>();
+    wire::kCacheWriteReq, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<detail::CacheWriteReq>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->invoked = wire::get_time(r);
       b->writer_seq = r.i64();
-      b->prior_counts = detail::get_prior_counts(r);
-      return b;
+      detail::get_prior_counts(r, b->prior_counts);
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar cache_commit_codec(
-    wire::kCacheCommit,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<detail::CacheCommit>();
+    wire::kCacheCommit, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<detail::CacheCommit>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
@@ -37,8 +35,8 @@ const wire::BodyRegistrar cache_commit_codec(
       b->requester = r.i32();
       b->invoked = wire::get_time(r);
       b->writer_seq = r.i64();
-      b->prior_counts = detail::get_prior_counts(r);
-      return b;
+      detail::get_prior_counts(r, b->prior_counts);
+      return BodyRef::adopt(b);
     });
 
 }  // namespace
@@ -47,6 +45,11 @@ CachePartialProcess::CachePartialProcess(ProcessId self,
                                          const graph::Distribution& dist,
                                          HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder) {}
+
+void CachePartialProcess::on_attach() {
+  request_pool_ = &arena().pool<detail::CacheWriteReq>();
+  commit_pool_ = &arena().pool<detail::CacheCommit>();
+}
 
 ProcessId CachePartialProcess::home_of(VarId x) const {
   const auto& replicas = replicas_of(x);
@@ -79,7 +82,7 @@ void CachePartialProcess::write(VarId x, Value v, WriteCallback done) {
     sequence(x, v, wid, id(), t, writer_seq, priors);
     return;
   }
-  auto body = std::make_shared<detail::CacheWriteReq>();
+  auto* body = request_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
@@ -92,22 +95,21 @@ void CachePartialProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8 + 8 + 16 * priors.size();
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  emit_to(home_of(x), std::move(body), std::move(meta), /*urgent=*/true);
+  emit_to(home_of(x), BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
 }
 
-std::map<ProcessId, std::int64_t> CachePartialProcess::prior_counts_for(
-    VarId) {
+detail::PriorCounts CachePartialProcess::prior_counts_for(VarId) {
   return {};  // plain cache consistency needs no cross-variable metadata
 }
 
-void CachePartialProcess::sequence(
-    VarId x, Value v, WriteId wid, ProcessId requester, TimePoint invoked,
-    std::int64_t writer_seq,
-    const std::map<ProcessId, std::int64_t>& prior_counts) {
+void CachePartialProcess::sequence(VarId x, Value v, WriteId wid,
+                                   ProcessId requester, TimePoint invoked,
+                                   std::int64_t writer_seq,
+                                   const detail::PriorCounts& prior_counts) {
   PARDSM_CHECK(home_of(x) == id(), "sequence() at non-home");
   const std::int64_t seq = ++var_seq_[x];
 
-  auto body = std::make_shared<detail::CacheCommit>();
+  auto* body = commit_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
@@ -116,6 +118,9 @@ void CachePartialProcess::sequence(
   body->invoked = invoked;
   body->writer_seq = writer_seq;
   body->prior_counts = prior_counts;
+  // One commit body, two holders: the multicast plan and the home-local
+  // delivery below share it by refcount.
+  const BodyRef commit_ref = BodyRef::adopt(body);
 
   MessageMeta meta;
   meta.kind = kCommitKind;
@@ -125,7 +130,7 @@ void CachePartialProcess::sequence(
 
   // Urgent: the requester's write completes only when its commit lands.
   SendPlan plan;
-  plan.body = body;
+  plan.body = commit_ref;
   plan.meta = meta;
   plan.urgent = true;
   for (ProcessId q : replicas_of(x)) {
@@ -136,7 +141,7 @@ void CachePartialProcess::sequence(
   Message self_msg;
   self_msg.from = id();
   self_msg.to = id();
-  self_msg.body = body;
+  self_msg.body = commit_ref;
   self_msg.meta = meta;
   handle_commit(self_msg);
 }
@@ -196,7 +201,7 @@ void CachePartialProcess::apply_commit(const Message& m) {
 void CachePartialProcess::on_applied(ProcessId) {}
 
 void CachePartialProcess::handle_message(const Message& m) {
-  if (const auto* req = m.as<detail::CacheWriteReq>()) {
+  if (const auto* req = m.try_as<detail::CacheWriteReq>()) {
     sequence(req->x, req->v, req->id, m.from, req->invoked, req->writer_seq,
              req->prior_counts);
     return;

@@ -20,7 +20,9 @@
 #include <deque>
 #include <map>
 
+#include "mcs/cache_messages.h"
 #include "mcs/protocol.h"
+#include "simnet/recycling_alloc.h"
 
 namespace pardsm::mcs {
 
@@ -33,6 +35,7 @@ class CachePartialProcess : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "cache-partial"; }
   [[nodiscard]] bool wait_free() const override { return false; }
@@ -61,8 +64,7 @@ class CachePartialProcess : public McsProcess {
   /// Metadata the processor-consistency subclass attaches to a write: per
   /// prospective receiver, the count of this writer's prior writes the
   /// receiver replicates.  Plain cache consistency returns {}.
-  [[nodiscard]] virtual std::map<ProcessId, std::int64_t> prior_counts_for(
-      VarId x);
+  [[nodiscard]] virtual detail::PriorCounts prior_counts_for(VarId x);
 
   /// Hook: may this commit be applied now?  (PC buffers out-of-order
   /// cross-variable commits; plain cache never buffers.)
@@ -80,11 +82,21 @@ class CachePartialProcess : public McsProcess {
   /// Home side: assign the next per-variable sequence number & multicast.
   void sequence(VarId x, Value v, WriteId id, ProcessId requester,
                 TimePoint invoked, std::int64_t writer_seq,
-                const std::map<ProcessId, std::int64_t>& prior_counts);
+                const detail::PriorCounts& prior_counts);
 
+  /// Pool handles cached at attach() so each request/commit is a freelist
+  /// pop (shared with the processor-consistency subclass).
+  BodyPool<detail::CacheWriteReq>* request_pool_ = nullptr;
+  BodyPool<detail::CacheCommit>* commit_pool_ = nullptr;
   std::int64_t next_write_seq_ = 0;
   std::map<VarId, std::int64_t> var_seq_;  ///< home-side per-var counters
-  std::map<WriteId, PendingWrite> waiting_;
+  /// Node freelist for the per-in-flight-write map below (declared first:
+  /// the container must die before its pool).
+  RecyclingPool node_pool_;
+  std::map<WriteId, PendingWrite, std::less<WriteId>,
+           RecyclingAlloc<std::pair<const WriteId, PendingWrite>>>
+      waiting_{RecyclingAlloc<std::pair<const WriteId, PendingWrite>>(
+          &node_pool_)};
   std::deque<Message> buffer_;  ///< commits awaiting commit_ready (PC)
   /// Duplicate suppression: highest var_seq applied per variable.
   std::map<VarId, std::int64_t> applied_var_seq_;

@@ -6,14 +6,16 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
 /// Body of a full-replication causal update.
 struct CausalUpdate final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
   VectorClock vc;
+
+  /// Pool reset: every field is overwritten on reuse and the clock's
+  /// copy-assignment reuses its storage, so nothing needs clearing.
+  void reset() {}
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kCausalUpdate;
@@ -26,15 +28,16 @@ struct CausalUpdate final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar causal_codec(
-    wire::kCausalUpdate,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<CausalUpdate>();
+    wire::kCausalUpdate, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<CausalUpdate>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->vc = get_vector_clock(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// All variables of the distribution (full replication ignores X_i for
@@ -60,6 +63,10 @@ CausalFullProcess::CausalFullProcess(ProcessId self,
   mutable_store() = ReplicaStore(all_vars(dist));
 }
 
+void CausalFullProcess::on_attach() {
+  update_pool_ = &arena().pool<CausalUpdate>();
+}
+
 void CausalFullProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
 }
@@ -72,14 +79,14 @@ void CausalFullProcess::write(VarId x, Value v, WriteCallback done) {
   recorder().record_write(id(), x, v, wid, t, t);
   ++mutable_stats().writes;
 
-  auto body = std::make_shared<CausalUpdate>();
+  auto* body = update_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
   body->vc = vc_;
 
   SendPlan plan;
-  plan.body = std::move(body);
+  plan.body = BodyRef::adopt(body);
   plan.meta.kind = kUpdateKind;
   plan.meta.control_bytes = vc_.wire_bytes() + 16 /*write id*/ + 8 /*var*/;
   plan.meta.payload_bytes = 8;

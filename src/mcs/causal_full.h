@@ -17,6 +17,8 @@
 
 namespace pardsm::mcs {
 
+struct CausalUpdate;
+
 /// One process of the full-replication causal protocol.
 class CausalFullProcess final : public McsProcess {
  public:
@@ -26,6 +28,7 @@ class CausalFullProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "causal-full"; }
   [[nodiscard]] bool wait_free() const override { return true; }
@@ -41,9 +44,10 @@ class CausalFullProcess final : public McsProcess {
   }
 
  private:
-  struct Update;
   void try_deliver();
 
+  /// Pool handle cached at attach() so each write is a freelist pop.
+  BodyPool<CausalUpdate>* update_pool_ = nullptr;
   VectorClock vc_;
   std::int64_t next_write_seq_ = 0;
   std::deque<Message> buffer_;

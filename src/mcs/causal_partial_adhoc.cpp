@@ -6,25 +6,46 @@
 
 namespace pardsm::mcs {
 
-namespace {
+/// The writer's seen-counters at send time, in VarId order, as a pooled
+/// refcounted body shared by every copy of the multicast (one snapshot
+/// per write instead of one per recipient).
+///
+/// Recycling keeps `entries` — including every inner counter vector —
+/// constructed; only the live-prefix length resets.  Refilling assigns
+/// into the retained storage, so a steady-state write never allocates.
+struct DepSnapshotBody final : MessageBody {
+  std::vector<std::pair<VarId, std::vector<std::int64_t>>> entries;
+  std::size_t count = 0;  ///< live prefix of `entries`
 
-/// The writer's seen-counters at send time, in VarId order.
-using DepSnapshot = std::vector<std::pair<VarId, std::vector<std::int64_t>>>;
+  void reset() { count = 0; }
 
-/// Hoop-routed causal message.  `deps` is the sender's full pre-write
-/// dependency snapshot, shared by every copy of the multicast (one copy
-/// per write instead of one per recipient); receivers only consult the
-/// entries they track, and the control-byte accounting counts only those
-/// entries — exactly the bytes a real implementation would put on the
-/// wire for that recipient.  `var_seq` is the per-(writer, x) sequence
-/// number of this write (1-based).
+  /// Grow the live prefix by one slot (reusing a retained entry when one
+  /// exists) and return it for assignment.
+  [[nodiscard]] std::pair<VarId, std::vector<std::int64_t>>& next_slot() {
+    if (count == entries.size()) entries.emplace_back();
+    return entries[count++];
+  }
+};
+
+/// Hoop-routed causal message.  `deps` holds the sender's full pre-write
+/// dependency snapshot; receivers only consult the entries they track,
+/// and the control-byte accounting counts only those entries — exactly
+/// the bytes a real implementation would put on the wire for that
+/// recipient.  `var_seq` is the per-(writer, x) sequence number of this
+/// write (1-based).
 struct AdHocMsg final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   bool has_value = false;
   WriteId id{};
   std::int64_t var_seq = 0;
-  std::shared_ptr<const DepSnapshot> deps;
+  BodyRef deps;
+
+  void reset() { deps.reset(); }  // other fields are overwritten on reuse
+
+  [[nodiscard]] const DepSnapshotBody* snapshot() const {
+    return static_cast<const DepSnapshotBody*>(deps.get());
+  }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kAdHocMsg;
@@ -37,9 +58,11 @@ struct AdHocMsg final : MessageBody {
     w.i64(var_seq);
     // The in-memory snapshot is shared by every copy of the multicast; on
     // the wire each frame carries its own copy (real frames cannot share).
-    w.u32(static_cast<std::uint32_t>(deps ? deps->size() : 0));
-    if (deps) {
-      for (const auto& [y, counts] : *deps) {
+    const DepSnapshotBody* snap = snapshot();
+    w.u32(static_cast<std::uint32_t>(snap ? snap->count : 0));
+    if (snap) {
+      for (std::size_t i = 0; i < snap->count; ++i) {
+        const auto& [y, counts] = snap->entries[i];
         w.i32(y);
         w.u32(static_cast<std::uint32_t>(counts.size()));
         for (std::int64_t c : counts) w.i64(c);
@@ -48,26 +71,26 @@ struct AdHocMsg final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar adhoc_codec(
-    wire::kAdHocMsg,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<AdHocMsg>();
+    wire::kAdHocMsg, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<AdHocMsg>();
       b->x = r.i32();
       b->v = r.i64();
       b->has_value = r.boolean();
       b->id = wire::get_write_id(r);
       b->var_seq = r.i64();
-      auto deps = std::make_shared<DepSnapshot>();
+      auto* deps = arena.create<DepSnapshotBody>();
       const std::size_t vars = r.u32();
-      deps->reserve(vars);
       for (std::size_t i = 0; i < vars; ++i) {
-        const VarId y = r.i32();
-        std::vector<std::int64_t> counts(r.u32());
+        auto& [y, counts] = deps->next_slot();
+        y = r.i32();
+        counts.resize(r.u32());
         for (auto& c : counts) c = r.i64();
-        deps->emplace_back(y, std::move(counts));
       }
-      b->deps = std::move(deps);
-      return b;
+      b->deps = BodyRef::adopt(deps);
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once so the send path never hits the table.
@@ -82,10 +105,13 @@ std::shared_ptr<const StaticRelevance> StaticRelevance::analyze(
   const graph::ShareGraph sg(dist);
   out->relevant = graph::all_relevant_sets(sg);
   out->tracks.resize(dist.process_count());
+  out->tracks_mask.assign(dist.process_count(),
+                          std::vector<std::uint8_t>(dist.var_count, 0));
   for (std::size_t x = 0; x < dist.var_count; ++x) {
     for (ProcessId p : out->relevant[x]) {
       out->tracks[static_cast<std::size_t>(p)].push_back(
           static_cast<VarId>(x));
+      out->tracks_mask[static_cast<std::size_t>(p)][x] = 1;
     }
   }
   return out;
@@ -97,15 +123,21 @@ CausalPartialAdHocProcess::CausalPartialAdHocProcess(
     std::shared_ptr<const StaticRelevance> analysis)
     : McsProcess(self, dist, recorder), analysis_(std::move(analysis)) {
   PARDSM_CHECK(analysis_ != nullptr, "ad-hoc protocol needs analysis");
+  seen_.resize(dist.var_count);
   for (VarId y : analysis_->tracks[static_cast<std::size_t>(self)]) {
-    seen_[y].assign(dist.process_count(), 0);
+    seen_[static_cast<std::size_t>(y)].assign(dist.process_count(), 0);
   }
 }
 
+void CausalPartialAdHocProcess::on_attach() {
+  msg_pool_ = &arena().pool<AdHocMsg>();
+  snap_pool_ = &arena().pool<DepSnapshotBody>();
+}
+
 std::int64_t CausalPartialAdHocProcess::seen(VarId y, ProcessId k) const {
-  auto it = seen_.find(y);
-  if (it == seen_.end()) return 0;
-  return it->second[static_cast<std::size_t>(k)];
+  const auto yi = static_cast<std::size_t>(y);
+  if (y < 0 || yi >= seen_.size() || seen_[yi].empty()) return 0;
+  return seen_[yi][static_cast<std::size_t>(k)];
 }
 
 void CausalPartialAdHocProcess::read(VarId x, ReadCallback done) {
@@ -119,8 +151,9 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
 
   // Dependencies are the counters BEFORE counting this write, so `seen_`
   // is left untouched until every message is built (avoids snapshotting
-  // the whole map per write).
-  auto& own = seen_.at(x);
+  // the whole table per write).
+  auto& own = seen_[static_cast<std::size_t>(x)];
+  PARDSM_CHECK(!own.empty(), "ad-hoc: write on untracked variable");
   const std::int64_t var_seq = own[static_cast<std::size_t>(id())] + 1;
 
   mutable_store().put(x, v, wid);
@@ -129,30 +162,36 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
 
   const auto& relevant = analysis_->relevant[static_cast<std::size_t>(x)];
 
-  // One shared snapshot per write (VarId order = map order); each
+  // One shared snapshot per write, in ascending-VarId order (tracks[self]
+  // is sorted — the same order the tracked-map iteration produced); each
   // recipient's meta still charges only the entries that recipient
   // tracks.
-  auto deps = std::make_shared<DepSnapshot>();
-  deps->reserve(seen_.size());
-  for (const auto& [y, counts] : seen_) deps->emplace_back(y, counts);
+  auto* deps = snap_pool_->create();
+  for (VarId y : analysis_->tracks[static_cast<std::size_t>(id())]) {
+    auto& [slot_y, slot_counts] = deps->next_slot();
+    slot_y = y;
+    slot_counts = seen_[static_cast<std::size_t>(y)];  // retained capacity
+  }
+  const BodyRef deps_ref = BodyRef::adopt(deps);
 
   for (ProcessId q : relevant) {
     if (q == id()) continue;
-    const auto& q_tracks = analysis_->tracks[static_cast<std::size_t>(q)];
+    const auto& q_mask = analysis_->tracks_mask[static_cast<std::size_t>(q)];
 
-    auto body = std::make_shared<AdHocMsg>();
+    auto* body = msg_pool_->create();
     body->x = x;
     body->id = wid;
     body->var_seq = var_seq;
     body->has_value = clique_holds(q, x);
-    if (body->has_value) body->v = v;
-    body->deps = deps;
+    body->v = body->has_value ? v : kBottom;
+    body->deps = deps_ref;
 
     // Control bytes: pre-write counters restricted to variables q also
     // tracks.
     std::uint64_t dep_bytes = 0;
-    for (const auto& [y, counts] : *deps) {
-      if (!std::binary_search(q_tracks.begin(), q_tracks.end(), y)) continue;
+    for (std::size_t i = 0; i < deps->count; ++i) {
+      const auto& [y, counts] = deps->entries[i];
+      if (!q_mask[static_cast<std::size_t>(y)]) continue;
       dep_bytes += 8 + 8 * counts.size();
     }
 
@@ -165,7 +204,7 @@ void CausalPartialAdHocProcess::write(VarId x, Value v, WriteCallback done) {
 
     // Control bytes are restricted per recipient, so each gets its own
     // single-destination plan (in the pre-seam ascending order).
-    emit_to(q, std::move(body), std::move(meta));
+    emit_to(q, BodyRef::adopt(body), std::move(meta));
   }
   own[static_cast<std::size_t>(id())] = var_seq;
   done();
@@ -185,20 +224,23 @@ bool CausalPartialAdHocProcess::ready(const Message& m) const {
 
   // Per-(writer, var) FIFO: this must be the next write of the sender on x
   // that we incorporate.
-  auto it = seen_.find(u->x);
-  PARDSM_CHECK(it != seen_.end(),
+  const auto xi = static_cast<std::size_t>(u->x);
+  PARDSM_CHECK(xi < seen_.size() && !seen_[xi].empty(),
                "ad-hoc: received metadata for an untracked variable — "
                "routing violates Theorem 1 sets");
-  if (it->second[static_cast<std::size_t>(m.from)] != u->var_seq - 1) {
+  if (seen_[xi][static_cast<std::size_t>(m.from)] != u->var_seq - 1) {
     return false;
   }
   // Dependency domination for every variable we track (entries of the
   // shared snapshot we do not track carry no constraint for us).
-  for (const auto& [y, counts] : *u->deps) {
-    auto mine = seen_.find(y);
-    if (mine == seen_.end()) continue;  // not tracked here: not our concern
+  const DepSnapshotBody* snap = u->snapshot();
+  for (std::size_t i = 0; i < snap->count; ++i) {
+    const auto& [y, counts] = snap->entries[i];
+    const auto yi = static_cast<std::size_t>(y);
+    if (yi >= seen_.size() || seen_[yi].empty()) continue;  // not tracked
+    const auto& mine = seen_[yi];
     for (std::size_t k = 0; k < counts.size(); ++k) {
-      if (mine->second[k] < counts[k]) return false;
+      if (mine[k] < counts[k]) return false;
     }
   }
   return true;
@@ -206,7 +248,8 @@ bool CausalPartialAdHocProcess::ready(const Message& m) const {
 
 void CausalPartialAdHocProcess::deliver(const Message& m) {
   const auto* u = m.as<AdHocMsg>();
-  seen_.at(u->x)[static_cast<std::size_t>(m.from)] = u->var_seq;
+  seen_[static_cast<std::size_t>(u->x)][static_cast<std::size_t>(m.from)] =
+      u->var_seq;
   if (u->has_value && replicates(u->x)) {
     mutable_store().put(u->x, u->v, u->id);
     ++mutable_stats().updates_applied;

@@ -21,8 +21,8 @@
 // exact checker over a corpus of hoop-rich topologies.)
 #pragma once
 
+#include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -40,10 +40,17 @@ struct StaticRelevance {
   /// tracks[p] = sorted variables y with p ∈ R(y).
   std::vector<std::vector<VarId>> tracks;
 
+  /// tracks_mask[p][y] != 0 iff p ∈ R(y): O(1) membership for the
+  /// per-recipient control-byte restriction on the write hot path.
+  std::vector<std::vector<std::uint8_t>> tracks_mask;
+
   /// Build from a distribution (enumerates nothing; polynomial).
   static std::shared_ptr<const StaticRelevance> analyze(
       const graph::Distribution& dist);
 };
+
+struct AdHocMsg;
+struct DepSnapshotBody;
 
 /// One process of the hoop-routed causal protocol.
 class CausalPartialAdHocProcess final : public McsProcess {
@@ -55,6 +62,7 @@ class CausalPartialAdHocProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override {
     return "causal-partial-adhoc";
@@ -65,14 +73,20 @@ class CausalPartialAdHocProcess final : public McsProcess {
   [[nodiscard]] std::int64_t seen(VarId y, ProcessId k) const;
 
  private:
-  struct PendingCheck;
   void try_deliver();
   [[nodiscard]] bool ready(const Message& m) const;
   void deliver(const Message& m);
 
+  /// Pool handles cached at attach() so each write is two freelist pops
+  /// (one snapshot shared by the round, one message per recipient).
+  BodyPool<AdHocMsg>* msg_pool_ = nullptr;
+  BodyPool<DepSnapshotBody>* snap_pool_ = nullptr;
   std::shared_ptr<const StaticRelevance> analysis_;
-  /// Per tracked variable: per-writer counters.
-  std::map<VarId, std::vector<std::int64_t>> seen_;
+  /// seen_[y][k]: per-writer counters, dense by VarId (an empty inner
+  /// vector means y is untracked here).  Dense indexing keeps ready() —
+  /// the single hottest protocol predicate — a straight array walk with
+  /// no map lookups.
+  std::vector<std::vector<std::int64_t>> seen_;
   std::int64_t next_write_seq_ = 0;
   std::deque<Message> buffer_;
 };

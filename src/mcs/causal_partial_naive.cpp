@@ -6,8 +6,6 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
 /// Update (with value) to C(x) members / notification (no value) to the
 /// rest.  Both advance the receiver's vector clock.
 struct PartialCausalMsg final : MessageBody {
@@ -16,6 +14,10 @@ struct PartialCausalMsg final : MessageBody {
   bool has_value = false;
   WriteId id{};
   VectorClock vc;
+
+  /// Pool reset: every field is overwritten on reuse and the clock's
+  /// copy-assignment reuses its storage, so nothing needs clearing.
+  void reset() {}
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kPartialCausalMsg;
@@ -29,16 +31,17 @@ struct PartialCausalMsg final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar partial_causal_codec(
-    wire::kPartialCausalMsg,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<PartialCausalMsg>();
+    wire::kPartialCausalMsg, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<PartialCausalMsg>();
       b->x = r.i32();
       b->v = r.i64();
       b->has_value = r.boolean();
       b->id = wire::get_write_id(r);
       b->vc = get_vector_clock(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once so the send path never hits the table.
@@ -51,6 +54,10 @@ CausalPartialNaiveProcess::CausalPartialNaiveProcess(
     ProcessId self, const graph::Distribution& dist,
     HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder), vc_(dist.process_count()) {}
+
+void CausalPartialNaiveProcess::on_attach() {
+  msg_pool_ = &arena().pool<PartialCausalMsg>();
+}
 
 void CausalPartialNaiveProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
@@ -65,17 +72,20 @@ void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
   recorder().record_write(id(), x, v, wid, t, t);
   ++mutable_stats().writes;
 
-  auto update = std::make_shared<PartialCausalMsg>();
+  auto* update = msg_pool_->create();
   update->x = x;
   update->v = v;
   update->has_value = true;
   update->id = wid;
   update->vc = vc_;
 
-  auto notify = std::make_shared<PartialCausalMsg>();
-  *notify = *update;
+  auto* notify = msg_pool_->create();
+  *notify = *update;  // payload fields only: each body keeps its identity
   notify->has_value = false;
   notify->v = kBottom;
+
+  const BodyRef update_ref = BodyRef::adopt(update);
+  const BodyRef notify_ref = BodyRef::adopt(notify);
 
   MessageMeta upd_meta;
   upd_meta.kind = kUpdateKind;
@@ -94,9 +104,9 @@ void CausalPartialNaiveProcess::write(VarId x, Value v, WriteCallback done) {
   for (ProcessId q = 0; q < n; ++q) {
     if (q == id()) continue;
     if (clique_holds(q, x)) {
-      emit_to(q, update, upd_meta);
+      emit_to(q, update_ref, upd_meta);
     } else {
-      emit_to(q, notify, not_meta);
+      emit_to(q, notify_ref, not_meta);
     }
   }
   done();

@@ -19,6 +19,8 @@
 
 namespace pardsm::mcs {
 
+struct PartialCausalMsg;
+
 /// One process of the naive partial-replication causal protocol.
 class CausalPartialNaiveProcess final : public McsProcess {
  public:
@@ -28,6 +30,7 @@ class CausalPartialNaiveProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override {
     return "causal-partial-naive";
@@ -39,6 +42,8 @@ class CausalPartialNaiveProcess final : public McsProcess {
  private:
   void try_deliver();
 
+  /// Pool handle cached at attach() so each write is a freelist pop.
+  BodyPool<PartialCausalMsg>* msg_pool_ = nullptr;
   VectorClock vc_;
   std::int64_t next_write_seq_ = 0;
   std::deque<Message> buffer_;

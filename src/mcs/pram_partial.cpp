@@ -4,8 +4,6 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
 struct PramUpdate final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
@@ -21,13 +19,15 @@ struct PramUpdate final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar pram_codec(
-    wire::kPramUpdate, [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<PramUpdate>();
+    wire::kPramUpdate, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<PramUpdate>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once so the send path never hits the table.
@@ -41,6 +41,10 @@ PramPartialProcess::PramPartialProcess(ProcessId self,
     : McsProcess(self, dist, recorder),
       last_applied_(dist.process_count(), -1) {}
 
+void PramPartialProcess::on_attach() {
+  update_pool_ = &arena().pool<PramUpdate>();
+}
+
 void PramPartialProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
 }
@@ -53,13 +57,13 @@ void PramPartialProcess::write(VarId x, Value v, WriteCallback done) {
   recorder().record_write(id(), x, v, wid, t, t);
   ++mutable_stats().writes;
 
-  auto body = std::make_shared<PramUpdate>();
+  auto* body = update_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
 
   SendPlan plan;
-  plan.body = std::move(body);
+  plan.body = BodyRef::adopt(body);
   plan.meta.kind = kUpdateKind;
   plan.meta.control_bytes = 16 /*write id*/ + 8 /*var*/;
   plan.meta.payload_bytes = 8;

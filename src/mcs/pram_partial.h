@@ -19,6 +19,8 @@
 
 namespace pardsm::mcs {
 
+struct PramUpdate;
+
 /// One process of the PRAM partial-replication protocol.
 class PramPartialProcess final : public McsProcess {
  public:
@@ -28,6 +30,7 @@ class PramPartialProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "pram-partial"; }
   [[nodiscard]] bool wait_free() const override { return true; }
@@ -42,6 +45,8 @@ class PramPartialProcess final : public McsProcess {
   }
 
  private:
+  /// Pool handle cached at attach() so each write is a freelist pop.
+  BodyPool<PramUpdate>* update_pool_ = nullptr;
   std::int64_t next_write_seq_ = 0;
   /// Duplicate suppression: highest writer-seq applied per sender (dense,
   /// -1 = nothing applied).  FIFO channels deliver originals in order; a

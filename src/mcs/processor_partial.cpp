@@ -9,12 +9,14 @@ ProcessorPartialProcess::ProcessorPartialProcess(
     HistoryRecorder& recorder)
     : CachePartialProcess(self, dist, recorder) {}
 
-std::map<ProcessId, std::int64_t> ProcessorPartialProcess::prior_counts_for(
-    VarId x) {
-  std::map<ProcessId, std::int64_t> priors;
+detail::PriorCounts ProcessorPartialProcess::prior_counts_for(VarId x) {
+  detail::PriorCounts priors;
+  // replicas_of(x) is sorted ascending, so the flat vector stays in the
+  // ProcessId order the wire format pins.
   for (ProcessId q : replicas_of(x)) {
-    priors[q] = sent_to_[q];
-    ++sent_to_[q];
+    auto& sent = sent_to_[q];
+    priors.push_back({q, sent});
+    ++sent;
   }
   return priors;
 }
@@ -22,9 +24,9 @@ std::map<ProcessId, std::int64_t> ProcessorPartialProcess::prior_counts_for(
 bool ProcessorPartialProcess::commit_ready(const Message& m) {
   const auto* c = m.as<detail::CacheCommit>();
   PARDSM_CHECK(c != nullptr, "processor: unexpected commit body");
-  auto it = c->prior_counts.find(id());
-  if (it == c->prior_counts.end()) return true;  // no constraint for us
-  return applied_from_[c->id.writer] >= it->second;
+  const std::int64_t* need = detail::find_prior(c->prior_counts, id());
+  if (need == nullptr) return true;  // no constraint for us
+  return applied_from_[c->id.writer] >= *need;
 }
 
 void ProcessorPartialProcess::on_applied(ProcessId writer) {

@@ -49,8 +49,7 @@ class ProcessorPartialProcess final : public CachePartialProcess {
     return false;
   }
 
-  [[nodiscard]] std::map<ProcessId, std::int64_t> prior_counts_for(
-      VarId x) override;
+  [[nodiscard]] detail::PriorCounts prior_counts_for(VarId x) override;
   [[nodiscard]] bool commit_ready(const Message& m) override;
   void on_applied(ProcessId writer) override;
 

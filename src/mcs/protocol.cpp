@@ -51,18 +51,16 @@ struct ResyncResponse final : MessageBody {
 };
 
 const wire::BodyRegistrar resync_req_codec(
-    wire::kResyncRequest,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<ResyncRequest>();
+    wire::kResyncRequest, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<ResyncRequest>();
       b->epoch = r.u32();
       b->vars.resize(r.u32());
       for (auto& x : b->vars) x = r.i32();
-      return b;
+      return BodyRef::adopt(b);
     });
 const wire::BodyRegistrar resync_resp_codec(
-    wire::kResyncResponse,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<ResyncResponse>();
+    wire::kResyncResponse, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<ResyncResponse>();
       b->epoch = r.u32();
       b->entries.resize(r.u32());
       for (auto& e : b->entries) {
@@ -70,7 +68,7 @@ const wire::BodyRegistrar resync_resp_codec(
         e.value = r.i64();
         e.source = wire::get_write_id(r);
       }
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once (the base intercepts them by KindId before
@@ -178,7 +176,7 @@ void McsProcess::start_resync() {
   }
   pending_resyncs_ = static_cast<std::uint32_t>(by_peer.size());
   for (auto& [peer, vars] : by_peer) {
-    auto body = std::make_shared<ResyncRequest>();
+    auto* body = arena().create<ResyncRequest>();
     body->epoch = resync_epoch_;
     body->vars = std::move(vars);
 
@@ -190,14 +188,14 @@ void McsProcess::start_resync() {
     rstats_.resync_bytes += meta.wire_bytes();
     ++rstats_.resync_requests_sent;
     // Urgent: recovery latency must not wait out a coalescing window.
-    emit_to(peer, std::move(body), std::move(meta), /*urgent=*/true);
+    emit_to(peer, BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
   }
 }
 
 void McsProcess::serve_resync_request(const Message& m) {
   const auto* req = m.as<ResyncRequest>();
   PARDSM_CHECK(req != nullptr, "re-sync request with foreign body");
-  auto body = std::make_shared<ResyncResponse>();
+  auto* body = arena().create<ResyncResponse>();
   body->epoch = req->epoch;
 
   MessageMeta meta;
@@ -212,7 +210,7 @@ void McsProcess::serve_resync_request(const Message& m) {
   meta.payload_bytes = 8 * body->entries.size();
 
   ++rstats_.resync_responses_served;
-  emit_to(m.from, std::move(body), std::move(meta), /*urgent=*/true);
+  emit_to(m.from, BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
 }
 
 void McsProcess::absorb_resync_response(const Message& m) {

@@ -119,7 +119,7 @@ class CliqueTable {
 /// the bytes a real implementation would put on the wire for that
 /// recipient, and exactly the send order of the pre-seam code.
 struct SendPlan {
-  std::shared_ptr<const MessageBody> body;
+  BodyRef body;
   /// Accounting metadata, copied per destination on expansion.
   MessageMeta meta;
   /// Destination set in emission order (ascending for determinism; the
@@ -166,8 +166,13 @@ class McsProcess : public Endpoint {
     cliques_ = std::move(table);
   }
 
-  /// Wire the transport (after runtime registration).
-  void attach(Transport& transport) { transport_ = &transport; }
+  /// Wire the transport (after runtime registration).  on_attach() lets
+  /// protocols cache per-type body-pool handles from the transport's
+  /// arena, next to their cached KindIds.
+  void attach(Transport& transport) {
+    transport_ = &transport;
+    on_attach();
+  }
 
   /// Replace the multicast expansion (the engine injects this; default is
   /// MulticastService::fanout()).  Must outlive the process.
@@ -253,6 +258,14 @@ class McsProcess : public Endpoint {
   virtual void on_crash() {}
   virtual void on_recover() {}
 
+  /// Called from attach(): override to cache BodyPool handles (via
+  /// arena()) so hot-path body creation is a freelist pop, not an arena
+  /// lookup.
+  virtual void on_attach() {}
+
+  /// This process's body pools on the attached runtime root.
+  [[nodiscard]] BodyArena& arena() { return transport().arena(self_); }
+
   /// Peer asked for x's current copy during re-sync: the lowest-id member
   /// of C(x) other than self (kNoProcess = no peer, skip the variable).
   /// causal-full overrides this — under full replication any process can
@@ -313,8 +326,8 @@ class McsProcess : public Endpoint {
 
   /// Convenience: a single-destination plan (RPCs, replies, per-recipient
   /// metadata variants).
-  void emit_to(ProcessId to, std::shared_ptr<const MessageBody> body,
-               MessageMeta meta, bool urgent = false) {
+  void emit_to(ProcessId to, BodyRef body, MessageMeta meta,
+               bool urgent = false) {
     SendPlan plan;
     plan.body = std::move(body);
     plan.meta = std::move(meta);

@@ -4,9 +4,7 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
-struct WriteRequest final : MessageBody {
+struct SeqWriteRequest final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
@@ -23,7 +21,7 @@ struct WriteRequest final : MessageBody {
   }
 };
 
-struct WriteCommit final : MessageBody {
+struct SeqWriteCommit final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
   WriteId id{};
@@ -44,28 +42,28 @@ struct WriteCommit final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar seq_req_codec(
-    wire::kSeqWriteRequest,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<WriteRequest>();
+    wire::kSeqWriteRequest, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<SeqWriteRequest>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->invoked = wire::get_time(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 const wire::BodyRegistrar seq_commit_codec(
-    wire::kSeqWriteCommit,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<WriteCommit>();
+    wire::kSeqWriteCommit, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<SeqWriteCommit>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->gseq = r.i64();
       b->requester = r.i32();
       b->invoked = wire::get_time(r);
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Message kinds, interned once so the send path never hits the table.
@@ -78,6 +76,11 @@ SequencerScProcess::SequencerScProcess(ProcessId self,
                                        const graph::Distribution& dist,
                                        HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder) {}
+
+void SequencerScProcess::on_attach() {
+  request_pool_ = &arena().pool<SeqWriteRequest>();
+  commit_pool_ = &arena().pool<SeqWriteCommit>();
+}
 
 void SequencerScProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
@@ -95,7 +98,7 @@ void SequencerScProcess::write(VarId x, Value v, WriteCallback done) {
     sequence_write(x, v, wid, id(), t);
     return;
   }
-  auto body = std::make_shared<WriteRequest>();
+  auto* body = request_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
@@ -106,17 +109,17 @@ void SequencerScProcess::write(VarId x, Value v, WriteCallback done) {
   meta.control_bytes = 16 + 8;
   meta.payload_bytes = 8;
   meta.vars_mentioned = {x};
-  emit_to(kSequencer, std::move(body), std::move(meta), /*urgent=*/true);
+  emit_to(kSequencer, BodyRef::adopt(body), std::move(meta), /*urgent=*/true);
 }
 
 void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
                                         ProcessId requester,
                                         TimePoint invoked) {
   // A duplicated request must not be sequenced twice.
-  if (!sequenced_ids_.insert(wid).second) return;
+  if (!sequenced_ids_.insert(wid)) return;
   ++global_seq_;
   ++sequenced_;
-  auto body = std::make_shared<WriteCommit>();
+  auto* body = commit_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
@@ -126,7 +129,7 @@ void SequencerScProcess::sequence_write(VarId x, Value v, WriteId wid,
 
   // Urgent: the requester's write completes only when its commit lands.
   SendPlan plan;
-  plan.body = std::move(body);
+  plan.body = BodyRef::adopt(body);
   plan.meta.kind = kCommitKind;
   plan.meta.control_bytes = 16 + 8 + 8 + 8;
   plan.meta.payload_bytes = 8;
@@ -168,12 +171,12 @@ void SequencerScProcess::apply_commit(VarId x, Value v, WriteId wid,
 }
 
 void SequencerScProcess::handle_message(const Message& m) {
-  if (const auto* req = m.as<WriteRequest>()) {
+  if (const auto* req = m.try_as<SeqWriteRequest>()) {
     PARDSM_CHECK(id() == kSequencer, "write request sent to non-sequencer");
     sequence_write(req->x, req->v, req->id, m.from, req->invoked);
     return;
   }
-  const auto* commit = m.as<WriteCommit>();
+  const auto* commit = m.as<SeqWriteCommit>();
   PARDSM_CHECK(commit != nullptr, "sequencer-sc: unexpected message body");
   apply_commit(commit->x, commit->v, commit->id, commit->requester,
                commit->invoked, commit->gseq);

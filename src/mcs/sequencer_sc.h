@@ -18,11 +18,15 @@
 #pragma once
 
 #include <map>
-#include <set>
 
 #include "mcs/protocol.h"
+#include "mcs/write_id_dedup.h"
+#include "simnet/recycling_alloc.h"
 
 namespace pardsm::mcs {
+
+struct SeqWriteRequest;
+struct SeqWriteCommit;
 
 /// One process of the sequencer-based sequentially-consistent protocol.
 class SequencerScProcess final : public McsProcess {
@@ -36,6 +40,7 @@ class SequencerScProcess final : public McsProcess {
   void read(VarId x, ReadCallback done) override;
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "sequencer-sc"; }
   [[nodiscard]] bool wait_free() const override { return false; }
@@ -65,15 +70,29 @@ class SequencerScProcess final : public McsProcess {
   void apply_commit(VarId x, Value v, WriteId id, ProcessId requester,
                     TimePoint invoked, std::int64_t gseq);
 
+  /// Pool handles cached at attach() so each request/commit is a
+  /// freelist pop.
+  BodyPool<SeqWriteRequest>* request_pool_ = nullptr;
+  BodyPool<SeqWriteCommit>* commit_pool_ = nullptr;
   std::int64_t next_write_seq_ = 0;
   std::int64_t global_seq_ = 0;  ///< sequencer only
   std::uint64_t sequenced_ = 0;  ///< sequencer only
+  /// Node freelist for the per-in-flight-write maps below (declared
+  /// first: containers must die before their pool).
+  RecyclingPool node_pool_;
   /// Writer-side: write completions waiting for their commit.
-  std::map<WriteId, WriteCallback> waiting_;
+  std::map<WriteId, WriteCallback, std::less<WriteId>,
+           RecyclingAlloc<std::pair<const WriteId, WriteCallback>>>
+      waiting_{RecyclingAlloc<std::pair<const WriteId, WriteCallback>>(
+          &node_pool_)};
   /// Writer-side: invocation times for interval recording.
-  std::map<WriteId, TimePoint> invoked_at_;
-  /// Sequencer-side duplicate suppression of write requests.
-  std::set<WriteId> sequenced_ids_;
+  std::map<WriteId, TimePoint, std::less<WriteId>,
+           RecyclingAlloc<std::pair<const WriteId, TimePoint>>>
+      invoked_at_{RecyclingAlloc<std::pair<const WriteId, TimePoint>>(
+          &node_pool_)};
+  /// Sequencer-side duplicate suppression of write requests (watermark +
+  /// frontier — a std::set would grow one node per write forever).
+  WriteIdDedup sequenced_ids_;
   /// Receiver-side duplicate suppression: highest gseq applied.
   std::int64_t last_gseq_applied_ = 0;
 };

@@ -4,8 +4,6 @@
 
 namespace pardsm::mcs {
 
-namespace {
-
 struct SlowUpdate final : MessageBody {
   VarId x = kNoVar;
   Value v = kBottom;
@@ -23,15 +21,16 @@ struct SlowUpdate final : MessageBody {
   }
 };
 
+namespace {
+
 const wire::BodyRegistrar slow_codec(
-    wire::kSlowUpdate,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto b = std::make_shared<SlowUpdate>();
+    wire::kSlowUpdate, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      auto* b = arena.create<SlowUpdate>();
       b->x = r.i32();
       b->v = r.i64();
       b->id = wire::get_write_id(r);
       b->var_seq = r.i64();
-      return b;
+      return BodyRef::adopt(b);
     });
 
 /// Deterministic application jitter (microseconds) per (writer, var, seq):
@@ -57,6 +56,10 @@ SlowPartialProcess::SlowPartialProcess(ProcessId self,
                                        HistoryRecorder& recorder)
     : McsProcess(self, dist, recorder) {}
 
+void SlowPartialProcess::on_attach() {
+  update_pool_ = &arena().pool<SlowUpdate>();
+}
+
 void SlowPartialProcess::read(VarId x, ReadCallback done) {
   local_read(x, done);
 }
@@ -69,14 +72,14 @@ void SlowPartialProcess::write(VarId x, Value v, WriteCallback done) {
   recorder().record_write(id(), x, v, wid, t, t);
   ++mutable_stats().writes;
 
-  auto body = std::make_shared<SlowUpdate>();
+  auto* body = update_pool_->create();
   body->x = x;
   body->v = v;
   body->id = wid;
   body->var_seq = ++my_var_seq_[x];
 
   SendPlan plan;
-  plan.body = std::move(body);
+  plan.body = BodyRef::adopt(body);
   plan.meta.kind = kUpdateKind;
   plan.meta.control_bytes = 16 + 8 + 8;
   plan.meta.payload_bytes = 8;
@@ -97,7 +100,12 @@ void SlowPartialProcess::handle_message(const Message& m) {
   p.id = u->id;
   p.var_seq = u->var_seq;
   p.writer = m.from;
-  pending_[{m.from, u->x}][u->var_seq] = p;
+  // try_emplace (not operator[]): the recycling-allocated queue has no
+  // default constructor — a fresh key wires the shared node pool in.
+  auto [qit, fresh] = pending_.try_emplace(
+      std::make_pair(m.from, u->x),
+      PendingQueue::allocator_type(&node_pool_));
+  qit->second.insert_or_assign(u->var_seq, p);
   ++mutable_stats().updates_buffered;
 
   const TimerTag tag = next_timer_++;
@@ -115,7 +123,9 @@ void SlowPartialProcess::handle_timer(TimerTag tag) {
 
 void SlowPartialProcess::drain(ProcessId writer, VarId x) {
   auto key = std::make_pair(writer, x);
-  auto& queue = pending_[key];
+  auto qit = pending_.find(key);
+  if (qit == pending_.end()) return;  // only reachable after handle_message
+  auto& queue = qit->second;
   auto& expect = expected_[key];  // default 0 → first var_seq is 1
   // Discard stale entries (duplicated copies of already-applied updates).
   while (!queue.empty() && queue.begin()->first <= expect) {

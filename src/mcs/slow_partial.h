@@ -18,8 +18,11 @@
 #include <map>
 
 #include "mcs/protocol.h"
+#include "simnet/recycling_alloc.h"
 
 namespace pardsm::mcs {
+
+struct SlowUpdate;
 
 /// One process of the slow-memory partial-replication protocol.
 class SlowPartialProcess final : public McsProcess {
@@ -31,6 +34,7 @@ class SlowPartialProcess final : public McsProcess {
   void write(VarId x, Value v, WriteCallback done) override;
   void handle_message(const Message& m) override;
   void handle_timer(TimerTag tag) override;
+  void on_attach() override;
 
   [[nodiscard]] std::string name() const override { return "slow-partial"; }
   [[nodiscard]] bool wait_free() const override { return true; }
@@ -43,18 +47,34 @@ class SlowPartialProcess final : public McsProcess {
     std::int64_t var_seq = 0;
     ProcessId writer = kNoProcess;
   };
+  /// Jitter queues and timer entries churn once per delivered update;
+  /// recycling their map nodes keeps the steady state off the heap.
+  using PendingQueue =
+      std::map<std::int64_t, Pending, std::less<std::int64_t>,
+               RecyclingAlloc<std::pair<const std::int64_t, Pending>>>;
   void drain(ProcessId writer, VarId x);
 
+  /// Pool handle cached at attach() so each write is a freelist pop.
+  BodyPool<SlowUpdate>* update_pool_ = nullptr;
   std::int64_t next_write_seq_ = 0;
+  /// Node freelist shared by the churn-prone containers below (declared
+  /// first: containers must die before their pool).
+  RecyclingPool node_pool_;
   /// Writer-local per-variable sequence numbers for outgoing updates.
   std::map<VarId, std::int64_t> my_var_seq_;
   /// Next expected var_seq per (writer, variable).
   std::map<std::pair<ProcessId, VarId>, std::int64_t> expected_;
   /// Buffered out-of-jitter updates per (writer, variable), keyed by seq.
-  std::map<std::pair<ProcessId, VarId>, std::map<std::int64_t, Pending>>
-      pending_;
+  /// Outer keys persist once seen (cold inserts); the inner queues churn
+  /// and draw their nodes from node_pool_.
+  std::map<std::pair<ProcessId, VarId>, PendingQueue> pending_;
   /// Timer tags -> (writer, variable) queues to drain.
-  std::map<TimerTag, std::pair<ProcessId, VarId>> timers_;
+  std::map<TimerTag, std::pair<ProcessId, VarId>, std::less<TimerTag>,
+           RecyclingAlloc<std::pair<const TimerTag,
+                                    std::pair<ProcessId, VarId>>>>
+      timers_{RecyclingAlloc<std::pair<const TimerTag,
+                                       std::pair<ProcessId, VarId>>>(
+          &node_pool_)};
   TimerTag next_timer_ = 1;
 };
 

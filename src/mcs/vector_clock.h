@@ -6,18 +6,23 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "simnet/ids.h"
+#include "simnet/small_vec.h"
 #include "simnet/wire.h"
 
 namespace pardsm::mcs {
 
 /// A process-indexed vector clock.
+///
+/// Small-buffer storage: systems of up to 8 processes (every golden-table
+/// configuration) keep their entries inline, so copying a clock into an
+/// update body never allocates; larger systems spill to the heap once and
+/// copy-assignment reuses that capacity thereafter.
 class VectorClock {
  public:
   VectorClock() = default;
-  explicit VectorClock(std::size_t n) : entries_(n, 0) {}
+  explicit VectorClock(std::size_t n) { entries_.resize(n, 0); }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
@@ -49,7 +54,7 @@ class VectorClock {
   friend bool operator==(const VectorClock&, const VectorClock&) = default;
 
  private:
-  std::vector<std::int64_t> entries_;
+  SmallVec<std::int64_t, 8> entries_;
 };
 
 /// Wire codec helpers shared by the causal protocol bodies.

@@ -1,0 +1,84 @@
+// Allocation-free deduplication of WriteIds.
+//
+// Two protocols must ignore re-delivered writes (the ARQ shim may
+// duplicate): the sequencer dedups write *requests*, atomic-home dedups
+// writes at the home.  A std::set<WriteId> does the job but grows one
+// node per write forever — the one container a freelist cannot save,
+// because nothing is ever erased.
+//
+// WriteId.seq is writer-local and dense (0, 1, 2, ... in issue order), so
+// the set of seen ids per writer is a prefix plus a small frontier of
+// reordered arrivals.  WriteIdDedup stores exactly that: a per-writer
+// watermark (all seqs <= watermark seen) plus a sorted overflow vector of
+// seqs above it.  Advancing the watermark absorbs contiguous overflow
+// entries, so under FIFO delivery the overflow stays empty and under
+// reordering it stays the size of the reorder window.  Equivalent to the
+// full set for any arrival order; O(1) amortized; steady-state
+// allocation-free (the overflow vector keeps its capacity).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "simnet/ids.h"
+
+namespace pardsm {
+
+class WriteIdDedup {
+ public:
+  /// Record `id` as seen.  Returns true when it was NOT seen before
+  /// (mirrors std::set::insert(...).second).
+  bool insert(const WriteId& id) {
+    Lane& lane = lane_of(id.writer);
+    if (id.seq <= lane.watermark) return false;
+    if (id.seq == lane.watermark + 1) {
+      ++lane.watermark;
+      // Absorb overflow entries that the new watermark now covers.
+      std::size_t absorbed = 0;
+      while (absorbed < lane.overflow.size() &&
+             lane.overflow[absorbed] == lane.watermark + 1) {
+        ++lane.watermark;
+        ++absorbed;
+      }
+      if (absorbed > 0) {
+        lane.overflow.erase(lane.overflow.begin(),
+                            lane.overflow.begin() +
+                                static_cast<std::ptrdiff_t>(absorbed));
+      }
+      return true;
+    }
+    const auto it =
+        std::lower_bound(lane.overflow.begin(), lane.overflow.end(), id.seq);
+    if (it != lane.overflow.end() && *it == id.seq) return false;
+    lane.overflow.insert(it, id.seq);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const WriteId& id) const {
+    if (id.writer < 0 ||
+        static_cast<std::size_t>(id.writer) >= lanes_.size()) {
+      return false;
+    }
+    const Lane& lane = lanes_[static_cast<std::size_t>(id.writer)];
+    if (id.seq <= lane.watermark) return true;
+    return std::binary_search(lane.overflow.begin(), lane.overflow.end(),
+                              id.seq);
+  }
+
+ private:
+  struct Lane {
+    std::int64_t watermark = -1;         ///< all seqs <= this are seen
+    std::vector<std::int64_t> overflow;  ///< sorted seqs > watermark
+  };
+
+  Lane& lane_of(ProcessId writer) {
+    const auto idx = static_cast<std::size_t>(writer);
+    if (idx >= lanes_.size()) lanes_.resize(idx + 1);
+    return lanes_[idx];
+  }
+
+  std::vector<Lane> lanes_;  ///< indexed by writer (bounded by n)
+};
+
+}  // namespace pardsm

@@ -8,13 +8,10 @@ namespace pardsm::graph {
 
 namespace {
 
-/// True iff the edge (i, j) carries a label other than x (hoop steps must
-/// share a variable different from x).
-bool edge_usable(const ShareGraph& sg, ProcessId i, ProcessId j, VarId x) {
-  for (VarId v : sg.label(i, j)) {
-    if (v != x) return true;
-  }
-  return false;
+/// True iff the edge carries a label other than x (hoop steps must share
+/// a variable different from x) — O(1) off the per-edge summary.
+bool edge_usable(const ShareGraph::EdgeSummary& s, VarId x) {
+  return s.shared_count >= 2 || (s.shared_count == 1 && s.only_shared != x);
 }
 
 void dfs_hoops(const ShareGraph& sg, VarId x,
@@ -27,12 +24,15 @@ void dfs_hoops(const ShareGraph& sg, VarId x,
   }
   ++out.dfs_steps;
   const ProcessId v = path.back();
-  for (ProcessId w : sg.neighbours(v)) {
+  const auto& nbrs = sg.neighbours(v);
+  const auto& summaries = sg.edge_summaries(v);
+  for (std::size_t wi = 0; wi < nbrs.size(); ++wi) {
+    const ProcessId w = nbrs[wi];
     if (out.hoops.size() >= limit) {
       out.truncated = true;
       return;
     }
-    if (!edge_usable(sg, v, w, x)) continue;
+    if (!edge_usable(summaries[wi], x)) continue;
     if (in_clique[static_cast<std::size_t>(w)]) {
       // Complete a hoop if w is a clique member distinct from the start and
       // the path has at least one intermediate.
@@ -117,23 +117,22 @@ class DisjointPathFinder {
       } else {
         add_edge(static_cast<int>(2 * u), static_cast<int>(2 * u + 1), 1);
       }
-      for (ProcessId w : sg.neighbours(pu)) {
-        if (!edge_usable(sg, pu, w, x)) continue;
+      const auto& nbrs = sg.neighbours(pu);
+      const auto& summaries = sg.edge_summaries(pu);
+      for (std::size_t wi = 0; wi < nbrs.size(); ++wi) {
+        if (!edge_usable(summaries[wi], x)) continue;
         // Directed u_out -> w_in; the reverse direction is added when w is
         // processed.  Intermediates must be non-clique, but edges into
         // clique members are allowed (they terminate a path).  Candidates
         // are never clique members, so clique vertices get no out-edges.
         if (in_clique[u]) continue;
         add_edge(static_cast<int>(2 * u + 1),
-                 static_cast<int>(2 * static_cast<std::size_t>(w)), 1);
+                 static_cast<int>(2 * static_cast<std::size_t>(nbrs[wi])), 1);
       }
-    }
-    initial_caps_.reserve(adj_.size());
-    for (const auto& edges : adj_) {
-      for (const Edge& e : edges) initial_caps_.push_back(e.cap);
     }
     prev_node_.resize(adj_.size());
     prev_edge_.resize(adj_.size());
+    mark_.assign(adj_.size(), 0);
   }
 
   /// Two vertex-disjoint v→C(x) paths?  `v` must be a non-clique vertex.
@@ -141,13 +140,19 @@ class DisjointPathFinder {
     const auto vi = static_cast<std::size_t>(v);
     adj_[2 * vi][static_cast<std::size_t>(internal_edge_[vi])].cap = 2;
     const int source = static_cast<int>(2 * vi);  // v_in
+    touched_.clear();
     int flow = 0;
     while (flow < 2 && augment(source)) ++flow;
-    // Restore the pristine capacities for the next candidate.
-    std::size_t i = 0;
-    for (auto& edges : adj_) {
-      for (Edge& e : edges) e.cap = initial_caps_[i++];
+    // Undo exactly the edges the augmenting paths pushed flow through —
+    // O(path length), not O(E) — then re-pin v's internal capacity.
+    for (const auto& [node, edge] : touched_) {
+      Edge& e = adj_[static_cast<std::size_t>(node)]
+                    [static_cast<std::size_t>(edge)];
+      e.cap += 1;
+      adj_[static_cast<std::size_t>(e.to)][static_cast<std::size_t>(e.rev)]
+          .cap -= 1;
     }
+    adj_[2 * vi][static_cast<std::size_t>(internal_edge_[vi])].cap = 1;
     return flow >= 2;
   }
 
@@ -167,36 +172,39 @@ class DisjointPathFinder {
   }
 
   /// One BFS augmenting step; true if a source→sink path was found.
+  /// Visited state is an epoch stamp, so starting a BFS is O(1), not a
+  /// pair of O(V) fills.
   bool augment(int source) {
-    std::fill(prev_node_.begin(), prev_node_.end(), -1);
-    std::fill(prev_edge_.begin(), prev_edge_.end(), -1);
+    const std::uint64_t epoch = ++epoch_;
     bfs_.clear();
     bfs_.push_back(source);
+    mark_[static_cast<std::size_t>(source)] = epoch;
     prev_node_[static_cast<std::size_t>(source)] = source;
     for (std::size_t head = 0;
-         head < bfs_.size() && prev_node_[static_cast<std::size_t>(sink_)] == -1;
+         head < bfs_.size() && mark_[static_cast<std::size_t>(sink_)] != epoch;
          ++head) {
       const int u = bfs_[head];
       const auto& edges = adj_[static_cast<std::size_t>(u)];
       for (std::size_t e = 0; e < edges.size(); ++e) {
         if (edges[e].cap <= 0) continue;
         const int to = edges[e].to;
-        if (prev_node_[static_cast<std::size_t>(to)] != -1) continue;
+        if (mark_[static_cast<std::size_t>(to)] == epoch) continue;
+        mark_[static_cast<std::size_t>(to)] = epoch;
         prev_node_[static_cast<std::size_t>(to)] = u;
         prev_edge_[static_cast<std::size_t>(to)] = static_cast<int>(e);
         bfs_.push_back(to);
       }
     }
-    if (prev_node_[static_cast<std::size_t>(sink_)] == -1) return false;
+    if (mark_[static_cast<std::size_t>(sink_)] != epoch) return false;
     int u = sink_;
     while (u != source) {
       const int pu = prev_node_[static_cast<std::size_t>(u)];
-      auto& e =
-          adj_[static_cast<std::size_t>(pu)]
-              [static_cast<std::size_t>(prev_edge_[static_cast<std::size_t>(u)])];
+      const int pe = prev_edge_[static_cast<std::size_t>(u)];
+      auto& e = adj_[static_cast<std::size_t>(pu)][static_cast<std::size_t>(pe)];
       e.cap -= 1;
       adj_[static_cast<std::size_t>(u)][static_cast<std::size_t>(e.rev)].cap +=
           1;
+      touched_.push_back({pu, pe});
       u = pu;
     }
     return true;
@@ -205,10 +213,12 @@ class DisjointPathFinder {
   int sink_ = 0;
   std::vector<std::vector<Edge>> adj_;
   std::vector<int> internal_edge_;  ///< per vertex: index of in→out edge
-  std::vector<int> initial_caps_;   ///< pristine caps in adjacency order
   std::vector<int> prev_node_;
   std::vector<int> prev_edge_;
+  std::vector<std::uint64_t> mark_;  ///< BFS visited epoch per node
+  std::uint64_t epoch_ = 0;
   std::vector<int> bfs_;
+  std::vector<std::pair<int, int>> touched_;  ///< (node, edge) with flow
 };
 
 }  // namespace

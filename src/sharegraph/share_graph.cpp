@@ -31,6 +31,32 @@ double Distribution::average_replication() const {
   return static_cast<double>(total) / static_cast<double>(var_count);
 }
 
+namespace {
+
+/// Two-pointer intersection summary over sorted var lists: count capped
+/// at 2 plus the first shared variable.
+ShareGraph::EdgeSummary summarize_shared(const std::vector<VarId>& a,
+                                         const std::vector<VarId>& b) {
+  ShareGraph::EdgeSummary s;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      if (s.shared_count == 0) s.only_shared = *ia;
+      if (++s.shared_count == 2) break;  // "≥ 2" — nothing more to learn
+      ++ia;
+      ++ib;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
 ShareGraph::ShareGraph(Distribution dist) : dist_(std::move(dist)) {
   const std::size_t n = dist_.process_count();
   var_sets_.resize(n);
@@ -38,31 +64,30 @@ ShareGraph::ShareGraph(Distribution dist) : dist_(std::move(dist)) {
     for (VarId x : dist_.per_process[p]) {
       PARDSM_CHECK(x >= 0 && static_cast<std::size_t>(x) < dist_.var_count,
                    "ShareGraph: variable id out of range");
-      var_sets_[p].insert(x);
+      var_sets_[p].push_back(x);
     }
+    std::sort(var_sets_[p].begin(), var_sets_[p].end());
+    var_sets_[p].erase(std::unique(var_sets_[p].begin(), var_sets_[p].end()),
+                       var_sets_[p].end());
   }
   cliques_.resize(dist_.var_count);
   for (std::size_t x = 0; x < dist_.var_count; ++x) {
     cliques_[x] = dist_.replicas_of(static_cast<VarId>(x));
   }
   adjacency_.resize(n);
+  summaries_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const auto& small = var_sets_[i].size() <= var_sets_[j].size()
-                              ? var_sets_[i]
-                              : var_sets_[j];
-      const auto& large = var_sets_[i].size() <= var_sets_[j].size()
-                              ? var_sets_[j]
-                              : var_sets_[i];
-      const bool shared = std::any_of(small.begin(), small.end(),
-                                      [&](VarId x) { return large.count(x); });
-      if (shared) {
+      const EdgeSummary s = summarize_shared(var_sets_[i], var_sets_[j]);
+      if (s.shared_count != 0) {
+        // j > i, so both per-process lists stay sorted by construction.
         adjacency_[i].push_back(static_cast<ProcessId>(j));
+        summaries_[i].push_back(s);
         adjacency_[j].push_back(static_cast<ProcessId>(i));
+        summaries_[j].push_back(s);
       }
     }
   }
-  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
 }
 
 bool ShareGraph::has_edge(ProcessId i, ProcessId j) const {
@@ -88,6 +113,13 @@ const std::vector<ProcessId>& ShareGraph::neighbours(ProcessId i) const {
   PARDSM_CHECK(i >= 0 && static_cast<std::size_t>(i) < adjacency_.size(),
                "neighbours: bad process");
   return adjacency_[static_cast<std::size_t>(i)];
+}
+
+const std::vector<ShareGraph::EdgeSummary>& ShareGraph::edge_summaries(
+    ProcessId i) const {
+  PARDSM_CHECK(i >= 0 && static_cast<std::size_t>(i) < summaries_.size(),
+               "edge_summaries: bad process");
+  return summaries_[static_cast<std::size_t>(i)];
 }
 
 const std::vector<ProcessId>& ShareGraph::clique(VarId x) const {

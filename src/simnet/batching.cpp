@@ -15,16 +15,15 @@ constexpr TimerTag kBatchTimerBit = 1ULL << 62;
 const KindId kBatchKind("BATCH");
 
 const wire::BodyRegistrar batch_codec(
-    wire::kBatchFrame,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto f = std::make_shared<BatchFrame>();
+    wire::kBatchFrame, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      BatchFrame* f = arena.create<BatchFrame>();
       f->items.resize(r.u32());
       for (auto& item : f->items) {
         item.enqueued = wire::get_time(r);
         item.meta = wire::decode_meta(r);
-        item.body = wire::decode_body(r);
+        item.body = wire::decode_body(r, arena);
       }
-      return f;
+      return BodyRef::adopt(f);
     });
 
 }  // namespace
@@ -34,11 +33,13 @@ const wire::BodyRegistrar batch_codec(
 class BatchingTransport::Shim final : public Endpoint {
  public:
   Shim(BatchingTransport& owner, Endpoint* app, ProcessId self)
-      : owner_(owner), app_(app), self_(self) {}
+      : owner_(owner),
+        app_(app),
+        self_(self),
+        frame_pool_(&owner.lower_.arena(self).pool<BatchFrame>()) {}
 
   // ---- sending side -------------------------------------------------------
-  void send_app(ProcessId to, std::shared_ptr<const MessageBody> body,
-                MessageMeta meta) {
+  void send_app(ProcessId to, BodyRef body, MessageMeta meta) {
     const bool urgent = meta.urgent;
     auto& queue = pending_[to];
     queue.push_back(
@@ -70,7 +71,7 @@ class BatchingTransport::Shim final : public Endpoint {
                          std::move(item.meta));
       return;
     }
-    auto frame = std::make_shared<BatchFrame>();
+    BatchFrame* frame = frame_pool_->create();
     MessageMeta meta;
     meta.kind = kBatchKind;
     for (const BatchFrame::Item& item : queue) {
@@ -81,9 +82,11 @@ class BatchingTransport::Shim final : public Endpoint {
     }
     ++stats_.frames_sent;
     stats_.messages_batched += queue.size();
-    frame->items = std::move(queue);
-    queue.clear();
-    owner_.lower_.send(self_, to, std::move(frame), std::move(meta));
+    // Swap rather than move: the frame takes the queue's members and the
+    // queue inherits the recycled frame's (empty) buffer, so both vectors
+    // keep their capacity across flush cycles.
+    frame->items.swap(queue);
+    owner_.lower_.send(self_, to, BodyRef::adopt(frame), std::move(meta));
   }
 
   void flush_all() {
@@ -92,7 +95,7 @@ class BatchingTransport::Shim final : public Endpoint {
 
   // ---- receiving side -----------------------------------------------------
   void on_message(const Message& m) override {
-    const auto* frame = m.as<BatchFrame>();
+    const auto* frame = m.try_as<BatchFrame>();
     if (frame == nullptr) {
       app_->on_message(m);
       return;
@@ -131,6 +134,7 @@ class BatchingTransport::Shim final : public Endpoint {
   BatchingTransport& owner_;
   Endpoint* app_;
   ProcessId self_;
+  BodyPool<BatchFrame>* frame_pool_;
   /// Per-destination coalescing queues (ordered map: flush_all walks
   /// destinations in ascending id, deterministically).
   std::map<ProcessId, std::vector<BatchFrame::Item>> pending_;
@@ -158,8 +162,7 @@ ProcessId BatchingTransport::add_endpoint(Endpoint* ep) {
   return assigned;
 }
 
-void BatchingTransport::send(ProcessId from, ProcessId to,
-                             std::shared_ptr<const MessageBody> body,
+void BatchingTransport::send(ProcessId from, ProcessId to, BodyRef body,
                              MessageMeta meta) {
   PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < shims_.size(),
                "send: bad sender");

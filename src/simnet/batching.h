@@ -66,11 +66,15 @@ inline constexpr std::uint64_t kPerItemFramingBytes = 4;
 /// A piggybacked frame: several application messages to one destination.
 struct BatchFrame final : MessageBody {
   struct Item {
-    std::shared_ptr<const MessageBody> body;
+    BodyRef body;
     MessageMeta meta;
     TimePoint enqueued{};  ///< send_time the application observed
   };
   std::vector<Item> items;
+
+  /// Pool recycle hook: drop member bodies now, keep the items vector's
+  /// capacity for the next frame.
+  void reset() { items.clear(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kBatchFrame;
@@ -104,11 +108,15 @@ class BatchingTransport final : public HostTransport {
   ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport ------------------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   [[nodiscard]] TimePoint now() const override { return lower_.now(); }
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override;
+  /// Decorators allocate from the root runtime's pools.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    return lower_.arena(owner);
+  }
 
   [[nodiscard]] const BatchingOptions& options() const { return options_; }
 

@@ -28,3 +28,15 @@ namespace pardsm::detail {
       ::pardsm::detail::check_fail(#cond, __FILE__, __LINE__, (msg));   \
     }                                                                   \
   } while (false)
+
+// Debug-only invariant: compiled out under NDEBUG so hot paths (release
+// benches) pay nothing, active in the default and sanitizer builds where
+// the test suite runs.
+#ifndef NDEBUG
+#define PARDSM_DCHECK(cond, msg) PARDSM_CHECK(cond, msg)
+#else
+#define PARDSM_DCHECK(cond, msg) \
+  do {                           \
+    (void)sizeof(cond);          \
+  } while (false)
+#endif

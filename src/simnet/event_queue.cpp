@@ -70,26 +70,32 @@ void EventQueue::release(Event& e) {
 }
 
 void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = e;
 }
 
 void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
   while (true) {
-    const std::size_t left = 2 * i + 1;
-    if (left >= n) break;
-    const std::size_t right = left + 1;
-    std::size_t smallest = left;
-    if (right < n && earlier(heap_[right], heap_[left])) smallest = right;
-    if (!earlier(heap_[smallest], heap_[i])) break;
-    std::swap(heap_[i], heap_[smallest]);
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t smallest = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[smallest])) smallest = c;
+    }
+    if (!earlier(heap_[smallest], e)) break;
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  heap_[i] = e;
 }
 
 }  // namespace pardsm

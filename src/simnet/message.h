@@ -6,42 +6,24 @@
 // that information concerns — is declared explicitly in MessageMeta by the
 // sending protocol and audited by NetworkStats / the efficiency analyzer.
 //
-// MessageMeta is engineered to move through the event queue without heap
-// allocations: the kind tag is an interned 2-byte KindId and the mentioned
-// variables live in a small-buffer container (every protocol here mentions
-// 0-2 variables per message).
+// Both halves of a Message move through the event queue without heap
+// allocations: MessageMeta interns its kind tag (2-byte KindId) and keeps
+// mentioned variables in a small-buffer container, and the body is a
+// pooled intrusively-refcounted BodyRef (simnet/body.h) dispatched by a
+// 1-byte type tag instead of dynamic_cast.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <type_traits>
 
+#include "simnet/body.h"
+#include "simnet/check.h"
 #include "simnet/ids.h"
 #include "simnet/kind_table.h"
 #include "simnet/sim_time.h"
 #include "simnet/small_vec.h"
 
 namespace pardsm {
-
-class WireWriter;  // simnet/wire.h
-
-/// Base class for protocol-defined message contents.
-///
-/// Bodies are plain in-memory objects for the simulated runtimes (one
-/// address space, no serialization).  The real-sockets root needs bytes:
-/// a body that may cross a TCP frame overrides wire_type()/wire_encode()
-/// and registers a decoder (wire::BodyRegistrar).  The default wire_type
-/// of 0 means "not serializable" — SocketTransport rejects such bodies
-/// loudly instead of silently corrupting a frame.
-class MessageBody {
- public:
-  virtual ~MessageBody() = default;
-
-  /// Stable wire tag (wire::WireType); 0 = cannot cross a socket.
-  [[nodiscard]] virtual std::uint32_t wire_type() const { return 0; }
-
-  /// Append the body's fields to `w` (inverse of the registered decoder).
-  virtual void wire_encode(WireWriter& w) const { (void)w; }
-};
 
 /// Accounting metadata attached to every message by the sending protocol.
 struct MessageMeta {
@@ -76,7 +58,7 @@ struct MessageMeta {
 struct Message {
   ProcessId from = kNoProcess;
   ProcessId to = kNoProcess;
-  std::shared_ptr<const MessageBody> body;
+  BodyRef body;
   MessageMeta meta;
 
   /// Filled by the runtime.
@@ -84,10 +66,28 @@ struct Message {
   TimePoint send_time{};
   TimePoint deliver_time{};
 
-  /// Convenience typed access to the body.  Returns nullptr on mismatch.
+  /// Typed access to the body for handlers that KNOW the type (they
+  /// dispatched on meta.kind already): a tag compare, not a dynamic_cast.
+  /// A mismatch is a protocol bug — debug builds assert instead of
+  /// letting a wrong-body read look like a dropped message.
   template <typename T>
   [[nodiscard]] const T* as() const {
-    return dynamic_cast<const T*>(body.get());
+    using U = std::remove_cv_t<T>;
+    PARDSM_DCHECK(body &&
+                      detail::BodyAccess::type_of(*body) == body_type_id<U>(),
+                  "Message::as<T>: body type mismatch");
+    return static_cast<const T*>(body.get());
+  }
+
+  /// Typed access for genuine dispatch chains (shims that inspect traffic
+  /// of several kinds): nullptr when the body is not exactly a T.
+  template <typename T>
+  [[nodiscard]] const T* try_as() const {
+    using U = std::remove_cv_t<T>;
+    if (!body || detail::BodyAccess::type_of(*body) != body_type_id<U>()) {
+      return nullptr;
+    }
+    return static_cast<const T*>(body.get());
   }
 };
 

@@ -16,7 +16,9 @@ Network::Network(std::size_t n, ChannelOptions options,
       fault_rng_(rng.fork(/*tag=*/0x4641554CULL)),  // "FAUL"
       default_loss_(options.drop_probability),
       default_duplicate_(options.duplicate_probability),
-      down_(n, 0) {}
+      down_(n, 0) {
+  refresh_fault_flag();
+}
 
 void Network::check_pair(ProcessId from, ProcessId to, const char* what) const {
   PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < n_ && to >= 0 &&
@@ -35,19 +37,24 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
   const Duration lat = latency_->sample(from, to, latency_rng_);
 
   const std::size_t ij = pair(from, to);
-  if (const std::uint32_t* cuts = severed_.find(ij);
-      cuts != nullptr && *cuts != 0) {
-    ++drops_.severed;
-    return {};
-  }
-  if (down_[static_cast<std::size_t>(from)] != 0 ||
-      down_[static_cast<std::size_t>(to)] != 0) {
-    ++drops_.down;
-    return {};
-  }
-  if (fault_rng_.chance(effective_loss(from, to, send_time))) {
-    ++drops_.loss;
-    return {};
+  // Fault checks are gated on the config flag: a fault-free network skips
+  // three table lookups per message, and since chance(0.0) consumes no
+  // draw, the fault stream position is identical either way.
+  if (has_faults_) {
+    if (const std::uint32_t* cuts = severed_.find(ij);
+        cuts != nullptr && *cuts != 0) {
+      ++drops_.severed;
+      return {};
+    }
+    if (down_[static_cast<std::size_t>(from)] != 0 ||
+        down_[static_cast<std::size_t>(to)] != 0) {
+      ++drops_.down;
+      return {};
+    }
+    if (fault_rng_.chance(effective_loss(from, to, send_time))) {
+      ++drops_.loss;
+      return {};
+    }
   }
 
   DeliveryPlan deliveries;
@@ -62,7 +69,8 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
     deliveries.push(at);
   };
   clamp_push(send_time + lat);
-  if (fault_rng_.chance(effective_duplicate(from, to, send_time))) {
+  if (has_faults_ &&
+      fault_rng_.chance(effective_duplicate(from, to, send_time))) {
     // The duplicate's latency comes from the fault stream too: the extra
     // copy must not displace anyone else's draw on the latency stream.
     clamp_push(send_time + latency_->sample(from, to, fault_rng_));
@@ -73,6 +81,7 @@ DeliveryPlan Network::plan_delivery(ProcessId from, ProcessId to,
 void Network::sever(ProcessId from, ProcessId to) {
   check_pair(from, to, "sever: bad process");
   ++severed_.get_or_insert(pair(from, to), 0);
+  refresh_fault_flag();
 }
 
 void Network::heal(ProcessId from, ProcessId to) {
@@ -90,6 +99,7 @@ bool Network::severed(ProcessId from, ProcessId to) const {
 void Network::set_loss(ProcessId from, ProcessId to, double probability) {
   check_pair(from, to, "set_loss: bad process");
   loss_.get_or_insert(pair(from, to), 0.0) = probability;
+  refresh_fault_flag();
 }
 
 void Network::set_loss_all(double probability) {
@@ -97,6 +107,7 @@ void Network::set_loss_all(double probability) {
   // answers for every pair, including previously overridden ones.
   default_loss_ = probability;
   loss_.clear();
+  refresh_fault_flag();
 }
 
 double Network::loss(ProcessId from, ProcessId to) const {
@@ -108,11 +119,13 @@ double Network::loss(ProcessId from, ProcessId to) const {
 void Network::set_duplicate(ProcessId from, ProcessId to, double probability) {
   check_pair(from, to, "set_duplicate: bad process");
   duplicate_.get_or_insert(pair(from, to), 0.0) = probability;
+  refresh_fault_flag();
 }
 
 void Network::set_duplicate_all(double probability) {
   default_duplicate_ = probability;
   duplicate_.clear();
+  refresh_fault_flag();
 }
 
 double Network::duplicate(ProcessId from, ProcessId to) const {
@@ -146,7 +159,17 @@ double Network::effective_duplicate(ProcessId from, ProcessId to,
 void Network::set_down(ProcessId p, bool down) {
   PARDSM_CHECK(p >= 0 && static_cast<std::size_t>(p) < n_,
                "set_down: bad process");
-  down_[static_cast<std::size_t>(p)] = down ? 1 : 0;
+  auto& slot = down_[static_cast<std::size_t>(p)];
+  const std::uint8_t next = down ? 1 : 0;
+  if (slot != next) {
+    if (down) {
+      ++down_count_;
+    } else {
+      --down_count_;
+    }
+    slot = next;
+    refresh_fault_flag();
+  }
 }
 
 bool Network::is_down(ProcessId p) const {

@@ -133,6 +133,7 @@ class Network {
   /// its probability windows.
   void set_rate_override(std::shared_ptr<const RateOverride> override_src) {
     override_ = std::move(override_src);
+    refresh_fault_flag();
   }
 
   /// The probability a message planned now would face: the override when
@@ -186,6 +187,20 @@ class Network {
   }
   void check_pair(ProcessId from, ProcessId to, const char* what) const;
 
+  /// Recompute `has_faults_` after any fault-config mutation.  The flag is
+  /// conservative: a healed cut or zero-valued override entry keeps it set
+  /// (the slow path re-derives the truth), but a network nobody ever
+  /// configured a fault on plans every delivery without touching the
+  /// severed/down/rate tables.  Observably identical either way —
+  /// Rng::chance(0.0) consumes no draw, so the fast path leaves the fault
+  /// stream exactly where the slow path would.
+  void refresh_fault_flag() {
+    has_faults_ = override_ != nullptr || default_loss_ > 0.0 ||
+                  default_duplicate_ > 0.0 || loss_.size() != 0 ||
+                  duplicate_.size() != 0 || severed_.size() != 0 ||
+                  down_count_ != 0;
+  }
+
   std::size_t n_;
   ChannelOptions options_;
   std::unique_ptr<LatencyModel> latency_;
@@ -211,6 +226,10 @@ class Network {
   PairMap<double> duplicate_;
   std::shared_ptr<const RateOverride> override_;
   std::vector<std::uint8_t> down_;
+  std::size_t down_count_ = 0;  ///< processes currently down
+  /// False only when no fault configuration exists at all; gates the
+  /// per-message severed/down/loss/duplicate lookups in plan_delivery.
+  bool has_faults_ = false;
   DropCounters drops_;
 };
 

@@ -30,6 +30,10 @@ ParallelSimulator::ParallelSimulator(ParallelSimOptions options)
   PARDSM_CHECK(options_.num_threads >= 1,
                "ParallelSimulator needs at least one worker");
   channel_seed_ = mix_word(options_.seed, kTagChannel);
+  arenas_.reserve(options_.num_threads);
+  for (unsigned w = 0; w < options_.num_threads; ++w) {
+    arenas_.push_back(std::make_unique<BodyArena>(/*concurrent=*/true));
+  }
 }
 
 ParallelSimulator::~ParallelSimulator() {
@@ -132,8 +136,7 @@ void ParallelSimulator::push_event(Shard& shard, PEvent e) {
   std::push_heap(shard.heap.begin(), shard.heap.end());
 }
 
-void ParallelSimulator::send(ProcessId from, ProcessId to,
-                             std::shared_ptr<const MessageBody> body,
+void ParallelSimulator::send(ProcessId from, ProcessId to, BodyRef body,
                              MessageMeta meta) {
   PARDSM_CHECK(frozen_, "send before freeze()");
   const std::size_t n = endpoints_.size();

@@ -82,14 +82,26 @@ class ParallelSimulator final : public HostTransport {
   ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport interface ------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   /// Current time: the calling worker's shard clock inside a window, the
   /// coordinator clock (window/global-event time) otherwise.
   [[nodiscard]] TimePoint now() const override;
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override {
     return endpoints_.size();
+  }
+  /// Per-shard concurrent arenas: a process allocates from its shard's
+  /// pools (no cross-shard freelist contention on create), while atomic
+  /// refcounts + locked recycle keep cross-shard deliveries safe.  Before
+  /// freeze() the round-robin default assignment is used.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    const auto idx = static_cast<std::size_t>(owner);
+    const std::size_t shard =
+        idx < shard_of_.size()
+            ? static_cast<std::size_t>(shard_of_[idx])
+            : idx % arenas_.size();
+    return *arenas_[shard];
   }
 
   // -- Execution control ---------------------------------------------------
@@ -203,6 +215,9 @@ class ParallelSimulator final : public HostTransport {
   /// Stable storage: Shard holds a NetworkStats (not movable) and workers
   /// keep references across the whole run.
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// One concurrent BodyArena per shard, created up-front (arena() must
+  /// work before freeze so protocols can cache pool handles at attach).
+  std::vector<std::unique_ptr<BodyArena>> arenas_;
   std::size_t var_hint_ = 0;
   /// Fault state (severed / down / rate overrides) shared read-only
   /// during windows; its own RNG streams and clamp state are unused.

@@ -1,0 +1,115 @@
+// Freelist allocator for ordered protocol-state containers.
+//
+// Several protocols keep per-in-flight-op entries in std::map/std::set
+// (pending RPCs, ARQ windows, write-order buffers).  The containers are
+// semantically load-bearing — iteration order and lookup behaviour are
+// pinned by the golden metric tables — so they cannot be swapped for open
+// hash maps without changing observable schedules.  What CAN change is
+// where their nodes come from: RecyclingAlloc keeps every freed node on a
+// per-pool freelist bucketed by size, so the steady-state insert/erase
+// cycle of a warmed-up protocol touches the heap never, while the
+// container's comparator, ordering and interface stay bit-identical.
+//
+// Usage: the owning object holds a RecyclingPool member (declared before
+// the containers) and constructs each container with an explicit
+// allocator:
+//
+//   RecyclingPool node_pool_;
+//   std::map<K, V, std::less<K>,
+//            RecyclingAlloc<std::pair<const K, V>>>
+//       pending_{RecyclingAlloc<std::pair<const K, V>>(&node_pool_)};
+//
+// The allocator is stateful (no default constructor — a pool must be
+// wired explicitly); two allocators compare equal iff they share a pool.
+// Not thread-safe: a pool belongs to one endpoint, like the state it
+// feeds.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pardsm {
+
+/// Size-bucketed freelist of raw chunks.  All node sizes a container
+/// family rebinds to land in their own bucket; the bucket vector itself
+/// reaches steady capacity after warmup.
+class RecyclingPool {
+ public:
+  RecyclingPool() = default;
+  RecyclingPool(const RecyclingPool&) = delete;
+  RecyclingPool& operator=(const RecyclingPool&) = delete;
+
+  ~RecyclingPool() {
+    for (auto& [size, chunks] : buckets_) {
+      for (void* p : chunks) ::operator delete(p);
+    }
+  }
+
+  [[nodiscard]] void* take(std::size_t bytes) {
+    for (auto& [size, chunks] : buckets_) {
+      if (size == bytes) {
+        if (chunks.empty()) break;
+        void* p = chunks.back();
+        chunks.pop_back();
+        return p;
+      }
+    }
+    return ::operator new(bytes);
+  }
+
+  void put(void* p, std::size_t bytes) {
+    for (auto& [size, chunks] : buckets_) {
+      if (size == bytes) {
+        chunks.push_back(p);
+        return;
+      }
+    }
+    buckets_.emplace_back(bytes, std::vector<void*>{});
+    buckets_.back().second.push_back(p);
+  }
+
+ private:
+  std::vector<std::pair<std::size_t, std::vector<void*>>> buckets_;
+};
+
+template <typename T>
+class RecyclingAlloc {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  explicit RecyclingAlloc(RecyclingPool* pool) noexcept : pool_(pool) {}
+
+  template <typename U>
+  RecyclingAlloc(const RecyclingAlloc<U>& other) noexcept  // NOLINT
+      : pool_(other.pool()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_->take(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_->put(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] RecyclingPool* pool() const noexcept { return pool_; }
+
+  RecyclingAlloc select_on_container_copy_construction() const noexcept {
+    return *this;
+  }
+
+  template <typename U>
+  friend bool operator==(const RecyclingAlloc& a,
+                         const RecyclingAlloc<U>& b) noexcept {
+    return a.pool_ == b.pool();
+  }
+
+ private:
+  RecyclingPool* pool_;
+};
+
+}  // namespace pardsm

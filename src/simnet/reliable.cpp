@@ -14,10 +14,14 @@ namespace {
 /// Payload-bearing frame.
 struct DataFrame final : MessageBody {
   std::uint64_t seq = 0;  ///< per (sender, receiver) sequence, 1-based
-  std::shared_ptr<const MessageBody> payload;
+  BodyRef payload;
   MessageMeta payload_meta;
   KindId wrapped_kind;  ///< "ARQ:"+kind, resolved once per frame so
                         ///< (re)transmissions never touch the table lock
+
+  /// Pool recycle hook: release the payload now (not when the slot is
+  /// reused); the meta's small-buffer storage keeps its capacity.
+  void reset() { payload.reset(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
     return wire::kArqData;
@@ -40,22 +44,20 @@ struct AckFrame final : MessageBody {
 };
 
 const wire::BodyRegistrar arq_data_codec(
-    wire::kArqData,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto f = std::make_shared<DataFrame>();
+    wire::kArqData, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      DataFrame* f = arena.create<DataFrame>();
       f->seq = r.u64();
       f->payload_meta = wire::decode_meta(r);
-      f->payload = wire::decode_body(r);
+      f->payload = wire::decode_body(r, arena);
       f->wrapped_kind = arq_wrapped(f->payload_meta.kind);
-      return f;
+      return BodyRef::adopt(f);
     });
 
 const wire::BodyRegistrar arq_ack_codec(
-    wire::kArqAck,
-    [](WireReader& r) -> std::shared_ptr<const MessageBody> {
-      auto f = std::make_shared<AckFrame>();
+    wire::kArqAck, [](WireReader& r, BodyArena& arena) -> BodyRef {
+      AckFrame* f = arena.create<AckFrame>();
       f->cumulative = r.u64();
-      return f;
+      return BodyRef::adopt(f);
     });
 
 /// Timer tags: the ARQ layer owns the upper bit space so application tags
@@ -75,25 +77,28 @@ const KindId kAckKind("ARQ:ACK");
 class ReliableTransport::Shim final : public Endpoint {
  public:
   Shim(ReliableTransport& owner, Endpoint* app, ProcessId self)
-      : owner_(owner), app_(app), self_(self) {}
+      : owner_(owner),
+        app_(app),
+        self_(self),
+        data_pool_(&owner.lower_.arena(self).pool<DataFrame>()),
+        ack_pool_(&owner.lower_.arena(self).pool<AckFrame>()) {}
 
   // ---- sending side -------------------------------------------------------
-  void send_app(ProcessId to, std::shared_ptr<const MessageBody> body,
-                MessageMeta meta) {
+  void send_app(ProcessId to, BodyRef body, MessageMeta meta) {
     auto& out = outgoing_[to];
     if (out.dead) {
       ++dead_drops_;
       return;
     }
     const std::uint64_t seq = ++out.next_seq;
-    auto frame = std::make_shared<DataFrame>();
+    DataFrame* frame = data_pool_->create();
     frame->seq = seq;
     frame->payload = std::move(body);
     frame->payload_meta = meta;
     frame->wrapped_kind = arq_wrapped(meta.kind);
 
     Pending& pending = out.unacked[seq];
-    pending.frame = std::move(frame);
+    pending.frame = BodyRef::adopt(frame);
     transmit(to, pending.frame);
     if (owner_.adaptive_) {
       if (out.unacked.size() == 1) {
@@ -107,16 +112,17 @@ class ReliableTransport::Shim final : public Endpoint {
     }
   }
 
-  void transmit(ProcessId to, const std::shared_ptr<DataFrame>& frame) {
-    MessageMeta meta = frame->payload_meta;
-    meta.kind = frame->wrapped_kind;
+  void transmit(ProcessId to, const BodyRef& frame) {
+    const auto* f = static_cast<const DataFrame*>(frame.get());
+    MessageMeta meta = f->payload_meta;
+    meta.kind = f->wrapped_kind;
     meta.control_bytes += 16;  // seq + ack piggyback space
     owner_.lower_.send(self_, to, frame, std::move(meta));
   }
 
   // ---- receiving side -------------------------------------------------------
   void on_message(const Message& m) override {
-    if (const auto* ack = m.as<AckFrame>()) {
+    if (const auto* ack = m.try_as<AckFrame>()) {
       auto& out = outgoing_[m.from];
       for (auto it = out.unacked.begin();
            it != out.unacked.end() && it->first <= ack->cumulative;) {
@@ -126,7 +132,7 @@ class ReliableTransport::Shim final : public Endpoint {
       if (out.unacked.empty()) out.interval = Duration{};
       return;
     }
-    const auto* frame = m.as<DataFrame>();
+    const auto* frame = m.try_as<DataFrame>();
     if (frame == nullptr) {
       // Not an ARQ frame (foreign traffic): pass through untouched.
       app_->on_message(m);
@@ -134,11 +140,12 @@ class ReliableTransport::Shim final : public Endpoint {
     }
     auto& in = incoming_[m.from];
     if (frame->seq > in.delivered) {
-      in.pending.emplace(frame->seq, *frame);
+      in.pending.emplace(frame->seq, m.body);
       // Deliver any in-sequence prefix exactly once.
       while (!in.pending.empty() &&
              in.pending.begin()->first == in.delivered + 1) {
-        const DataFrame& next = in.pending.begin()->second;
+        const auto& next = *static_cast<const DataFrame*>(
+            in.pending.begin()->second.get());
         Message app_msg;
         app_msg.from = m.from;
         app_msg.to = self_;
@@ -153,12 +160,13 @@ class ReliableTransport::Shim final : public Endpoint {
       }
     }
     // Cumulative ack (also for duplicates — the original ack may be lost).
-    auto ack = std::make_shared<AckFrame>();
+    AckFrame* ack = ack_pool_->create();
     ack->cumulative = in.delivered;
     MessageMeta ack_meta;
     ack_meta.kind = kAckKind;
     ack_meta.control_bytes = 8;
-    owner_.lower_.send(self_, m.from, std::move(ack), std::move(ack_meta));
+    owner_.lower_.send(self_, m.from, BodyRef::adopt(ack),
+                       std::move(ack_meta));
   }
 
   void on_timer(TimerTag tag) override {
@@ -188,9 +196,10 @@ class ReliableTransport::Shim final : public Endpoint {
 
  private:
   /// An unacked frame plus its retransmit count (acking erases both, so
-  /// the counter's lifetime is exactly the frame's).
+  /// the counter's lifetime is exactly the frame's).  The frame is never
+  /// mutated after construction, so a plain owning ref suffices.
   struct Pending {
-    std::shared_ptr<DataFrame> frame;
+    BodyRef frame;  ///< always a DataFrame
     std::uint32_t retries = 0;
   };
   struct Outgoing {
@@ -204,7 +213,7 @@ class ReliableTransport::Shim final : public Endpoint {
   };
   struct Incoming {
     std::uint64_t delivered = 0;
-    std::map<std::uint64_t, DataFrame> pending;
+    std::map<std::uint64_t, BodyRef> pending;  ///< out-of-order DataFrames
   };
 
   /// Retransmit every pending frame to `to`; returns true if frames remain
@@ -304,6 +313,8 @@ class ReliableTransport::Shim final : public Endpoint {
   ReliableTransport& owner_;
   Endpoint* app_;
   ProcessId self_;
+  BodyPool<DataFrame>* data_pool_;
+  BodyPool<AckFrame>* ack_pool_;
   std::map<ProcessId, Outgoing> outgoing_;
   std::map<ProcessId, Incoming> incoming_;
   std::uint64_t retransmissions_ = 0;
@@ -330,8 +341,7 @@ ProcessId ReliableTransport::add_endpoint(Endpoint* ep) {
   return assigned;
 }
 
-void ReliableTransport::send(ProcessId from, ProcessId to,
-                             std::shared_ptr<const MessageBody> body,
+void ReliableTransport::send(ProcessId from, ProcessId to, BodyRef body,
                              MessageMeta meta) {
   PARDSM_CHECK(from >= 0 && static_cast<std::size_t>(from) < shims_.size(),
                "send: bad sender");

@@ -112,11 +112,15 @@ class ReliableTransport final : public HostTransport {
   ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport ------------------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   [[nodiscard]] TimePoint now() const override { return lower_.now(); }
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override;
+  /// Decorators allocate from the root runtime's pools.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    return lower_.arena(owner);
+  }
 
   /// Retransmissions performed so far (all senders).
   [[nodiscard]] std::uint64_t retransmissions() const;

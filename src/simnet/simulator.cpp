@@ -32,8 +32,7 @@ Network& Simulator::ensure_network() {
   return *network_;
 }
 
-void Simulator::send(ProcessId from, ProcessId to,
-                     std::shared_ptr<const MessageBody> body,
+void Simulator::send(ProcessId from, ProcessId to, BodyRef body,
                      MessageMeta meta) {
   ensure_network();
   PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < endpoints_.size(),

@@ -44,12 +44,18 @@ class Simulator final : public HostTransport {
   ProcessId add_endpoint(Endpoint* ep) override;
 
   // -- Transport interface ------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   [[nodiscard]] TimePoint now() const override { return now_; }
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override {
     return endpoints_.size();
+  }
+  /// Serial arena: this runtime is single-threaded, so its bodies use
+  /// non-atomic refcounts and unlocked freelists.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    (void)owner;
+    return arena_;
   }
 
   // -- Execution control ---------------------------------------------------
@@ -85,6 +91,7 @@ class Simulator final : public HostTransport {
 
   SimOptions options_;
   Rng rng_;
+  BodyArena arena_{/*concurrent=*/false};
   std::unique_ptr<Network> network_;  // created lazily once size is known
   std::vector<Endpoint*> endpoints_;
   EventQueue queue_;

@@ -33,14 +33,17 @@ class SmallVec {
     for (const T& v : init) push_back(v);
   }
 
-  SmallVec(const SmallVec& other) { assign(other); }
+  SmallVec(const SmallVec& other) { append_all(other); }
 
   SmallVec(SmallVec&& other) noexcept { steal(other); }
 
   SmallVec& operator=(const SmallVec& other) {
     if (this != &other) {
-      clear_storage();
-      assign(other);
+      // Reuse existing capacity (inline or heap): pooled objects assign
+      // into recycled storage on every reuse, and freeing the buffer here
+      // would put an allocation back on that steady-state path.
+      clear();
+      append_all(other);
     }
     return *this;
   }
@@ -54,7 +57,7 @@ class SmallVec {
   }
 
   SmallVec& operator=(std::initializer_list<T> init) {
-    clear_storage();
+    clear();
     for (const T& v : init) push_back(v);
     return *this;
   }
@@ -70,6 +73,20 @@ class SmallVec {
   }
 
   void clear() { size_ = 0; }  // keeps any heap capacity for reuse
+
+  /// Grow or shrink to exactly `n` elements; new elements take `fill`.
+  /// Capacity is only ever kept or increased.
+  void resize(std::size_t n, const T& fill = T{}) {
+    while (capacity_ < n) grow();
+    for (std::size_t i = size_; i < n; ++i) data()[i] = fill;
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  /// Replace the contents with `n` copies of `value`, reusing capacity.
+  void assign(std::size_t n, const T& value) {
+    clear();
+    resize(n, value);
+  }
 
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
@@ -103,7 +120,7 @@ class SmallVec {
   }
 
  private:
-  void assign(const SmallVec& other) {
+  void append_all(const SmallVec& other) {
     for (const T& v : other) push_back(v);
   }
 

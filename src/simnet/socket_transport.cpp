@@ -293,8 +293,7 @@ void SocketTransport::post(ProcessId who, std::function<void()> task) {
   mb.cv.notify_one();
 }
 
-void SocketTransport::send(ProcessId from, ProcessId to,
-                           std::shared_ptr<const MessageBody> body,
+void SocketTransport::send(ProcessId from, ProcessId to, BodyRef body,
                            MessageMeta meta) {
   PARDSM_CHECK(to >= 0 &&
                    static_cast<std::size_t>(to) < options_.total_processes,
@@ -785,7 +784,7 @@ void SocketTransport::handle_frame(const std::vector<std::uint8_t>& payload) {
       m.to = r.i32();
       m.id = r.u64();
       m.meta = wire::decode_meta(r);
-      m.body = wire::decode_body(r);
+      m.body = wire::decode_body(r, arena_);
       PARDSM_CHECK(is_local(m.to), "sockets: frame for a foreign process");
       note_rx(m.from, 0, /*is_hello=*/false);
       note_activity();

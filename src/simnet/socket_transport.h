@@ -178,11 +178,17 @@ class SocketTransport final : public HostTransport {
   void post(ProcessId who, std::function<void()> task);
 
   // -- Transport ------------------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   [[nodiscard]] TimePoint now() const override;
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override;
+  /// Concurrent arena: bodies are created on app/mailbox threads and
+  /// decoded on reader threads, and recycle from any of them.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    (void)owner;
+    return arena_;
+  }
 
   // -- fault injection / scenario hooks -------------------------------------
   /// Sever / heal the directed pair (a -> b): sends are dropped at the
@@ -306,6 +312,7 @@ class SocketTransport final : public HostTransport {
   }
 
   SocketOptions options_;
+  BodyArena arena_{/*concurrent=*/true};
   std::vector<ProcessId> local_ids_;          ///< registration order
   std::vector<Endpoint*> endpoints_;          ///< parallel to local_ids_
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

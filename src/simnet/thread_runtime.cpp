@@ -59,8 +59,7 @@ void ThreadRuntime::post(ProcessId who, std::function<void()> task) {
   mb.cv.notify_one();
 }
 
-void ThreadRuntime::send(ProcessId from, ProcessId to,
-                         std::shared_ptr<const MessageBody> body,
+void ThreadRuntime::send(ProcessId from, ProcessId to, BodyRef body,
                          MessageMeta meta) {
   PARDSM_CHECK(to >= 0 && static_cast<std::size_t>(to) < mailboxes_.size(),
                "send: bad destination");

@@ -67,11 +67,17 @@ class ThreadRuntime final : public HostTransport {
   void post(ProcessId who, std::function<void()> task);
 
   // -- Transport interface ---------------------------------------------------
-  void send(ProcessId from, ProcessId to,
-            std::shared_ptr<const MessageBody> body, MessageMeta meta) override;
+  void send(ProcessId from, ProcessId to, BodyRef body,
+            MessageMeta meta) override;
   [[nodiscard]] TimePoint now() const override;
   void set_timer(ProcessId who, Duration delay, TimerTag tag) override;
   [[nodiscard]] std::size_t process_count() const override;
+  /// Concurrent arena: bodies cross worker threads, so refcounts are
+  /// atomic and freelists locked.
+  [[nodiscard]] BodyArena& arena(ProcessId owner) override {
+    (void)owner;
+    return arena_;
+  }
 
   [[nodiscard]] NetworkStats& stats() { return stats_; }
 
@@ -99,6 +105,7 @@ class ThreadRuntime final : public HostTransport {
   void finish_item();
 
   ThreadRuntimeOptions options_;
+  BodyArena arena_{/*concurrent=*/true};
   std::vector<Endpoint*> endpoints_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   NetworkStats stats_;

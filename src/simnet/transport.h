@@ -28,15 +28,14 @@ class Endpoint {
   virtual void on_timer(TimerTag tag) { (void)tag; }
 };
 
-/// Facilities a protocol may use: sending, clock, timers.
+/// Facilities a protocol may use: sending, clock, timers, body pools.
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Queue a message for asynchronous delivery.  Ownership of the body is
   /// shared; the same body object may be multicast to several receivers.
-  virtual void send(ProcessId from, ProcessId to,
-                    std::shared_ptr<const MessageBody> body,
+  virtual void send(ProcessId from, ProcessId to, BodyRef body,
                     MessageMeta meta) = 0;
 
   /// Current time (simulated or wall-derived, depending on runtime).
@@ -47,6 +46,17 @@ class Transport {
 
   /// Number of processes in the system.
   [[nodiscard]] virtual std::size_t process_count() const = 0;
+
+  /// Body pools for messages sent by `owner`.  Root runtimes override:
+  /// the single-threaded Simulator hands out a serial arena (non-atomic
+  /// refcounts, unlocked freelists); threaded roots hand out concurrent
+  /// ones.  Decorators forward to the layer below.  The default is a
+  /// process-wide concurrent arena, safe on any root.
+  [[nodiscard]] virtual BodyArena& arena(ProcessId owner) {
+    (void)owner;
+    static BodyArena shared{/*concurrent=*/true};
+    return shared;
+  }
 };
 
 /// A Transport that also owns endpoint registration.  Both root runtimes

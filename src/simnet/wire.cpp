@@ -36,11 +36,11 @@ void encode_body(WireWriter& w, const MessageBody& body) {
   body.wire_encode(w);
 }
 
-std::shared_ptr<const MessageBody> decode_body(WireReader& r) {
+BodyRef decode_body(WireReader& r, BodyArena& arena) {
   const std::uint32_t type = r.u32();
   PARDSM_CHECK(type < kMaxWireType && table()[type] != nullptr,
                "wire: unknown body tag in frame");
-  return table()[type](r);
+  return table()[type](r, arena);
 }
 
 void encode_meta(WireWriter& w, const MessageMeta& meta) {

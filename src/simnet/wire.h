@@ -144,7 +144,9 @@ enum WireType : std::uint32_t {
   kTestPayload = 90,
 };
 
-using DecodeFn = std::shared_ptr<const MessageBody> (*)(WireReader&);
+/// Decoders allocate the body from the receiving transport's arena, so
+/// decoded bodies recycle through the same pools as locally created ones.
+using DecodeFn = BodyRef (*)(WireReader&, BodyArena&);
 
 /// Register the decoder for `type` (duplicate registration is a bug).
 void register_decoder(std::uint32_t type, DecodeFn fn);
@@ -153,7 +155,7 @@ void register_decoder(std::uint32_t type, DecodeFn fn);
 void encode_body(WireWriter& w, const MessageBody& body);
 
 /// Decode one framed body; rejects unknown tags.
-[[nodiscard]] std::shared_ptr<const MessageBody> decode_body(WireReader& r);
+[[nodiscard]] BodyRef decode_body(WireReader& r, BodyArena& arena);
 
 /// MessageMeta: kind travels as its string spelling and is re-interned on
 /// receipt (KindId values are process-local).

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "mcs/driver.h"
+#include "mcs/factory.h"
 #include "sharegraph/topologies.h"
 #include "simnet/event_queue.h"
 #include "simnet/kind_table.h"
 #include "simnet/pair_map.h"
+#include "simnet/simulator.h"
 #include "simnet/small_vec.h"
 
 // ---------------------------------------------------------------------------
@@ -293,6 +295,62 @@ TEST(SteadyStateAllocations, DeliverPathIsAllocationFree) {
   EXPECT_LT(allocs, messages)
       << "deliver path allocates per message again: " << allocs
       << " allocations for " << messages << " deliveries";
+}
+
+// The pooled-body plane's hard gate, per protocol: once every pool,
+// freelist and container is warm, a full operation lifecycle — issue,
+// body creation, fanout, delivery, apply, completion — performs ZERO heap
+// allocations on the simulator root.  Unlike the budgeted run_workload
+// gate above, this drives processes directly inside ONE system so the
+// measured rounds really are steady state (run_workload rebuilds the
+// system, whose cold pools would dominate the count).
+TEST(SteadyStateAllocations, EveryProtocolSteadyStateOpIsAllocationFree) {
+  for (const mcs::ProtocolKind kind : mcs::all_protocols()) {
+    SCOPED_TRACE(mcs::to_string(kind));
+    // Full replication on 6 processes: C(x) = everyone (maximum fanout),
+    // n ≤ 8 keeps vector clocks and prior-count vectors inline.
+    const auto dist = graph::topo::complete(6, 4);
+    Simulator sim;
+    mcs::HistoryRecorder recorder(dist.process_count(), dist.var_count);
+    recorder.use_discard_mode();  // O(1) memory: no per-op history append
+    auto processes = mcs::make_processes(kind, dist, recorder);
+    for (auto& proc : processes) {
+      const ProcessId assigned = sim.add_endpoint(proc.get());
+      ASSERT_EQ(assigned, proc->id());
+      proc->attach(sim);
+    }
+
+    std::uint64_t completed = 0;
+    Value next_value = 1;
+    // One write + one read of every variable by every process, each op
+    // drained to completion before the next is issued (blocking protocols
+    // allow one operation in flight per process).
+    const auto round = [&] {
+      for (auto& proc : processes) {
+        for (VarId x = 0; x < static_cast<VarId>(dist.var_count); ++x) {
+          proc->write(x, next_value++, [&completed] { ++completed; });
+          sim.run();
+          proc->read(x, [&completed](Value) { ++completed; });
+          sim.run();
+        }
+      }
+    };
+    // Warm rounds: grow the body pools, event pool, recycling-map
+    // freelists and every per-key container entry the workload touches.
+    for (int warm = 0; warm < 3; ++warm) round();
+
+    const std::uint64_t before = completed;
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    round();
+    g_count_allocs.store(false);
+
+    const std::uint64_t ops = completed - before;
+    EXPECT_EQ(ops, 2u * dist.process_count() * dist.var_count);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << mcs::to_string(kind) << ": " << g_alloc_count.load()
+        << " heap allocations across " << ops << " steady-state operations";
+  }
 }
 
 }  // namespace

@@ -41,9 +41,9 @@ TEST(Reliable, ExactlyOnceInOrderUnderHeavyLoss) {
 
   sim.schedule_at(kTimeZero, [&] {
     for (int i = 0; i < 100; ++i) {
-      auto body = std::make_shared<Payload>();
+      auto* body = new_body<Payload>();
       body->n = i;
-      rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+      rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
     }
   });
   sim.run();
@@ -60,9 +60,9 @@ TEST(Reliable, NoLossMeansNoRetransmissions) {
   const ProcessId s = rel.add_endpoint(&a);
   const ProcessId r = rel.add_endpoint(&b);
   sim.schedule_at(kTimeZero, [&] {
-    auto body = std::make_shared<Payload>();
+    auto* body = new_body<Payload>();
     body->n = 7;
-    rel.send(s, r, std::move(body), MessageMeta{"ONE", 4, 0, {}});
+    rel.send(s, r, BodyRef::adopt(body), MessageMeta{"ONE", 4, 0, {}});
   });
   sim.run();
   EXPECT_EQ(b.got, (std::vector<int>{7}));
@@ -180,9 +180,9 @@ TEST(Reliable, BackoffDeliversExactlyOnceUnderHeavyLoss) {
 
   sim.schedule_at(kTimeZero, [&] {
     for (int i = 0; i < 100; ++i) {
-      auto body = std::make_shared<Payload>();
+      auto* body = new_body<Payload>();
       body->n = i;
-      rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+      rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
     }
   });
   sim.run();
@@ -204,9 +204,9 @@ TEST(Reliable, BackoffIsDeterministicPerSeed) {
     const ProcessId r = rel.add_endpoint(&receiver);
     sim.schedule_at(kTimeZero, [&] {
       for (int i = 0; i < 50; ++i) {
-        auto body = std::make_shared<Payload>();
+        auto* body = new_body<Payload>();
         body->n = i;
-        rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+        rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
       }
     });
     sim.run();
@@ -269,9 +269,9 @@ TEST(Reliable, ExhaustionThrowsWhenOptedIn) {
   const ProcessId s = rel.add_endpoint(&a);
   const ProcessId r = rel.add_endpoint(&b);
   sim.schedule_at(kTimeZero, [&] {
-    auto body = std::make_shared<Payload>();
+    auto* body = new_body<Payload>();
     body->n = 1;
-    rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+    rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
   });
   EXPECT_THROW(sim.run(), std::logic_error);
 }
@@ -287,9 +287,9 @@ TEST(Reliable, ExhaustionDegradesToDeadChannelByDefault) {
   const ProcessId r = rel.add_endpoint(&b);
   sim.schedule_at(kTimeZero, [&] {
     for (int i = 0; i < 4; ++i) {
-      auto body = std::make_shared<Payload>();
+      auto* body = new_body<Payload>();
       body->n = i;
-      rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+      rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
     }
   });
   sim.run();  // no throw: the channel dies, the run quiesces
@@ -302,9 +302,9 @@ TEST(Reliable, ExhaustionDegradesToDeadChannelByDefault) {
 
   // Later sends onto the dead pair are swallowed (counted), not retried.
   sim.schedule_at(sim.now(), [&] {
-    auto body = std::make_shared<Payload>();
+    auto* body = new_body<Payload>();
     body->n = 99;
-    rel.send(s, r, std::move(body), MessageMeta{"SEQ", 4, 0, {}});
+    rel.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
   });
   sim.run();
   EXPECT_TRUE(b.got.empty());

@@ -307,7 +307,7 @@ TEST(Scenario, CrashDropsInFlightAndBlocksTrafficUntilRecovery) {
 
   const auto send = [&](TimePoint at) {
     sim.schedule_at(at, [&] {
-      sim.send(0, 1, std::make_shared<MessageBody>(),
+      sim.send(0, 1, make_body<MessageBody>(),
                MessageMeta{"PING", 0, 0, {}});
     });
   };

@@ -267,7 +267,7 @@ TEST(Simulator, DeliversAndCounts) {
     meta.kind = "PING";
     meta.control_bytes = 4;
     meta.vars_mentioned = {0};
-    sim.send(pa, pb, std::make_shared<Ping>(), meta);
+    sim.send(pa, pb, make_body<Ping>(), meta);
   });
   sim.run();
   EXPECT_EQ(b.received.size(), 1u);
@@ -309,7 +309,7 @@ TEST(Simulator, TraceRecordsWhenEnabled) {
   const ProcessId pb = sim.add_endpoint(&b);
   sim.trace().set_enabled(true);
   sim.schedule_at(kTimeZero, [&] {
-    sim.send(pa, pb, std::make_shared<Ping>(), MessageMeta{"PING", 0, 0, {}});
+    sim.send(pa, pb, make_body<Ping>(), MessageMeta{"PING", 0, 0, {}});
   });
   sim.run();
   const auto entries = sim.trace().entries();

@@ -42,9 +42,9 @@ TEST(ThreadRuntime, DeliversPairwiseFifo) {
   rt.start();
   rt.post(s, [&] {
     for (int i = 0; i < 200; ++i) {
-      auto body = std::make_shared<Body>();
+      auto* body = new_body<Body>();
       body->n = i;
-      rt.send(s, r, body, MessageMeta{"SEQ", 4, 0, {}});
+      rt.send(s, r, BodyRef::adopt(body), MessageMeta{"SEQ", 4, 0, {}});
     }
   });
   ASSERT_TRUE(rt.await_quiescence(std::chrono::milliseconds(5000)));

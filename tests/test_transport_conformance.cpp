@@ -89,11 +89,11 @@ struct Payload final : MessageBody {
   }
 };
 
-std::shared_ptr<const MessageBody> decode_test_payload(WireReader& r) {
-  auto p = std::make_shared<Payload>();
+BodyRef decode_test_payload(WireReader& r, BodyArena& arena) {
+  auto* p = arena.create<Payload>();
   p->sender = r.i32();
   p->seq = r.i32();
-  return p;
+  return BodyRef::adopt(p);
 }
 const wire::BodyRegistrar kPayloadReg(wire::kTestPayload, decode_test_payload);
 
@@ -129,10 +129,10 @@ MessageMeta meta_of(VarId x, bool urgent = false) {
 
 void send_seq(HostTransport& top, ProcessId from, ProcessId to, int seq,
               bool urgent = false) {
-  auto body = std::make_shared<Payload>();
+  auto* body = new_body<Payload>();
   body->sender = from;
   body->seq = seq;
-  top.send(from, to, std::move(body), meta_of(/*x=*/2, urgent));
+  top.send(from, to, BodyRef::adopt(body), meta_of(/*x=*/2, urgent));
 }
 
 // ---------------------------------------------------------------------------
