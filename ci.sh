@@ -13,6 +13,11 @@
 #                           # multi-process pardsm_node drills over
 #                           # loopback TCP, incl. a kill -9 / respawn /
 #                           # resync cycle (see docs/DEPLOYMENT.md)
+#   LINT=1 ./ci.sh          # static analysis: pardsm_lint over src/ (the
+#                           # determinism / rng / pooled-reset / unordered /
+#                           # layer-DAG contracts, docs/LINT.md), the
+#                           # header self-containment build, and clang-tidy
+#                           # when installed (skipped gracefully otherwise)
 #   BUILD_DIR=out ./ci.sh
 #   BENCH_FILTER=batching ./ci.sh   # only benches matching the regex
 #
@@ -32,6 +37,11 @@ elif [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
   # Own build tree: the smoke configures with benches off, which must not
   # stick in the regular build directory's CMake cache.
   BUILD_DIR="${BUILD_DIR:-build-sockets}"
+  SANITIZE_FLAVOUR=
+elif [ "${LINT:-0}" != "0" ]; then
+  # Own build tree: lint configures tests/benches/examples off and exports
+  # compile_commands.json, neither of which belongs in the regular cache.
+  BUILD_DIR="${BUILD_DIR:-build-lint}"
   SANITIZE_FLAVOUR=
 else
   BUILD_DIR="${BUILD_DIR:-build}"
@@ -57,12 +67,39 @@ elif [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
   # Benches are irrelevant to the deployment smoke; skipping them keeps
   # the job's build well under the minute budget.
   cmake -B "$BUILD_DIR" -S . -DPARDSM_BUILD_BENCHES=OFF "${CMAKE_EXTRA[@]}"
+elif [ "${LINT:-0}" != "0" ]; then
+  # Only the analyzer, the library and the header self-containment TUs are
+  # needed; compile_commands.json feeds clang-tidy.
+  cmake -B "$BUILD_DIR" -S . -DPARDSM_BUILD_TESTS=OFF \
+        -DPARDSM_BUILD_BENCHES=OFF -DPARDSM_BUILD_EXAMPLES=OFF \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "${CMAKE_EXTRA[@]}"
 else
   cmake -B "$BUILD_DIR" -S . "${CMAKE_EXTRA[@]}"
 fi
 
 echo "== build =="
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [ "${LINT:-0}" != "0" ]; then
+  # The build above already gates header self-containment: every public
+  # header compiled as its own TU inside pardsm_headers_selfcontained.
+  echo "== lint: pardsm_lint over src/ =="
+  "$BUILD_DIR/tools/lint/pardsm_lint" src
+  "$BUILD_DIR/tools/lint/pardsm_lint" --json src > "$BUILD_DIR/lint_report.json"
+  echo "report: $BUILD_DIR/lint_report.json"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # The portable subset of the rules (see .clang-tidy): libc rand and
+    # <random>/<ctime> includes.  Headers are covered transitively via the
+    # self-containment TUs' compile commands.
+    echo "== lint: clang-tidy (portable rule subset) =="
+    find src -name '*.cpp' -print0 | \
+      xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$BUILD_DIR" --quiet
+  else
+    echo "== lint: clang-tidy not installed, skipping portable subset =="
+  fi
+  echo "== done (lint) =="
+  exit 0
+fi
 
 if [ "${SOCKETS_SMOKE:-0}" != "0" ]; then
   # Deployment smoke: the socket-rooted test binaries plus real

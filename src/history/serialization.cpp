@@ -63,6 +63,9 @@ struct Search {
   std::size_t nvars = 0;                 // compact var count
   std::uint64_t max_states = 0;
   std::uint64_t states = 0;
+  // Membership-only memo of failed search states; never iterated, so hash
+  // order cannot influence the verdict or the (deterministic) found order.
+  // pardsm-lint: allow(unordered-iter): membership-only memo set, never iterated
   std::unordered_set<StateKey, StateKeyHash> failed;
 
   std::vector<std::int32_t> placed_order;  // local indices, search stack

@@ -58,8 +58,10 @@ struct CacheWriteReq final : MessageBody {
   /// variables q replicates (processor consistency only; empty for cache).
   PriorCounts prior_counts;
 
-  /// Pool recycling: scalar fields are overwritten on reuse; the vector
-  /// clears but keeps its (inline) capacity.
+  /// Pool recycling: scalar fields are overwritten on reuse (send path and
+  /// wire decoder both assign every one); the vector clears but keeps its
+  /// (inline) capacity.
+  // pardsm-lint: overwritten-by-creator(x, v, id, invoked, writer_seq)
   void reset() { prior_counts.clear(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {
@@ -86,6 +88,9 @@ struct CacheCommit final : MessageBody {
   std::int64_t writer_seq = 0;
   PriorCounts prior_counts;
 
+  /// Pool recycling: scalar fields are overwritten on reuse (home commit
+  /// path and wire decoder both assign every one).
+  // pardsm-lint: overwritten-by-creator(x, v, id, var_seq, requester, invoked, writer_seq)
   void reset() { prior_counts.clear(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {

@@ -13,8 +13,10 @@ struct CausalUpdate final : MessageBody {
   WriteId id{};
   VectorClock vc;
 
-  /// Pool reset: every field is overwritten on reuse and the clock's
-  /// copy-assignment reuses its storage, so nothing needs clearing.
+  /// Pool reset: every field is overwritten on reuse (write path and wire
+  /// decoder assign all four) and the clock's copy-assignment reuses its
+  /// storage, so nothing needs clearing.
+  // pardsm-lint: overwritten-by-creator(x, v, id, vc)
   void reset() {}
 
   [[nodiscard]] std::uint32_t wire_type() const override {

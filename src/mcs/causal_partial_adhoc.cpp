@@ -17,6 +17,10 @@ struct DepSnapshotBody final : MessageBody {
   std::vector<std::pair<VarId, std::vector<std::int64_t>>> entries;
   std::size_t count = 0;  ///< live prefix of `entries`
 
+  // `entries` is deliberately retained across recycles (that is the whole
+  // point of the pool); only the [0, count) prefix is ever read, and
+  // next_slot() hands each prefix slot out for assignment before use.
+  // pardsm-lint: overwritten-by-creator(entries)
   void reset() { count = 0; }
 
   /// Grow the live prefix by one slot (reusing a retained entry when one
@@ -41,7 +45,10 @@ struct AdHocMsg final : MessageBody {
   std::int64_t var_seq = 0;
   BodyRef deps;
 
-  void reset() { deps.reset(); }  // other fields are overwritten on reuse
+  // Every creation site (the write fan-out and the wire decoder) assigns
+  // all scalar fields before the body escapes.
+  // pardsm-lint: overwritten-by-creator(x, v, has_value, id, var_seq)
+  void reset() { deps.reset(); }
 
   [[nodiscard]] const DepSnapshotBody* snapshot() const {
     return static_cast<const DepSnapshotBody*>(deps.get());

@@ -15,8 +15,11 @@ struct PartialCausalMsg final : MessageBody {
   WriteId id{};
   VectorClock vc;
 
-  /// Pool reset: every field is overwritten on reuse and the clock's
-  /// copy-assignment reuses its storage, so nothing needs clearing.
+  /// Pool reset: every field is overwritten on reuse (the send path
+  /// assigns update/notify fields explicitly, the wire decoder assigns
+  /// them all) and the clock's copy-assignment reuses its storage, so
+  /// nothing needs clearing.
+  // pardsm-lint: overwritten-by-creator(x, v, has_value, id, vc)
   void reset() {}
 
   [[nodiscard]] std::uint32_t wire_type() const override {

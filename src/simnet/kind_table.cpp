@@ -16,7 +16,12 @@ namespace {
 struct Table {
   std::mutex mu;
   std::deque<std::string> names;
+  // Both maps are lookup-only (find/emplace): nothing ever iterates them,
+  // so hash order cannot reach message or serialized output.  Kind ids are
+  // assigned by `names` insertion order, which is deterministic.
+  // pardsm-lint: allow(unordered-iter): lookup-only intern map, never iterated
   std::unordered_map<std::string_view, std::uint16_t> ids;
+  // pardsm-lint: allow(unordered-iter): lookup-only ARQ-prefix cache, never iterated
   std::unordered_map<std::uint16_t, std::uint16_t> arq_of;
 
   Table() {

@@ -20,7 +20,10 @@ struct DataFrame final : MessageBody {
                         ///< (re)transmissions never touch the table lock
 
   /// Pool recycle hook: release the payload now (not when the slot is
-  /// reused); the meta's small-buffer storage keeps its capacity.
+  /// reused); the meta's small-buffer storage keeps its capacity.  The
+  /// remaining fields are assigned at both creation sites (send_reliably
+  /// and the wire decoder) before the frame escapes.
+  // pardsm-lint: overwritten-by-creator(seq, payload_meta, wrapped_kind)
   void reset() { payload.reset(); }
 
   [[nodiscard]] std::uint32_t wire_type() const override {

@@ -35,6 +35,9 @@ Generator::Generator(const graph::Distribution& dist, const Spec& spec)
   PARDSM_CHECK(spec_.zipf_theta > 0.0 && spec_.zipf_theta < 1.0,
                "workload: zipf_theta must lie in (0, 1)");
   // One zeta sum per distinct replica-set size; processes share them.
+  // Lookup-only cache local to the constructor: zipf_[p] is filled by
+  // process index, so hash order never reaches generated ops.
+  // pardsm-lint: allow(unordered-iter): lookup-only zeta cache, never iterated
   std::unordered_map<std::uint64_t, ZipfParams> by_size;
   zipf_.resize(dist.process_count());
   for (std::size_t p = 0; p < dist.process_count(); ++p) {

@@ -1,0 +1,21 @@
+// pardsm_lint fixture: lexer traps.  Every forbidden name below sits in a
+// comment, string, raw string or char literal, so a correct lexer reports
+// ZERO findings for this file.  A text-grep "linter" would drown here.
+//
+// std::rand() getenv("PATH") system_clock mt19937 — still a comment.
+/* block comment: steady_clock, uniform_int_distribution,
+   for (auto& kv : some_unordered_map) — none of this is code. */
+
+namespace fixture {
+
+const char* s1 = "std::rand() getenv unordered_map system_clock";
+const char* s2 = "escaped quote \" then random_device";
+const char* s3 = R"(raw: steady_clock mt19937 #include "apps/x.h")";
+const char* s4 = R"delim(trickier raw: )" time(nullptr) )delim";
+const char c1 = 'r';
+
+// Identifiers merely *containing* forbidden names must not fire either.
+int my_system_clock_count = 0;
+int brand_total = 0;
+
+}  // namespace fixture

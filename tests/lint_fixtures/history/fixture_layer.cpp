@@ -1,0 +1,14 @@
+// pardsm_lint fixture: R5 (layer-dag) seeded violations.  history sits
+// below mcs and apps in the layer DAG, so including upward fires; simnet
+// is below history and stays legal.  Lines pinned by test_lint.cpp.
+#include "history/history.h"
+#include "simnet/check.h"
+#include "mcs/protocol.h"
+#include "apps/bellman_ford.h"  // pardsm-lint: allow(layer-dag): fixture exception
+#include <vector>
+
+namespace fixture {
+
+int uses_nothing() { return 0; }
+
+}  // namespace fixture

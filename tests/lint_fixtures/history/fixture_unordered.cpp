@@ -1,0 +1,33 @@
+// pardsm_lint fixture: R4 (unordered-iter) seeded violations.  history is
+// an order-sensitive layer (serialized output), so both the declaration
+// and the range-for fire.  Line numbers are pinned by test_lint.cpp.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+int bad_iteration() {
+  std::unordered_map<int, int> counters;
+  int sum = 0;
+  for (const auto& kv : counters) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int fine_vector() {
+  std::vector<int> ordered{1, 2, 3};
+  int sum = 0;
+  for (int v : ordered) {
+    sum += v;
+  }
+  return sum;
+}
+
+int suppressed_decl() {
+  // pardsm-lint: allow(unordered-iter): fixture — membership-only set
+  std::unordered_map<int, int> memo;
+  return static_cast<int>(memo.count(3));
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// pardsm_lint fixture: R1 (determinism) seeded violations.  This file is
+// never compiled — the tree under tests/lint_fixtures/ is shaped like src/
+// so layer-sensitive rules resolve, and test_lint.cpp pins the exact
+// file:line of every expected finding.  Renumbering lines breaks the test.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long bad_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int bad_rand() {
+  return std::rand();
+}
+
+long bad_time_call() {
+  return time(nullptr);
+}
+
+int suppressed_rand() {
+  return std::rand();  // pardsm-lint: allow(determinism)
+}
+
+// pardsm-lint: allow(determinism)
+const char* suppressed_env = getenv("HOME");
+
+struct HasTimeMember {
+  long time = 0;           // a member named `time` is legal
+  long clock() { return time; }  // a method named `clock` is legal
+};
+
+}  // namespace fixture

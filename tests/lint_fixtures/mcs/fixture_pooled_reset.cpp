@@ -1,0 +1,32 @@
+// pardsm_lint fixture: R3 (pooled-reset) seeded violations.  LeakyBody's
+// `stale` member is the bug class from docs/HOTPATH.md: reset() keeps the
+// slot constructed, so a recycled body re-sends the previous message's
+// value.  Line numbers are pinned by test_lint.cpp.
+struct MessageBody {};
+
+struct LeakyBody final : MessageBody {
+  int cleared = 0;
+  int stale = 0;
+  int positional = 0;  // pardsm-lint: overwritten-by-creator
+  int named = 0;
+
+  // pardsm-lint: overwritten-by-creator(named)
+  void reset() { cleared = 0; }
+};
+
+struct SuppressedBody final : MessageBody {
+  int silenced = 0;  // pardsm-lint: allow(pooled-reset)
+
+  void reset() {}
+};
+
+struct NoResetBody final : MessageBody {
+  // No reset(): the pool destroys and re-constructs this type on recycle,
+  // so stale members are impossible and the rule stays quiet.
+  int anything = 0;
+};
+
+struct NotABody {
+  int whatever = 0;
+  void reset() {}
+};

@@ -1,0 +1,23 @@
+// pardsm_lint fixture: R2 (rng-streams) seeded violations.  simnet is an
+// RNG-disciplined layer: all randomness must flow through simnet/rng.h.
+// Line numbers are pinned by test_lint.cpp.
+#include <random>
+
+namespace fixture {
+
+int bad_engine() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+int bad_distribution(std::mt19937_64& gen) {
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(gen);
+}
+
+int suppressed_engine() {
+  std::minstd_rand gen(7);  // pardsm-lint: allow(rng-streams)
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

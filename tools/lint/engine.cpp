@@ -1,0 +1,153 @@
+#include "engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace pardsm::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+void collect(const std::string& root, std::vector<FileScan>& out) {
+  const fs::path rp(root);
+  if (fs::is_regular_file(rp)) {
+    out.push_back(scan_file(rp.string(), rp.filename().string()));
+    return;
+  }
+  if (!fs::is_directory(rp)) {
+    throw std::runtime_error("pardsm_lint: no such file or directory: " +
+                             root);
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(rp)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    out.push_back(
+        scan_file(p.string(), fs::relative(p, rp).generic_string()));
+  }
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void json_diag_array(std::ostringstream& os,
+                     const std::vector<Diagnostic>& diags) {
+  os << "[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"file\": \"";
+    json_escape(os, d.file);
+    os << "\", \"line\": " << d.line << ", \"rule\": \"";
+    json_escape(os, d.rule);
+    os << "\", \"message\": \"";
+    json_escape(os, d.message);
+    os << "\"}";
+  }
+  os << (diags.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+Report run_lint_on(const std::vector<FileScan>& files) {
+  Report report;
+  report.files_scanned = static_cast<int>(files.size());
+  std::vector<Diagnostic> raw;
+  for (const FileScan& f : files) {
+    std::vector<Diagnostic> here;
+    run_all_rules(f, here);
+    for (Diagnostic& d : here) {
+      if (f.allowed(d.rule, d.line)) {
+        report.suppressed.push_back(std::move(d));
+      } else {
+        raw.push_back(std::move(d));
+      }
+    }
+  }
+  const auto order = [](const Diagnostic& a, const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  };
+  std::sort(raw.begin(), raw.end(), order);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), order);
+  for (const Diagnostic& d : raw) ++report.by_rule[d.rule];
+  report.findings = std::move(raw);
+  return report;
+}
+
+Report run_lint(const LintOptions& options) {
+  std::vector<FileScan> files;
+  for (const std::string& root : options.roots) collect(root, files);
+  return run_lint_on(files);
+}
+
+std::string render_text(const Report& report) {
+  std::ostringstream os;
+  for (const Diagnostic& d : report.findings) {
+    os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+       << "\n";
+  }
+  os << "pardsm-lint: " << report.files_scanned << " files, "
+     << report.findings.size() << " finding"
+     << (report.findings.size() == 1 ? "" : "s") << " ("
+     << report.suppressed.size() << " suppressed)";
+  if (!report.by_rule.empty()) {
+    os << " [";
+    bool first = true;
+    for (const auto& [rule, n] : report.by_rule) {
+      os << (first ? "" : ", ") << rule << ": " << n;
+      first = false;
+    }
+    os << "]";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string render_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"pardsm-lint-v1\",\n  \"files_scanned\": "
+     << report.files_scanned << ",\n  \"findings\": ";
+  json_diag_array(os, report.findings);
+  os << ",\n  \"suppressed\": ";
+  json_diag_array(os, report.suppressed);
+  os << ",\n  \"by_rule\": {";
+  bool first = true;
+  for (const auto& [rule, n] : report.by_rule) {
+    os << (first ? "" : ",") << "\n    \"" << rule << "\": " << n;
+    first = false;
+  }
+  os << (report.by_rule.empty() ? "}" : "\n  }") << ",\n  \"clean\": "
+     << (report.clean() ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace pardsm::lint

@@ -1,0 +1,45 @@
+// Walks source roots, runs every rule, applies `// pardsm-lint: allow`
+// suppressions and renders the report (text or JSON).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace pardsm::lint {
+
+struct LintOptions {
+  /// Directories (or single files) to lint.  For a directory, layer names
+  /// are derived from the first path component below it, so pass the
+  /// `src/` root itself (or a fixture tree shaped like it).
+  std::vector<std::string> roots;
+};
+
+struct Report {
+  int files_scanned = 0;
+  std::vector<Diagnostic> findings;    ///< unsuppressed, sorted
+  std::vector<Diagnostic> suppressed;  ///< silenced by allow(...)
+  std::map<std::string, int> by_rule;  ///< active findings per rule
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/// Lint every .h/.hpp/.cpp/.cc under the roots.  Deterministic: files are
+/// visited in sorted path order.  Throws std::runtime_error on an
+/// unreadable root.
+Report run_lint(const LintOptions& options);
+
+/// Run the rules over already-scanned files (the test harness uses this to
+/// lint fixture text without touching the filesystem).
+Report run_lint_on(const std::vector<FileScan>& files);
+
+/// Human-readable report: one `path:line: [rule] message` per finding plus
+/// a summary line.
+std::string render_text(const Report& report);
+
+/// Machine-readable report (schema pardsm-lint-v1).
+std::string render_json(const Report& report);
+
+}  // namespace pardsm::lint

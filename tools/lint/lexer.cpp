@@ -1,0 +1,326 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace pardsm::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  LexedFile run() {
+    while (i_ < text_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return text_[i_]; }
+  char peek(std::size_t off = 1) const {
+    return i_ + off < text_.size() ? text_[i_ + off] : '\0';
+  }
+  bool done() const { return i_ >= text_.size(); }
+
+  void advance() {
+    if (text_[i_] == '\n') {
+      ++line_;
+      line_blank_ = true;
+    }
+    ++i_;
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && line_blank_) {
+      // The directive makes this line non-blank: a comment after it is a
+      // trailing comment, so allow(...) markers work on #include lines.
+      line_blank_ = false;
+      directive();
+      return;
+    }
+    line_blank_ = false;
+    if (c == '"') {
+      string_lit("");
+      return;
+    }
+    if (c == '\'') {
+      char_lit();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      number();
+      return;
+    }
+    if (is_ident_start(c)) {
+      identifier();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    Comment cm;
+    cm.line = line_;
+    cm.standalone = line_blank_;
+    i_ += 2;  // "//"
+    const std::size_t start = i_;
+    while (!done() && cur() != '\n') ++i_;
+    cm.text = std::string(text_.substr(start, i_ - start));
+    out_.comments.push_back(std::move(cm));
+  }
+
+  void block_comment() {
+    Comment cm;
+    cm.line = line_;
+    cm.standalone = line_blank_;
+    i_ += 2;  // "/*"
+    const std::size_t start = i_;
+    std::size_t end = text_.size();
+    while (!done()) {
+      if (cur() == '*' && peek() == '/') {
+        end = i_;
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    cm.text = std::string(text_.substr(start, end - start));
+    out_.comments.push_back(std::move(cm));
+  }
+
+  /// Reads a preprocessor line (with backslash continuations).  Stops at a
+  /// comment start so trailing `// pardsm-lint: ...` markers survive as
+  /// ordinary comments.
+  void directive() {
+    const int dline = line_;
+    advance();  // '#'
+    std::string body;
+    while (!done()) {
+      const char c = cur();
+      if (c == '\n') {
+        if (!body.empty() && body.back() == '\\') {
+          body.pop_back();
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && (peek() == '/' || peek() == '*')) break;
+      body.push_back(c);
+      advance();
+    }
+    parse_include(dline, body);
+    Directive d;
+    d.line = dline;
+    d.text = std::move(body);
+    out_.directives.push_back(std::move(d));
+  }
+
+  void parse_include(int dline, const std::string& body) {
+    std::size_t p = 0;
+    while (p < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[p]))) {
+      ++p;
+    }
+    static const std::string kw = "include";
+    if (body.compare(p, kw.size(), kw) != 0) return;
+    p += kw.size();
+    while (p < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[p]))) {
+      ++p;
+    }
+    if (p >= body.size()) return;
+    const char open = body[p];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') return;
+    const std::size_t endpos = body.find(close, p + 1);
+    if (endpos == std::string::npos) return;
+    Include inc;
+    inc.line = dline;
+    inc.angled = open == '<';
+    inc.target = body.substr(p + 1, endpos - p - 1);
+    out_.includes.push_back(std::move(inc));
+  }
+
+  void string_lit(const std::string& prefix) {
+    Token t;
+    t.kind = TokKind::kString;
+    t.line = line_;
+    t.text = prefix;
+    t.text.push_back('"');
+    advance();  // opening quote
+    while (!done()) {
+      const char c = cur();
+      t.text.push_back(c);
+      if (c == '\\' && peek() != '\0') {
+        advance();
+        t.text.push_back(cur());
+        advance();
+        continue;
+      }
+      advance();
+      if (c == '"') break;
+      if (c == '\n') break;  // unterminated; don't eat the file
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void raw_string(const std::string& prefix) {
+    Token t;
+    t.kind = TokKind::kString;
+    t.line = line_;
+    t.text = prefix;
+    t.text.push_back('"');
+    advance();  // opening quote
+    std::string delim;
+    while (!done() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      t.text.push_back(cur());
+      advance();
+    }
+    if (done() || cur() != '(') {  // malformed; treat as ended
+      out_.tokens.push_back(std::move(t));
+      return;
+    }
+    t.text.push_back('(');
+    advance();
+    const std::string closer = ")" + delim + "\"";
+    while (!done()) {
+      if (cur() == ')' &&
+          text_.compare(i_, closer.size(), closer) == 0) {
+        t.text += closer;
+        for (std::size_t k = 0; k < closer.size(); ++k) advance();
+        break;
+      }
+      t.text.push_back(cur());
+      advance();
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void char_lit() {
+    Token t;
+    t.kind = TokKind::kChar;
+    t.line = line_;
+    t.text.push_back('\'');
+    advance();
+    while (!done()) {
+      const char c = cur();
+      t.text.push_back(c);
+      if (c == '\\' && peek() != '\0') {
+        advance();
+        t.text.push_back(cur());
+        advance();
+        continue;
+      }
+      advance();
+      if (c == '\'' || c == '\n') break;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void number() {
+    Token t;
+    t.kind = TokKind::kNumber;
+    t.line = line_;
+    while (!done()) {
+      const char c = cur();
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        t.text.push_back(c);
+        advance();
+        // Exponent signs: 1e+3, 0x1.0p-53.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') && !done() &&
+            (cur() == '+' || cur() == '-')) {
+          t.text.push_back(cur());
+          advance();
+        }
+        continue;
+      }
+      break;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void identifier() {
+    Token t;
+    t.kind = TokKind::kIdent;
+    t.line = line_;
+    while (!done() && is_ident_char(cur())) {
+      t.text.push_back(cur());
+      advance();
+    }
+    // String-literal prefixes: R"...", u8R"...", L"...", u"...", etc.
+    if (!done() && cur() == '"') {
+      const std::string& p = t.text;
+      const bool raw = !p.empty() && p.back() == 'R' &&
+                       (p == "R" || p == "u8R" || p == "uR" || p == "UR" ||
+                        p == "LR");
+      const bool plain = p == "u8" || p == "u" || p == "U" || p == "L";
+      if (raw) {
+        raw_string(p);
+        return;
+      }
+      if (plain) {
+        string_lit(p);
+        return;
+      }
+    }
+    if (!done() && cur() == '\'' &&
+        (t.text == "u8" || t.text == "u" || t.text == "U" || t.text == "L")) {
+      // Prefixed char literal; the prefix token is dropped into the literal.
+      char_lit();
+      return;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void punct() {
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.line = line_;
+    if (cur() == ':' && peek() == ':') {
+      t.text = "::";
+      advance();
+      advance();
+    } else {
+      t.text.push_back(cur());
+      advance();
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  std::string_view text_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool line_blank_ = true;  ///< nothing but whitespace so far on this line
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view text) { return Lexer(text).run(); }
+
+}  // namespace pardsm::lint

@@ -1,0 +1,65 @@
+// pardsm-lint lexer: a single-pass C++ tokenizer good enough for rule
+// checks — it understands line/block comments, string/char literals
+// (including raw strings), preprocessor directives and line numbers, so
+// the rules never misfire on a forbidden name that only appears inside a
+// comment or a string.
+//
+// This is deliberately NOT a compiler front end.  The rules it feeds are
+// textual/structural (identifier occurrence, include edges, member lists
+// of classes the lexer can bracket-match), which keeps the analyzer a
+// few hundred lines and free of any LLVM dependency.  docs/LINT.md lists
+// the known parsing limitations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pardsm::lint {
+
+enum class TokKind {
+  kIdent,   ///< identifiers and keywords (the rules don't distinguish)
+  kNumber,  ///< numeric literal, suffixes and separators included
+  kString,  ///< string literal (escaped or raw), prefix included
+  kChar,    ///< character literal
+  kPunct,   ///< punctuation; `::` is one token, everything else one char
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  int line = 0;          ///< 1-based line where the comment starts
+  bool standalone = false;  ///< nothing but whitespace precedes it
+  std::string text;      ///< comment body without the // or /* */ markers
+};
+
+/// A `#include` directive.
+struct Include {
+  int line = 0;
+  bool angled = false;   ///< <...> rather than "..."
+  std::string target;    ///< path between the delimiters
+};
+
+/// Any other preprocessor directive, kept for completeness/debugging.
+struct Directive {
+  int line = 0;
+  std::string text;      ///< full text after '#', continuations joined
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Include> includes;
+  std::vector<Directive> directives;
+};
+
+/// Tokenize `text`.  Never throws on malformed input: an unterminated
+/// literal or comment simply ends at EOF.
+LexedFile lex(std::string_view text);
+
+}  // namespace pardsm::lint

@@ -1,0 +1,63 @@
+// pardsm_lint: repo-specific static analyzer enforcing the determinism,
+// hot-path and body-plane contracts (docs/LINT.md has the rule catalogue).
+//
+//   pardsm_lint [--json] [path...]       default path: src
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "engine.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: pardsm_lint [--json] [--list-rules] [path...]\n"
+      "  path          source roots to lint (default: src); layer names\n"
+      "                come from the first directory below each root\n"
+      "  --json        emit a pardsm-lint-v1 JSON report on stdout\n"
+      "  --list-rules  print the rule names and exit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  pardsm::lint::LintOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : pardsm::lint::rule_names()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pardsm_lint: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) options.roots.push_back("src");
+
+  try {
+    const pardsm::lint::Report report = pardsm::lint::run_lint(options);
+    const std::string out = json ? pardsm::lint::render_json(report)
+                                 : pardsm::lint::render_text(report);
+    std::fputs(out.c_str(), stdout);
+    return report.clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}

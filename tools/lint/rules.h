@@ -1,0 +1,49 @@
+// The five contract rules.  Each rule reads one FileScan and appends
+// diagnostics; suppression filtering happens later in the engine so the
+// report can count suppressed findings.
+//
+//   determinism    (R1)  wall-clock / environment / libc-rand calls outside
+//                        the wall-clock roots allowlist
+//   rng-streams    (R2)  <random> engines & distributions in simnet/mcs
+//                        instead of simnet/rng.h's Rng / counter_rng
+//   pooled-reset   (R3)  BodyPool-recycled types whose reset() neither
+//                        clears a member nor carries an
+//                        `overwritten-by-creator` annotation for it
+//   unordered-iter (R4)  hash-ordered container iteration, and unordered
+//                        containers declared in order-sensitive layers
+//   layer-dag      (R5)  #include edges that climb the layer DAG
+//                        (simnet <- history <- sharegraph <- workload
+//                         <- mcs <- core <- apps)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scan.h"
+
+namespace pardsm::lint {
+
+struct Diagnostic {
+  std::string file;  ///< FileScan::path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+inline constexpr const char kRuleDeterminism[] = "determinism";
+inline constexpr const char kRuleRngStreams[] = "rng-streams";
+inline constexpr const char kRulePooledReset[] = "pooled-reset";
+inline constexpr const char kRuleUnorderedIter[] = "unordered-iter";
+inline constexpr const char kRuleLayerDag[] = "layer-dag";
+
+/// All rule names, in the order rules run (stable for --json output).
+const std::vector<std::string>& rule_names();
+
+/// Run every rule over `fs`, appending raw (unfiltered) diagnostics.
+void run_all_rules(const FileScan& fs, std::vector<Diagnostic>& out);
+
+/// Rank of a layer in the dependency order; -1 for unknown directories
+/// (tests, tools, fixtures outside the seven layers).
+int layer_rank(const std::string& layer);
+
+}  // namespace pardsm::lint

@@ -1,0 +1,91 @@
+#include "scan.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pardsm::lint {
+
+namespace {
+
+constexpr const char kMarker[] = "pardsm-lint:";
+
+/// Split "a, b ,c" into trimmed names.
+std::vector<std::string> split_names(std::string_view list) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : list) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    cur.push_back(c);
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Parse the pardsm-lint markers out of one comment.
+void parse_marker(const Comment& cm, FileScan& fs) {
+  const std::size_t m = cm.text.find(kMarker);
+  if (m == std::string::npos) return;
+  // The marker governs its own line when the comment trails code, or the
+  // next line when the comment stands alone (NOLINTNEXTLINE-style).
+  const int target = cm.standalone ? cm.line + 1 : cm.line;
+  std::string_view rest = std::string_view(cm.text).substr(m + sizeof(kMarker) - 1);
+
+  const std::size_t allow = rest.find("allow(");
+  if (allow != std::string_view::npos) {
+    const std::size_t close = rest.find(')', allow);
+    if (close != std::string_view::npos) {
+      const auto names =
+          split_names(rest.substr(allow + 6, close - allow - 6));
+      for (const std::string& rule : names) fs.allows[rule].insert(target);
+    }
+  }
+
+  const std::size_t ow = rest.find("overwritten-by-creator");
+  if (ow != std::string_view::npos) {
+    FileScan::OverwriteAnno anno;
+    anno.target_line = target;
+    std::string_view tail =
+        rest.substr(ow + sizeof("overwritten-by-creator") - 1);
+    if (!tail.empty() && tail.front() == '(') {
+      const std::size_t close = tail.find(')');
+      if (close != std::string_view::npos) {
+        anno.names = split_names(tail.substr(1, close - 1));
+      }
+    }
+    fs.overwrites.push_back(std::move(anno));
+  }
+}
+
+}  // namespace
+
+FileScan scan_text(std::string rel, std::string_view text) {
+  FileScan fs;
+  fs.path = std::move(rel);
+  const std::size_t slash = fs.path.find('/');
+  fs.layer = slash == std::string::npos ? "" : fs.path.substr(0, slash);
+  const std::size_t last = fs.path.find_last_of('/');
+  fs.base = last == std::string::npos ? fs.path : fs.path.substr(last + 1);
+  const std::size_t dot = fs.base.find_last_of('.');
+  fs.stem = dot == std::string::npos ? fs.base : fs.base.substr(0, dot);
+  fs.lx = lex(text);
+  for (const Comment& cm : fs.lx.comments) parse_marker(cm, fs);
+  return fs;
+}
+
+FileScan scan_file(const std::string& abs_path, std::string rel) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("pardsm_lint: cannot read " + abs_path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  return scan_text(std::move(rel), text);
+}
+
+}  // namespace pardsm::lint

@@ -1,0 +1,51 @@
+// File-level scan state shared by every rule: the lexed token stream plus
+// path metadata (layer, stem) and the parsed `// pardsm-lint:` markers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace pardsm::lint {
+
+/// One analyzed source file.
+struct FileScan {
+  std::string path;   ///< path as printed in diagnostics (root-relative)
+  std::string layer;  ///< first directory component under the root ("" if none)
+  std::string stem;   ///< file name without directories or extension
+  std::string base;   ///< file name with extension (e.g. "engine.cpp")
+  LexedFile lx;
+
+  /// rule name -> lines on which that rule is suppressed.
+  /// `// pardsm-lint: allow(rule)` suppresses its own line when trailing
+  /// code, or the next line when the comment stands alone.
+  std::map<std::string, std::set<int>> allows;
+
+  /// A `pardsm-lint: overwritten-by-creator` annotation.  Positional form
+  /// (no parentheses) covers the member declared on `target_line`; the
+  /// named form `overwritten-by-creator(a, b, c)` covers the listed
+  /// members of the class whose body spans the annotation line.
+  struct OverwriteAnno {
+    int target_line = 0;
+    std::vector<std::string> names;
+  };
+  std::vector<OverwriteAnno> overwrites;
+
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
+    auto it = allows.find(rule);
+    return it != allows.end() && it->second.count(line) > 0;
+  }
+};
+
+/// Build a FileScan from in-memory text.  `rel` is the root-relative path
+/// used both for diagnostics and for layer/stem derivation.
+FileScan scan_text(std::string rel, std::string_view text);
+
+/// Read `abs_path` from disk and scan it.  Throws std::runtime_error when
+/// the file cannot be read.
+FileScan scan_file(const std::string& abs_path, std::string rel);
+
+}  // namespace pardsm::lint
